@@ -1,0 +1,82 @@
+// Command sdsm-experiments regenerates every table and figure of the
+// paper's evaluation on the simulated platform:
+//
+//	sdsm-experiments -all
+//	sdsm-experiments -table1 -fig5 -procs 8
+//
+// The output prints measured values next to the paper's where applicable;
+// EXPERIMENTS.md discusses the comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdsm/internal/harness"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		table1 = flag.Bool("table1", false, "uniprocessor execution times")
+		table2 = flag.Bool("table2", false, "reduction in page faults, messages, data")
+		fig5   = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
+		fig6   = flag.Bool("fig6", false, "speedups under optimization levels")
+		fig7   = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
+		micro  = flag.Bool("micro", false, "Section 5 primitive costs")
+		procs  = flag.Int("procs", harness.DefaultProcs, "processor count")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *micro) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sdsm-experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *micro {
+		m, err := harness.Micro()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatMicro(m))
+	}
+	if *all || *table1 {
+		rows, err := harness.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatTable1(rows))
+	}
+	if *all || *table2 {
+		rows, err := harness.Table2(*procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatTable2(rows))
+	}
+	if *all || *fig5 {
+		rows, err := harness.Fig5(*procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatFig5(rows, *procs))
+	}
+	if *all || *fig6 {
+		rows, err := harness.Fig6(*procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatFig6(rows, *procs))
+	}
+	if *all || *fig7 {
+		rows, err := harness.Fig7(*procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatFig7(rows, *procs))
+	}
+}

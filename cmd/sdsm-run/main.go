@@ -1,0 +1,78 @@
+// Command sdsm-run executes one application on one system configuration
+// and prints execution time, speedup, and protocol statistics:
+//
+//	sdsm-run -app jacobi -system opt-tmk -set large -procs 8
+//	sdsm-run -app is -system tmk -set small -procs 4 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/harness"
+	"sdsm/internal/model"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs")
+		system = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
+		set    = flag.String("set", "large", "data set: large, small")
+		procs  = flag.Int("procs", harness.DefaultProcs, "processor count")
+		verify = flag.Bool("verify", false, "verify the result against the sequential reference")
+		sync   = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
+	)
+	flag.Parse()
+
+	a, err := apps.ByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
+		os.Exit(1)
+	}
+	ds := apps.DataSet(*set)
+	if _, ok := a.Sets[ds]; !ok {
+		fmt.Fprintf(os.Stderr, "sdsm-run: unknown data set %q\n", *set)
+		os.Exit(1)
+	}
+
+	res, err := harness.Run(harness.Config{
+		App: a, Set: ds, System: harness.SystemKind(*system),
+		Procs: *procs, Verify: *verify, SyncFetch: *sync,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
+		os.Exit(1)
+	}
+
+	uni, err := harness.UniTime(a, ds, model.SP2())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("application:   %s (%s set)\n", a.Name, ds)
+	fmt.Printf("system:        %s on %d processors\n", *system, *procs)
+	fmt.Printf("time:          %v (uniprocessor %v, speedup %.2f)\n", res.Time, uni, harness.Speedup(uni, res.Time))
+	fmt.Printf("messages:      %d (%.2f MB)\n", res.Msgs, float64(res.Bytes)/1e6)
+	if harness.SystemKind(*system) == harness.Base || harness.SystemKind(*system) == harness.Opt {
+		fmt.Printf("page faults:   %d\n", res.Segv)
+		fmt.Printf("protection:    %d ops, %d twins, %d diffs created\n", res.VM.ProtOps, res.VM.Twins, res.VM.Diffs)
+		fmt.Printf("protocol:      %d lock acquires, %d barriers, %d validates, %d pushes\n",
+			res.Protocol.LockAcquires, res.Protocol.Barriers, res.Protocol.Validates, res.Protocol.Pushes)
+		fmt.Printf("diff traffic:  %d fetch exchanges, %d diffs applied\n",
+			res.Protocol.DiffFetches, res.Protocol.DiffsApplied)
+	}
+	if *verify {
+		want := harness.SeqChecksum(a, ds)
+		status := "OK"
+		if !apps.Close(res.Checksum, want) {
+			status = "MISMATCH"
+		}
+		fmt.Printf("verification:  %s (checksum %.6g, sequential %.6g)\n", status, res.Checksum, want)
+		if status != "OK" {
+			os.Exit(1)
+		}
+	}
+}

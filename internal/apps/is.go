@@ -1,0 +1,260 @@
+package apps
+
+import (
+	"time"
+
+	"sdsm/internal/ir"
+	"sdsm/internal/mp"
+	"sdsm/internal/rsd"
+)
+
+// Costs calibrated against Table 1's large set (IS 2^23/2^19: 91.2 s over
+// 10 repetitions with ~2N key operations per repetition gives ~540 ns per
+// key operation; the paper's small set is super-linearly faster, which a
+// linear model does not capture — see EXPERIMENTS.md).
+const (
+	isKeyCost    = 540 * time.Nanosecond
+	isBucketCost = 100 * time.Nanosecond
+)
+
+// isKey generates the deterministic key for global slot g (keys are in
+// [0, buckets)); slot g of the sequence belongs to processor g/keysPer.
+func isKey(g, buckets int) int {
+	x := uint64(g)*2654435761 + 12345
+	x ^= x >> 13
+	x *= 1099511628211
+	x ^= x >> 7
+	return int(x % uint64(buckets))
+}
+
+// IS builds the NAS Integer Sort: processors count keys into private
+// buckets, merge them into shared buckets section by section under
+// staggered locks (the data is migratory), and rank their keys from the
+// summed buckets after a barrier. The indirect access to the key array
+// keeps XHPF from parallelizing it; the compiler still optimizes the lock
+// phases (READ&WRITE_ALL on the bucket sections) and the ranking read —
+// the paper's example of partial analysis being beneficial.
+func IS() *App {
+	return &App{
+		Name:  "is",
+		Build: isProg,
+		Sets: map[DataSet]rsd.Env{
+			Large: {"keys": 1 << 16, "buckets": 1 << 15, "iters": 4, "cscale": 8},
+			Small: {"keys": 1 << 14, "buckets": 1 << 13, "iters": 4, "cscale": 16},
+		},
+		PaperSets: map[DataSet]rsd.Env{
+			Large: {"keys": 1 << 23, "buckets": 1 << 19, "iters": 10},
+			Small: {"keys": 1 << 20, "buckets": 1 << 15, "iters": 10},
+		},
+		CheckArray:      "ranks",
+		WSyncApplicable: true,
+		WSyncProfitable: false, // merging made IS worse (page-list scan overhead)
+		PushApplicable:  false, // the compiler cannot know who held the lock last
+		XHPF:            false, // indirect access to the main array
+		MP:              isMP,
+	}
+}
+
+func isProg(nprocs int) *ir.Program {
+	b := v("b")
+	prog := &ir.Program{
+		Name: "is",
+		Arrays: []ir.ArrayDecl{
+			{Name: "buckets", Dims: []rsd.Lin{v("buckets")}},
+			{Name: "priv", Dims: []rsd.Lin{v("buckets"), c(nprocs)}},
+			{Name: "ranks", Dims: []rsd.Lin{v("keysPer"), c(nprocs)}},
+		},
+		Params: []rsd.Sym{"keys", "buckets", "iters"},
+		Setup: func(params rsd.Env, n int) {
+			params["keysPer"] = params["keys"] / n
+		},
+		Derived: []ir.DerivedParam{
+			{Name: "pcol", Fn: func(e rsd.Env) int { return e["p"] + 1 }},
+		},
+	}
+
+	countKernel := ir.Kernel{
+		Name: "count",
+		Accesses: []ir.TaggedSection{{
+			Sec: rsd.Section{Array: "priv", Dims: []rsd.Bound{
+				rsd.Dense(c(1), v("buckets")),
+				rsd.Dense(v("pcol"), v("pcol")),
+			}},
+			Tag:   rsd.Write | rsd.WriteFirst,
+			Exact: true,
+		}},
+		Run: func(ctx ir.KernelCtx) {
+			e := ctx.Env()
+			nb, kp, p := e["buckets"], e["keysPer"], e["p"]
+			lo := ctx.Addr("priv", 1, p+1)
+			data := ctx.WriteRegion(lo, lo+nb)
+			for t := lo; t < lo+nb; t++ {
+				data[t] = 0
+			}
+			for t := 0; t < kp; t++ {
+				data[lo+isKey(p*kp+t, nb)]++
+			}
+			ctx.Charge(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost/4)
+		},
+	}
+
+	addFn := func(s []float64) float64 { return s[0] + s[1] }
+	zeroFn := func([]float64) float64 { return 0 }
+
+	// Each processor clears its own section of the shared buckets; the
+	// barrier that follows makes the staggered accumulation order-free.
+	zeroOwn := []ir.Stmt{
+		ir.Compute{Sym: "blo0", Fn: func(e rsd.Env) int { return e["p"]*(e["buckets"]/e["nprocs"]) + 1 }},
+		ir.Compute{Sym: "bhi0", Fn: func(e rsd.Env) int { return (e["p"] + 1) * (e["buckets"] / e["nprocs"]) }},
+		ir.LockAcquire{ID: v("p")},
+		ir.Loop{Var: "b", Lo: v("blo0"), Hi: v("bhi0"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("buckets", b), Fn: zeroFn, Cost: isBucketCost / 4},
+		}},
+		ir.LockRelease{ID: v("p")},
+		ir.Barrier{ID: 3},
+	}
+
+	// Staggered visits to the sections (own first): accumulate under locks;
+	// the bucket data is migratory.
+	stagger := ir.Loop{Var: "s", Lo: c(0), Hi: v("nprocs").Plus(-1), Body: []ir.Stmt{
+		ir.Compute{Sym: "sec", Fn: func(e rsd.Env) int { return (e["p"] + e["s"]) % e["nprocs"] }},
+		ir.Compute{Sym: "blo", Fn: func(e rsd.Env) int { return e["sec"]*(e["buckets"]/e["nprocs"]) + 1 }},
+		ir.Compute{Sym: "bhi", Fn: func(e rsd.Env) int { return (e["sec"] + 1) * (e["buckets"] / e["nprocs"]) }},
+		ir.LockAcquire{ID: v("sec")},
+		ir.Loop{Var: "b", Lo: v("blo"), Hi: v("bhi"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("buckets", b), RHS: []ir.Ref{ir.At("buckets", b), ir.At("priv", b, v("pcol"))}, Fn: addFn, Cost: isBucketCost},
+		}},
+		ir.LockRelease{ID: v("sec")},
+	}}
+
+	rankKernel := ir.Kernel{
+		Name: "rank",
+		Accesses: []ir.TaggedSection{
+			{
+				Sec:   rsd.Section{Array: "buckets", Dims: []rsd.Bound{rsd.Dense(c(1), v("buckets"))}},
+				Tag:   rsd.Read,
+				Exact: true,
+			},
+			{
+				Sec: rsd.Section{Array: "ranks", Dims: []rsd.Bound{
+					rsd.Dense(c(1), v("keysPer")),
+					rsd.Dense(v("pcol"), v("pcol")),
+				}},
+				Tag:   rsd.Write | rsd.WriteFirst,
+				Exact: true,
+			},
+		},
+		Run: func(ctx ir.KernelCtx) {
+			e := ctx.Env()
+			nb, kp, p := e["buckets"], e["keysPer"], e["p"]
+			blo := ctx.Addr("buckets", 1)
+			bdata := ctx.ReadRegion(blo, blo+nb)
+			// Prefix sums: rank of a key k is the number of keys < k.
+			prefix := make([]float64, nb)
+			run := 0.0
+			for t := 0; t < nb; t++ {
+				prefix[t] = run
+				run += bdata[blo+t]
+			}
+			rlo := ctx.Addr("ranks", 1, p+1)
+			rdata := ctx.WriteRegion(rlo, rlo+kp)
+			for t := 0; t < kp; t++ {
+				rdata[rlo+t] = prefix[isKey(p*kp+t, nb)]
+			}
+			ctx.Charge(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost)
+		},
+	}
+
+	var iter []ir.Stmt
+	iter = append(iter, countKernel)
+	iter = append(iter, zeroOwn...)
+	iter = append(iter, stagger, ir.Barrier{ID: 1}, rankKernel, ir.Barrier{ID: 2})
+
+	prog.Body = []ir.Stmt{
+		ir.Barrier{ID: 0},
+		ir.Loop{Var: "it", Lo: c(1), Hi: v("iters"), Body: iter},
+	}
+	return prog
+}
+
+// isMP is the hand-coded message-passing IS. It reproduces the pipelined
+// structure the paper credits for PVMe's edge: partial section sums flow
+// around a ring (each processor adds its private counts and forwards), so
+// the transfer to the next processor is pipelined; afterwards each final
+// section is broadcast for ranking.
+func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float64 {
+	nb, keys, iters := params["buckets"], params["keys"], params["iters"]
+	kp := keys / r.N
+	secw := nb / r.N
+	priv := make([]float64, nb)
+	all := make([]float64, nb)
+	ranks := make([]float64, kp)
+
+	for it := 0; it < iters; it++ {
+		if perIter > 0 {
+			r.AdvanceFixed(perIter)
+		}
+		for t := range priv {
+			priv[t] = 0
+		}
+		for t := 0; t < kp; t++ {
+			priv[isKey(r.ID*kp+t, nb)]++
+		}
+		r.Advance(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost/4)
+
+		// Ring pipeline: section s is completed at rank (s+N-1) mod N after
+		// passing through all ranks starting at rank s.
+		next := (r.ID + 1) % r.N
+		prev := (r.ID - 1 + r.N) % r.N
+		// Start own section.
+		sec := r.ID
+		cur := append([]float64(nil), priv[sec*secw:(sec+1)*secw]...)
+		for hop := 0; hop < r.N-1; hop++ {
+			r.Send(next, cur)
+			in := r.Recv(prev)
+			sec = (sec - 1 + r.N) % r.N
+			cur = in
+			for t := 0; t < secw; t++ {
+				cur[t] += priv[sec*secw+t]
+			}
+			r.Advance(time.Duration(secw) * isBucketCost)
+		}
+		// cur now holds the completed section `sec`; share all sections.
+		copy(all[sec*secw:(sec+1)*secw], cur)
+		for q := 0; q < r.N; q++ {
+			owner := (q + r.N - 1) % r.N // rank holding completed section q
+			if owner == r.ID {
+				blk := r.Bcast(owner, all[q*secw:(q+1)*secw])
+				copy(all[q*secw:(q+1)*secw], blk)
+			} else {
+				blk := r.Bcast(owner, nil)
+				copy(all[q*secw:(q+1)*secw], blk)
+			}
+		}
+
+		prefix := make([]float64, nb)
+		run := 0.0
+		for t := 0; t < nb; t++ {
+			prefix[t] = run
+			run += all[t]
+		}
+		for t := 0; t < kp; t++ {
+			ranks[t] = prefix[isKey(r.ID*kp+t, nb)]
+		}
+		r.Advance(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost)
+	}
+
+	if !verify {
+		return 0
+	}
+	sum := ChecksumSlice(ranks, r.ID*kp)
+	parts := r.Gather(0, []float64{sum})
+	if parts == nil {
+		return 0
+	}
+	total := 0.0
+	for _, p := range parts {
+		total += p[0]
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+// Package cluster simulates the interconnect of a distributed-memory
+// machine on top of the sim engine: point-to-point messages with latency
+// and bandwidth charges, broadcast, synchronous request/reply (RPC), and
+// message/byte accounting.
+//
+// Two communication styles are offered:
+//
+//   - Mailbox Send/Recv, used by the message-passing programming layer
+//     (the PVMe and XHPF stand-ins) and by barrier implementations.
+//   - RPC, used by the DSM protocol for request/reply interactions such as
+//     diff fetches and lock acquisition. RPC handlers execute immediately
+//     against the target's current state while virtual time is charged as
+//     if the request had traveled the wire; see DESIGN.md for why this is
+//     both deterministic and faithful for LRC workloads.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sdsm/internal/model"
+	"sdsm/internal/sim"
+)
+
+// Tag distinguishes message classes within a mailbox.
+type Tag int
+
+// AnySender matches messages from every sender in Recv.
+const AnySender = -1
+
+// Msg is a delivered message.
+type Msg struct {
+	From, To int
+	Tag      Tag
+	Payload  any
+	Bytes    int
+	Arrival  time.Duration
+}
+
+// NodeStats counts traffic at one node.
+type NodeStats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+}
+
+// Stats aggregates network traffic. The DSM statistics the paper reports
+// ("msg" and "data" in Table 2) are derived from these counters.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+	Node  []NodeStats
+}
+
+type waiter struct {
+	p    *sim.Proc
+	from int
+	tag  Tag
+}
+
+// Network is the simulated interconnect.
+type Network struct {
+	e     *sim.Engine
+	costs model.Costs
+	boxes [][]Msg // pending messages per destination
+	waits []*waiter
+	stats Stats
+}
+
+// New creates a network for every processor of e.
+func New(e *sim.Engine, costs model.Costs) *Network {
+	n := e.N()
+	return &Network{
+		e:     e,
+		costs: costs,
+		boxes: make([][]Msg, n),
+		waits: make([]*waiter, n),
+		stats: Stats{Node: make([]NodeStats, n)},
+	}
+}
+
+// Costs returns the cost model in force.
+func (nw *Network) Costs() model.Costs { return nw.costs }
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.Node = append([]NodeStats(nil), nw.stats.Node...)
+	return s
+}
+
+// ResetStats zeroes all counters (used between experiment phases).
+func (nw *Network) ResetStats() {
+	nw.stats = Stats{Node: make([]NodeStats, nw.e.N())}
+}
+
+func (nw *Network) account(from, to, bytes int) {
+	nw.stats.Msgs++
+	nw.stats.Bytes += int64(bytes)
+	nw.stats.Node[from].MsgsSent++
+	nw.stats.Node[from].BytesSent += int64(bytes)
+	nw.stats.Node[to].MsgsRecv++
+	nw.stats.Node[to].BytesRecv += int64(bytes)
+}
+
+// Send transmits payload from p to node `to`. The sender is charged send
+// overhead; the message arrives after wire latency plus bandwidth time.
+func (nw *Network) Send(p *sim.Proc, to int, tag Tag, payload any, bytes int) {
+	if to == p.ID {
+		panic("cluster: send to self")
+	}
+	p.Charge(nw.costs.SendOverhead)
+	m := Msg{
+		From:    p.ID,
+		To:      to,
+		Tag:     tag,
+		Payload: payload,
+		Bytes:   bytes,
+		Arrival: p.Now() + nw.costs.OneWay(bytes),
+	}
+	nw.account(p.ID, to, bytes)
+	nw.boxes[to] = append(nw.boxes[to], m)
+	if w := nw.waits[to]; w != nil && (w.from == AnySender || w.from == m.From) && w.tag == m.Tag {
+		nw.waits[to] = nil
+		p.Wake(w.p, m.Arrival)
+	}
+}
+
+// Broadcast sends payload to every other node, serializing the per-message
+// send overhead at the sender (how MPL broadcast behaves for small n).
+func (nw *Network) Broadcast(p *sim.Proc, tag Tag, payload any, bytes int) {
+	for to := 0; to < nw.e.N(); to++ {
+		if to != p.ID {
+			nw.Send(p, to, tag, payload, bytes)
+		}
+	}
+}
+
+// Recv blocks p until a message with the given tag (and sender, unless
+// AnySender) is available, then delivers the earliest-arriving match.
+// Receiving charges the interrupt/dispatch overhead.
+func (nw *Network) Recv(p *sim.Proc, from int, tag Tag) Msg {
+	for {
+		if m, ok := nw.take(p.ID, from, tag); ok {
+			p.SetClock(m.Arrival)
+			p.Charge(nw.costs.RecvOverhead)
+			return m
+		}
+		if nw.waits[p.ID] != nil {
+			panic(fmt.Sprintf("cluster: node %d has two concurrent receivers", p.ID))
+		}
+		nw.waits[p.ID] = &waiter{p: p, from: from, tag: tag}
+		p.Block(fmt.Sprintf("recv tag=%d from=%d", tag, from))
+	}
+}
+
+// take removes the earliest matching message from to's mailbox.
+func (nw *Network) take(to, from int, tag Tag) (Msg, bool) {
+	box := nw.boxes[to]
+	best := -1
+	for i, m := range box {
+		if m.Tag != tag || (from != AnySender && m.From != from) {
+			continue
+		}
+		if best == -1 || m.Arrival < box[best].Arrival {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Msg{}, false
+	}
+	m := box[best]
+	nw.boxes[to] = append(box[:best], box[best+1:]...)
+	return m, true
+}
+
+// Message accounts for a protocol message from node `from` departing at
+// `depart` and returns the time at which the receiver has fielded it
+// (arrival plus interrupt). Sender and receiver CPU overheads are charged
+// to the respective processors. It is the building block for multi-hop
+// protocol exchanges (lock forwarding) whose intermediate legs do not
+// involve the calling processor.
+func (nw *Network) Message(from, to int, depart time.Duration, bytes int) time.Duration {
+	if from == to {
+		panic("cluster: message to self")
+	}
+	nw.e.Proc(from).Charge(nw.costs.SendOverhead)
+	nw.e.Proc(to).Charge(nw.costs.RecvOverhead)
+	nw.account(from, to, bytes)
+	return depart + nw.costs.SendOverhead + nw.costs.OneWay(bytes) + nw.costs.RecvOverhead
+}
+
+// Completion describes an in-flight RPC reply for asynchronous fetching.
+type Completion struct {
+	Arrival time.Duration
+	Bytes   int
+}
+
+// RPC performs a synchronous request/reply with node `to`. The handler is
+// invoked once to produce the reply size; any CPU time the handler charges
+// to the target processor (for example creating diffs) extends the reply's
+// arrival. The target is additionally charged interrupt, service, and
+// reply-injection overheads, and the requester's clock moves to the
+// reply's arrival.
+func (nw *Network) RPC(p *sim.Proc, to int, reqBytes int, handler func() (respBytes int)) {
+	c := nw.StartRPC(p, to, reqBytes, handler)
+	nw.Await(p, c)
+}
+
+// StartRPC issues the request and returns a Completion without waiting.
+// The handler still runs immediately (the protocol state transition is
+// deterministic); only the requester's time accounting is deferred, which
+// models asynchronous data fetching (Section 3.2.3 of the paper).
+func (nw *Network) StartRPC(p *sim.Proc, to int, reqBytes int, handler func() (respBytes int)) Completion {
+	if to == p.ID {
+		panic("cluster: RPC to self")
+	}
+	p.Charge(nw.costs.SendOverhead)
+	reqArrival := p.Now() + nw.costs.OneWay(reqBytes)
+	nw.account(p.ID, to, reqBytes)
+
+	target := nw.e.Proc(to)
+	before := target.Now()
+	respBytes := handler() // handler charges the target for its own work
+	target.Charge(nw.costs.RecvOverhead + nw.costs.RequestService + nw.costs.SendOverhead)
+	service := target.Now() - before
+	nw.account(to, p.ID, respBytes)
+
+	respArrival := reqArrival + service + nw.costs.OneWay(respBytes)
+	return Completion{Arrival: respArrival, Bytes: respBytes}
+}
+
+// SendShared transmits the same payload from p to several recipients,
+// charging the sender's injection overhead only once (modeling the
+// switch-assisted broadcast the augmented run-time uses at barriers when a
+// processor sends identical data to everyone). Each delivery is still
+// accounted as a message.
+func (nw *Network) SendShared(p *sim.Proc, tos []int, tag Tag, payload any, bytes int) {
+	p.Charge(nw.costs.SendOverhead)
+	for _, to := range tos {
+		if to == p.ID {
+			panic("cluster: send to self")
+		}
+		m := Msg{
+			From:    p.ID,
+			To:      to,
+			Tag:     tag,
+			Payload: payload,
+			Bytes:   bytes,
+			Arrival: p.Now() + nw.costs.OneWay(bytes),
+		}
+		nw.account(p.ID, to, bytes)
+		nw.boxes[to] = append(nw.boxes[to], m)
+		if w := nw.waits[to]; w != nil && (w.from == AnySender || w.from == m.From) && w.tag == m.Tag {
+			nw.waits[to] = nil
+			p.Wake(w.p, m.Arrival)
+		}
+	}
+}
+
+// Await advances p to the completion of one in-flight RPC and charges the
+// receive overhead.
+func (nw *Network) Await(p *sim.Proc, c Completion) {
+	p.SetClock(c.Arrival)
+	p.Charge(nw.costs.RecvOverhead)
+}
+
+// AwaitAll completes a set of in-flight RPCs, processing replies in arrival
+// order (the receive overheads serialize at the requester).
+func (nw *Network) AwaitAll(p *sim.Proc, cs []Completion) {
+	rest := append([]Completion(nil), cs...)
+	for len(rest) > 0 {
+		best := 0
+		for i := range rest {
+			if rest[i].Arrival < rest[best].Arrival {
+				best = i
+			}
+		}
+		nw.Await(p, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+}

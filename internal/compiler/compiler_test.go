@@ -1,0 +1,247 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/compiler"
+	"sdsm/internal/ir"
+	"sdsm/internal/rsd"
+)
+
+func opts(n int, params rsd.Env) compiler.Options {
+	return compiler.Options{NProcs: n, Params: params, Aggregate: true, ConsElim: true, SyncMerge: true, Push: true, Async: true}
+}
+
+// TestJacobiTransformMatchesFigure2 checks the paper's worked example: the
+// compiler must insert a WRITE_ALL Validate for b's copy-phase section and
+// replace Barrier 2 with a Push exchanging boundary columns.
+func TestJacobiTransformMatchesFigure2(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"m": 512, "iters": 4}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	text := rep.String()
+
+	if !strings.Contains(text, "b[1:m, begin:end] WRITE_ALL after barrier 1") {
+		t.Errorf("missing WRITE_ALL validate for b; report:\n%s", text)
+	}
+	if !strings.Contains(text, "barrier 2 replaced") {
+		t.Errorf("Barrier 2 not replaced by Push; report:\n%s", text)
+	}
+	if !strings.Contains(text, "reads [b[1:m, begin-1:end+1]]") {
+		t.Errorf("Push read section should be b[1:m, begin-1:end+1]; report:\n%s", text)
+	}
+	if !strings.Contains(text, "writes [b[1:m, begin:end]]") {
+		t.Errorf("Push write section should be b[1:m, begin:end]; report:\n%s", text)
+	}
+	// Barrier 1 must survive: a global synchronization is needed to
+	// restore release consistency.
+	if strings.Contains(text, "barrier 1 replaced") {
+		t.Errorf("Barrier 1 must not be replaced; report:\n%s", text)
+	}
+}
+
+// TestJacobiSummary checks the Section 4.3 access analysis result for the
+// first Jacobi loop nest.
+func TestJacobiSummary(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	prog := a.Build(8)
+	// Find the time loop and its first segment (the stencil nest).
+	loop := prog.Body[2].(ir.Loop)
+	sum := compiler.Summarize(prog, loop.Body[:1])
+	var readB, writeA *compiler.Access
+	for i := range sum.Accesses {
+		acc := &sum.Accesses[i]
+		switch acc.Sec.Array {
+		case "b":
+			readB = acc
+		case "a":
+			writeA = acc
+		}
+	}
+	if readB == nil || !readB.Tag.Has(rsd.Read) || readB.Tag.Has(rsd.Write) {
+		t.Fatalf("b access wrong: %+v", readB)
+	}
+	if got := readB.Sec.String(); got != "b[1:m, begin-1:end+1]" {
+		t.Errorf("b section = %s, want b[1:m, begin-1:end+1] (paper Section 4.3)", got)
+	}
+	if writeA == nil || !writeA.Tag.Has(rsd.Write) || !writeA.Tag.Has(rsd.WriteFirst) {
+		t.Fatalf("a must be {write, write-first}: %+v", writeA)
+	}
+}
+
+// TestCopyPhaseWriteFirst: the copy loop writes b without reading it, so
+// the summary must be {write, write-first} over full columns.
+func TestCopyPhaseWriteFirst(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	prog := a.Build(8)
+	loop := prog.Body[2].(ir.Loop)
+	sum := compiler.Summarize(prog, loop.Body[2:3])
+	for _, acc := range sum.Accesses {
+		if acc.Sec.Array == "b" {
+			if !acc.Tag.Has(rsd.WriteFirst) {
+				t.Fatalf("b copy section lacks write-first: %v", acc)
+			}
+			if !acc.Exact {
+				t.Fatalf("b copy section must be exact: %v", acc)
+			}
+			return
+		}
+	}
+	t.Fatal("no b access found")
+}
+
+// TestGaussBlockedFromPush: the opaque owner conditional must keep Gauss
+// from qualifying for Push while leaving the pivot-column read analyzable
+// for Validate_w_sync.
+func TestGaussBlockedFromPush(t *testing.T) {
+	a, _ := apps.ByName("gauss")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"m": 128, "mpad": 512}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	if len(rep.Pushes) != 0 {
+		t.Errorf("Gauss must not get Push: %v", rep.Pushes)
+	}
+	found := false
+	for _, w := range rep.WSyncs {
+		if strings.Contains(w, "A[k+1:m, k:k] READ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pivot column read should be merged with the barrier; report:\n%s", rep)
+	}
+}
+
+// TestShallowBlockedByCallBoundaries: only aggregation and consistency
+// elimination apply; no wsync, no push.
+func TestShallowBlockedByCallBoundaries(t *testing.T) {
+	a, _ := apps.ByName("shallow")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"m": 512, "mc": 64, "iters": 2}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	if len(rep.Pushes) != 0 {
+		t.Errorf("Shallow must not get Push: %v", rep.Pushes)
+	}
+	if len(rep.WSyncs) != 0 {
+		t.Errorf("Shallow must not get Validate_w_sync (call boundaries): %v", rep.WSyncs)
+	}
+	if len(rep.Validates) == 0 {
+		t.Error("Shallow should still get plain Validates per phase")
+	}
+}
+
+// TestISGetsReadWriteAll: the bucket sections under locks must become
+// READ&WRITE_ALL (and WRITE_ALL for the zero phase), the paper's example
+// of partial analysis.
+func TestISGetsReadWriteAll(t *testing.T) {
+	a, _ := apps.ByName("is")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"keys": 1 << 14, "buckets": 1 << 13, "iters": 1}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	text := rep.String()
+	if !strings.Contains(text, "READ&WRITE_ALL") {
+		t.Errorf("IS bucket accumulation should get READ&WRITE_ALL:\n%s", text)
+	}
+	if !strings.Contains(text, "buckets[blo0:bhi0] WRITE_ALL") {
+		t.Errorf("IS zero phase should get WRITE_ALL:\n%s", text)
+	}
+	if len(rep.Pushes) != 0 {
+		t.Errorf("IS must not get Push: %v", rep.Pushes)
+	}
+}
+
+// TestFFTPushOnTransposeBarriers: exactly the two transpose barriers are
+// replaced; the others survive (no data crosses processors there).
+func TestFFTPushOnTransposeBarriers(t *testing.T) {
+	a, _ := apps.ByName("fft")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"nx": 16, "ny": 32, "nz": 16, "iters": 2}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	if len(rep.Pushes) != 2 {
+		t.Fatalf("FFT should push exactly the two transpose barriers, got %d:\n%s", len(rep.Pushes), rep)
+	}
+	skipped := strings.Join(rep.Skipped, "\n")
+	if !strings.Contains(skipped, "no cross-processor data") {
+		t.Errorf("the local barriers should be skipped as useless pushes:\n%s", skipped)
+	}
+}
+
+// TestLevelGating: disabling options removes the corresponding calls.
+func TestLevelGating(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	prog := a.Build(4)
+	params := prog.Prepare(rsd.Env{"m": 256, "iters": 2}, 4)
+
+	o := compiler.Options{NProcs: 4, Params: params, Aggregate: true}
+	_, rep := compiler.Compile(prog, o)
+	if len(rep.Pushes) != 0 || len(rep.WSyncs) != 0 {
+		t.Error("aggregation-only level must not push or merge")
+	}
+	if strings.Contains(rep.String(), "WRITE_ALL") {
+		t.Error("aggregation-only level must not use WRITE_ALL")
+	}
+
+	o.ConsElim = true
+	_, rep = compiler.Compile(prog, o)
+	if !strings.Contains(rep.String(), "WRITE_ALL") {
+		t.Error("ConsElim level should produce WRITE_ALL")
+	}
+
+	base := compiler.Options{NProcs: 4, Params: params}
+	out, rep := compiler.Compile(prog, base)
+	if len(rep.Validates)+len(rep.WSyncs)+len(rep.Pushes) != 0 {
+		t.Error("no-op options must not transform")
+	}
+	if countStmts(out.Body) != countStmts(prog.Body) {
+		t.Error("no-op compile changed the program size")
+	}
+}
+
+func countStmts(body []ir.Stmt) int {
+	n := 0
+	for _, st := range body {
+		n++
+		if l, ok := st.(ir.Loop); ok {
+			n += countStmts(l.Body)
+		}
+	}
+	return n
+}
+
+// TestContiguityGate: a section covering partial columns must not qualify
+// for WRITE_ALL (rule 2 requires a contiguous address range).
+func TestContiguityGate(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	prog := a.Build(4)
+	params := prog.Prepare(rsd.Env{"m": 256, "iters": 2}, 4)
+	_, rep := compiler.Compile(prog, opts(4, params))
+	for _, v := range rep.Validates {
+		if strings.Contains(v, "a[2:m-1") && strings.Contains(v, "_ALL") {
+			t.Errorf("partial-column section of a must not get *_ALL: %s", v)
+		}
+	}
+}
+
+// TestMGSBroadcastSection: the normalized vector read is merged with the
+// barrier.
+func TestMGSBroadcastSection(t *testing.T) {
+	a, _ := apps.ByName("mgs")
+	prog := a.Build(8)
+	params := prog.Prepare(rsd.Env{"m": 512, "nvec": 64, "mpad": 512}, 8)
+	_, rep := compiler.Compile(prog, opts(8, params))
+	found := false
+	for _, w := range rep.WSyncs {
+		if strings.Contains(w, "V[1:m, i:i] READ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vector i read should be merged with the barrier:\n%s", rep)
+	}
+	if len(rep.Pushes) != 0 {
+		t.Errorf("MGS must not get Push: %v", rep.Pushes)
+	}
+}

@@ -1,0 +1,212 @@
+// Package harness runs the paper's experiments: it configures an
+// application, system (Base TreadMarks, compiler-optimized TreadMarks at
+// any optimization level, XHPF stand-in, PVMe stand-in), data set, and
+// processor count; executes the run on the simulated cluster; and returns
+// execution time, speedup, and protocol statistics. The table and figure
+// formatters live in tables.go.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/cluster"
+	"sdsm/internal/compiler"
+	"sdsm/internal/interp"
+	"sdsm/internal/model"
+	"sdsm/internal/mp"
+	"sdsm/internal/rsd"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+	"sdsm/internal/tmk"
+	"sdsm/internal/vm"
+	"sdsm/internal/xhpf"
+)
+
+// SystemKind selects one of the four systems the paper compares.
+type SystemKind string
+
+// The four systems of Figure 5 plus the explicit optimization levels of
+// Figure 6.
+const (
+	Base SystemKind = "tmk"     // unmodified TreadMarks
+	Opt  SystemKind = "opt-tmk" // compiler-optimized, per-app best config
+	XHPF SystemKind = "xhpf"    // parallelizing-compiler stand-in
+	PVMe SystemKind = "pvme"    // hand-coded message passing
+)
+
+// Config selects one run.
+type Config struct {
+	App    *apps.App
+	Set    apps.DataSet
+	System SystemKind
+	Procs  int
+	Costs  model.Costs
+	Verify bool
+	// Level overrides the per-app best compiler options (for the Figure 6
+	// sweep); nil means BestOptions for Opt.
+	Level *compiler.Options
+	// SyncFetch forces synchronous data fetching (Figure 7).
+	SyncFetch bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Time     time.Duration
+	Checksum float64
+	Msgs     int64
+	Bytes    int64
+	Segv     int64
+	Protocol tmk.ProtocolStats
+	VM       vm.Counters
+	Report   *compiler.Report
+}
+
+// Run executes one configuration.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Costs == (model.Costs{}) {
+		cfg.Costs = model.SP2()
+	}
+	switch cfg.System {
+	case Base, Opt:
+		return runDSM(cfg)
+	case PVMe:
+		return runMP(cfg, 0)
+	case XHPF:
+		if !cfg.App.XHPF {
+			return nil, fmt.Errorf("harness: %s cannot be parallelized by the XHPF stand-in: %s",
+				cfg.App.Name, xhpf.RejectionReason(cfg.App.Name))
+		}
+		return runMP(cfg, cfg.App.XHPFOverhead)
+	}
+	return nil, fmt.Errorf("harness: unknown system %q", cfg.System)
+}
+
+func runDSM(cfg Config) (*Result, error) {
+	prog := cfg.App.Build(cfg.Procs)
+	params := prog.Prepare(cfg.App.Sets[cfg.Set], cfg.Procs)
+
+	var rep *compiler.Report
+	if cfg.System == Opt {
+		opts := cfg.App.BestOptions(cfg.Procs, params)
+		if cfg.Level != nil {
+			opts = *cfg.Level
+			opts.NProcs = cfg.Procs
+			opts.Params = params
+		}
+		if cfg.SyncFetch {
+			opts.Async = false
+		}
+		prog, rep = compiler.Compile(prog, opts)
+	}
+
+	layout := compiler.BuildLayout(prog, params)
+	e := sim.NewEngine(cfg.Procs)
+	nw := cluster.New(e, cfg.Costs)
+	sys := tmk.New(e, nw, layout)
+
+	var checksum float64
+	var epilogue []func(nd *tmk.Node)
+	if cfg.Verify {
+		arr := layout.Array(cfg.App.CheckArray)
+		epilogue = append(epilogue, func(nd *tmk.Node) {
+			// A program whose last synchronization was replaced by a Push
+			// guarantees consistency only for the pushed sections; restore
+			// global consistency with a barrier before reading everything,
+			// as the paper's run-time contract requires.
+			nd.Barrier(1 << 20)
+			if nd.ID != 0 {
+				return
+			}
+			nd.Validate(tmk.AccRead, []shm.Region{arr.Whole()}, false)
+			nd.Mem.EnsureRead(nd.Proc(), arr.Whole())
+			checksum = apps.Checksum(layout, nd.Mem.Data(), cfg.App.CheckArray)
+		})
+	}
+	if err := interp.RunDSM(prog, sys, params, epilogue...); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s/%s: %w", cfg.App.Name, cfg.Set, cfg.System, err)
+	}
+
+	st := nw.Stats()
+	vmc, ps := sys.Stats()
+	return &Result{
+		Time:     sys.MaxTime(),
+		Checksum: checksum,
+		Msgs:     st.Msgs,
+		Bytes:    st.Bytes,
+		Segv:     vmc.ReadFaults + vmc.WriteFaults,
+		Protocol: ps,
+		VM:       vmc,
+		Report:   rep,
+	}, nil
+}
+
+func runMP(cfg Config, overhead time.Duration) (*Result, error) {
+	w := mp.NewWorld(cfg.Procs, cfg.Costs)
+	var checksum float64
+	err := w.Run(func(r *mp.Rank) {
+		prog := cfg.App.Build(cfg.Procs)
+		params := prog.Prepare(cfg.App.Sets[cfg.Set], cfg.Procs)
+		if cs, ok := params["cscale"]; ok {
+			r.SetCostScale(cs)
+		}
+		if sum := cfg.App.MP(r, params, overhead, cfg.Verify); r.ID == 0 && cfg.Verify {
+			checksum = sum
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s/%s: %w", cfg.App.Name, cfg.Set, cfg.System, err)
+	}
+	st := w.NW.Stats()
+	return &Result{
+		Time:     w.MaxTime(),
+		Checksum: checksum,
+		Msgs:     st.Msgs,
+		Bytes:    st.Bytes,
+	}, nil
+}
+
+// SeqChecksum computes the sequential reference checksum for a
+// configuration's application and data set.
+func SeqChecksum(app *apps.App, set apps.DataSet) float64 {
+	prog := app.Build(1)
+	params := prog.Prepare(app.Sets[set], 1)
+	layout, mem := interp.RunSeq(prog, params)
+	return apps.Checksum(layout, mem, app.CheckArray)
+}
+
+// UniTime measures the uniprocessor execution time, the basis for
+// speedups. As in the paper, it is the program with all synchronization
+// (and DSM machinery) removed: pure compute.
+func UniTime(app *apps.App, set apps.DataSet, costs model.Costs) (time.Duration, error) {
+	prog := app.Build(1)
+	params := prog.Prepare(app.Sets[set], 1)
+	return interp.SeqTime(prog, params), nil
+}
+
+// Speedup is uniprocessor time over parallel time.
+func Speedup(uni, par time.Duration) float64 {
+	if par == 0 {
+		return 0
+	}
+	return float64(uni) / float64(par)
+}
+
+// LevelName names the Figure 6 optimization levels.
+var LevelNames = []string{"Base", "Comm.Aggr", "+Cons.Elim", "+Sync+Data", "+Push"}
+
+// Levels returns Figure 6's cumulative option sets for an app (nil for
+// level 0 = base).
+func Levels(app *apps.App, n int, params rsd.Env) []*compiler.Options {
+	ls := compiler.Levels(n, params, true)
+	out := make([]*compiler.Options, len(ls))
+	for i := range ls {
+		if i == 0 {
+			continue // base: no compilation
+		}
+		l := ls[i]
+		out[i] = &l
+	}
+	return out
+}

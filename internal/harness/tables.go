@@ -1,0 +1,445 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/cluster"
+	"sdsm/internal/model"
+	"sdsm/internal/rsd"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+	"sdsm/internal/tmk"
+)
+
+// DefaultProcs is the paper's processor count.
+const DefaultProcs = 8
+
+// Table1Row is one application/data-set uniprocessor time.
+type Table1Row struct {
+	App      string
+	Set      apps.DataSet
+	Params   string
+	Measured time.Duration
+	Paper    time.Duration
+}
+
+// Table1Paper holds the paper's uniprocessor times (Table 1), in seconds.
+var Table1Paper = map[string]float64{
+	"jacobi/large": 288.3, "jacobi/small": 17.7,
+	"fft/large": 9.5, "fft/small": 2.3,
+	"shallow/large": 74.8, "shallow/small": 36.9,
+	"is/large": 91.2, "is/small": 3.9,
+	"gauss/large": 3344.8, "gauss/small": 271.5,
+	"mgs/large": 449.3, "mgs/small": 56.4,
+}
+
+// Table1 measures uniprocessor virtual times for every application and
+// data set. Note the measured values use the scaled default sizes; the
+// paper column is at the original sizes (see EXPERIMENTS.md).
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, a := range apps.Registry() {
+		for _, set := range []apps.DataSet{Large, Small} {
+			t, err := UniTime(a, set, model.SP2())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{
+				App: a.Name, Set: set,
+				Params:   paramString(a, set),
+				Measured: t,
+				Paper:    time.Duration(Table1Paper[a.Name+"/"+string(set)] * float64(time.Second)),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Large/Small aliases re-exported for callers of the harness.
+const (
+	Large = apps.Large
+	Small = apps.Small
+)
+
+func paramString(a *apps.App, set apps.DataSet) string {
+	env := a.Sets[set]
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, env[rsd.Sym(k)]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table2Row reports the percentage reduction of the optimized system over
+// base TreadMarks, as in the paper's Table 2 ("segv", "msg", "data").
+type Table2Row struct {
+	App                 string
+	Set                 apps.DataSet
+	SegvPct, MsgPct     float64
+	DataPct             float64
+	PaperSegv, PaperMsg float64
+	PaperData           float64
+}
+
+// Table2Paper holds the paper's Table 2 percentages.
+var Table2Paper = map[string][3]float64{
+	"jacobi/large": {100.0, 79.9, -2312}, "jacobi/small": {100.0, 49.7, -614},
+	"fft/large": {100.0, 70.6, 0.8}, "fft/small": {99.2, 44.0, 46.3},
+	"shallow/large": {86.9, 56.4, 3.5}, "shallow/small": {85.0, 47.6, 3.2},
+	"is/large": {99.5, 96.5, 58.9}, "is/small": {90.1, 60.7, 66.3},
+	"gauss/large": {100.0, 40.0, 0.1}, "gauss/small": {100.0, 25.0, 0.4},
+	"mgs/large": {100.0, 53.5, 0.2}, "mgs/small": {100.0, 29.0, 40.5},
+}
+
+func pctReduction(base, opt int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-opt) / float64(base)
+}
+
+// Table2 runs base and optimized TreadMarks at 8 processors and reports
+// the reductions in page faults, messages, and data.
+func Table2(procs int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, a := range apps.Registry() {
+		for _, set := range []apps.DataSet{Large, Small} {
+			base, err := Run(Config{App: a, Set: set, System: Base, Procs: procs})
+			if err != nil {
+				return nil, err
+			}
+			opt, err := Run(Config{App: a, Set: set, System: Opt, Procs: procs})
+			if err != nil {
+				return nil, err
+			}
+			paper := Table2Paper[a.Name+"/"+string(set)]
+			rows = append(rows, Table2Row{
+				App: a.Name, Set: set,
+				SegvPct:   pctReduction(base.Segv, opt.Segv),
+				MsgPct:    pctReduction(base.Msgs, opt.Msgs),
+				DataPct:   pctReduction(base.Bytes, opt.Bytes),
+				PaperSegv: paper[0], PaperMsg: paper[1], PaperData: paper[2],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Row is one application/data-set speedup comparison across the four
+// systems (XHPF absent for IS).
+type Fig5Row struct {
+	App                   string
+	Set                   apps.DataSet
+	Base, Opt, XHPF, PVMe float64 // speedups; XHPF = 0 when inapplicable
+}
+
+// Fig5 computes the Figure 5 speedups at the given processor count.
+func Fig5(procs int) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, a := range apps.Registry() {
+		for _, set := range []apps.DataSet{Large, Small} {
+			uni, err := UniTime(a, set, model.SP2())
+			if err != nil {
+				return nil, err
+			}
+			row := Fig5Row{App: a.Name, Set: set}
+			for _, sys := range []SystemKind{Base, Opt, XHPF, PVMe} {
+				if sys == XHPF && !a.XHPF {
+					continue
+				}
+				res, err := Run(Config{App: a, Set: set, System: sys, Procs: procs})
+				if err != nil {
+					return nil, err
+				}
+				sp := Speedup(uni, res.Time)
+				switch sys {
+				case Base:
+					row.Base = sp
+				case Opt:
+					row.Opt = sp
+				case XHPF:
+					row.XHPF = sp
+				case PVMe:
+					row.PVMe = sp
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one application/data-set speedup sweep over the optimization
+// levels (0 is base; inapplicable levels repeat the applicable maximum, as
+// the paper's bars omit them).
+type Fig6Row struct {
+	App     string
+	Set     apps.DataSet
+	Levels  [5]float64
+	Applies [5]bool
+}
+
+// Fig6 sweeps the cumulative optimization levels of Figure 6.
+func Fig6(procs int) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, a := range apps.Registry() {
+		for _, set := range []apps.DataSet{Large, Small} {
+			uni, err := UniTime(a, set, model.SP2())
+			if err != nil {
+				return nil, err
+			}
+			prog := a.Build(procs)
+			params := prog.Prepare(a.Sets[set], procs)
+			row := Fig6Row{App: a.Name, Set: set}
+			for li, lvl := range Levels(a, procs, params) {
+				applies := true
+				switch li {
+				case 3:
+					applies = a.WSyncApplicable
+				case 4:
+					applies = a.PushApplicable
+				}
+				row.Applies[li] = applies
+				if !applies {
+					row.Levels[li] = row.Levels[li-1]
+					continue
+				}
+				cfg := Config{App: a, Set: set, System: Opt, Procs: procs, Level: lvl}
+				if lvl == nil {
+					cfg.System = Base
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				row.Levels[li] = Speedup(uni, res.Time)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Row compares synchronous and asynchronous data fetching (large data
+// sets, as in the paper).
+type Fig7Row struct {
+	App               string
+	Base, Sync, Async float64
+}
+
+// Fig7 computes the Figure 7 comparison.
+func Fig7(procs int) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, a := range apps.Registry() {
+		uni, err := UniTime(a, Large, model.SP2())
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(Config{App: a, Set: Large, System: Base, Procs: procs})
+		if err != nil {
+			return nil, err
+		}
+		syncRes, err := Run(Config{App: a, Set: Large, System: Opt, Procs: procs, SyncFetch: true})
+		if err != nil {
+			return nil, err
+		}
+		asyncRes, err := Run(Config{App: a, Set: Large, System: Opt, Procs: procs})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{
+			App:   a.Name,
+			Base:  Speedup(uni, base.Time),
+			Sync:  Speedup(uni, syncRes.Time),
+			Async: Speedup(uni, asyncRes.Time),
+		})
+	}
+	return rows, nil
+}
+
+// Micro reports the Section 5 primitive costs measured on the simulated
+// platform next to the paper's numbers.
+type MicroResult struct {
+	RoundTrip   time.Duration // paper: 365 µs
+	LockAcquire time.Duration // paper: 427 µs
+	Barrier8    time.Duration // paper: 893 µs
+	ProtMin     time.Duration // paper: 18 µs
+	ProtMax     time.Duration // paper: ~800 µs at 2000 pages
+}
+
+// Micro measures the primitives.
+func Micro() (*MicroResult, error) {
+	costs := model.SP2()
+	out := &MicroResult{
+		ProtMin: costs.ProtOp(0),
+		ProtMax: costs.ProtOp(costs.ProtCap),
+	}
+
+	// Roundtrip.
+	{
+		e := sim.NewEngine(2)
+		nw := cluster.New(e, costs)
+		err := e.Run(func(p *sim.Proc) {
+			const tag = 1
+			if p.ID == 0 {
+				start := p.Now()
+				nw.Send(p, 1, tag, nil, 0)
+				nw.Recv(p, 1, tag)
+				out.RoundTrip = p.Now() - start
+			} else {
+				nw.Recv(p, 0, tag)
+				nw.Send(p, 0, tag, nil, 0)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Free lock acquire.
+	{
+		e := sim.NewEngine(2)
+		nw := cluster.New(e, costs)
+		layout := shm.NewLayout()
+		layout.Alloc("x", shm.PageWords)
+		sys := tmk.New(e, nw, layout)
+		err := sys.Run(func(nd *tmk.Node) {
+			if nd.ID == 0 {
+				start := nd.Proc().Now()
+				nd.Acquire(1)
+				out.LockAcquire = nd.Proc().Now() - start
+				nd.Release(1)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// 8-processor barrier.
+	{
+		e := sim.NewEngine(8)
+		nw := cluster.New(e, costs)
+		layout := shm.NewLayout()
+		layout.Alloc("x", shm.PageWords)
+		sys := tmk.New(e, nw, layout)
+		err := sys.Run(func(nd *tmk.Node) {
+			start := nd.Proc().Now()
+			nd.Barrier(1)
+			if d := nd.Proc().Now() - start; d > out.Barrier8 {
+				out.Barrier8 = d
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- formatting ----
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: applications, data set sizes, and uniprocessor execution times\n")
+	fmt.Fprintf(&b, "%-10s %-6s %-40s %12s %12s\n", "app", "set", "parameters (scaled)", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6s %-40s %12s %12s\n",
+			r.App, r.Set, r.Params, fmtDur(r.Measured), fmtDur(r.Paper))
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: %% reduction in page faults (segv), messages (msg), and data, Opt vs Base\n")
+	fmt.Fprintf(&b, "%-10s %-6s | %8s %8s %8s | %8s %8s %8s\n",
+		"app", "set", "segv", "msg", "data", "p.segv", "p.msg", "p.data")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n",
+			r.App, r.Set, r.SegvPct, r.MsgPct, r.DataPct, r.PaperSegv, r.PaperMsg, r.PaperData)
+	}
+	return b.String()
+}
+
+// FormatFig5 renders Figure 5.
+func FormatFig5(rows []Fig5Row, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: speedups at %d processors (XHPF blank for IS)\n", procs)
+	fmt.Fprintf(&b, "%-10s %-6s %8s %8s %8s %8s\n", "app", "set", "Tmk", "Opt-Tmk", "XHPF", "PVMe")
+	for _, r := range rows {
+		x := "-"
+		if r.XHPF > 0 {
+			x = fmt.Sprintf("%.2f", r.XHPF)
+		}
+		fmt.Fprintf(&b, "%-10s %-6s %8.2f %8.2f %8s %8.2f\n", r.App, r.Set, r.Base, r.Opt, x, r.PVMe)
+	}
+	return b.String()
+}
+
+// FormatFig6 renders Figure 6.
+func FormatFig6(rows []Fig6Row, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: speedups at %d processors under cumulative optimization levels\n", procs)
+	fmt.Fprintf(&b, "%-10s %-6s", "app", "set")
+	for _, n := range LevelNames {
+		fmt.Fprintf(&b, " %11s", n)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6s", r.App, r.Set)
+		for i, v := range r.Levels {
+			if !r.Applies[i] {
+				fmt.Fprintf(&b, " %11s", "n/a")
+			} else {
+				fmt.Fprintf(&b, " %11.2f", v)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatFig7 renders Figure 7.
+func FormatFig7(rows []Fig7Row, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: synchronous vs asynchronous data fetching, large data sets, %d processors\n", procs)
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "app", "Tmk", "Sync", "Async")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f\n", r.App, r.Base, r.Sync, r.Async)
+	}
+	return b.String()
+}
+
+// FormatMicro renders the Section 5 microbenchmarks.
+func FormatMicro(m *MicroResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5 primitives: measured vs paper\n")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "primitive", "measured", "paper")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "min roundtrip", fmtDur(m.RoundTrip), "365µs")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "free lock acquire", fmtDur(m.LockAcquire), "427µs")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "8-processor barrier", fmtDur(m.Barrier8), "893µs")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "protection op (min)", fmtDur(m.ProtMin), "18µs")
+	fmt.Fprintf(&b, "%-30s %12s %12s\n", "protection op (2000 pages)", fmtDur(m.ProtMax), "~800µs")
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	}
+}

@@ -1,0 +1,410 @@
+// Package interp executes ir programs, either on the simulated DSM
+// (every node runs the SPMD program against its tmk runtime, with shared
+// accesses going through the software MMU and compute charged to virtual
+// time) or sequentially against a flat array (the reference used for
+// correctness verification).
+//
+// Accesses are established at region granularity: for an innermost loop,
+// the interpreter resolves each array reference to an address span, calls
+// EnsureRead/EnsureWrite once (delivering any protection faults to the
+// DSM protocol, exactly as hardware would on first touch), and then runs
+// a tight loop over the floats.
+package interp
+
+import (
+	"fmt"
+	"time"
+
+	"sdsm/internal/ir"
+	"sdsm/internal/rsd"
+	"sdsm/internal/shm"
+	"sdsm/internal/tmk"
+)
+
+// target abstracts where a program executes.
+type target interface {
+	ensureRead(lo, hi int)
+	ensureWrite(lo, hi int)
+	data() []float64
+	advance(d time.Duration)
+	barrier(id int)
+	acquire(id int)
+	release(id int)
+	validate(at ir.AccessType, regions []shm.Region, wsync, async bool)
+	push(reads, writes [][]shm.Region)
+}
+
+// RunDSM executes prog on every node of sys with the given problem
+// parameters (already passed through Program.Prepare). The layout of sys
+// must have been built from prog (see compiler.BuildLayout). Optional
+// epilogues run on every node after the program finishes, for gathering
+// results.
+func RunDSM(prog *ir.Program, sys *tmk.System, params rsd.Env, epilogue ...func(nd *tmk.Node)) error {
+	return sys.Run(func(nd *tmk.Node) {
+		x := &executor{
+			prog:   prog,
+			layout: sys.Layout,
+			params: params,
+			nprocs: sys.N(),
+			env:    prog.Env(params, nd.ID, sys.N()),
+			tgt:    &dsmTarget{nd: nd},
+			scale:  costScale(params),
+		}
+		x.exec(prog.Body)
+		for _, ep := range epilogue {
+			ep(nd)
+		}
+	})
+}
+
+// SeqTime returns the pure-compute execution time of prog: the sum of all
+// compute charges with no DSM or communication overheads. This is the
+// paper's uniprocessor baseline ("obtained by removing all
+// synchronization from the TreadMarks programs").
+func SeqTime(prog *ir.Program, params rsd.Env) time.Duration {
+	layout := buildLayout(prog, params)
+	t := &seqTarget{mem: make([]float64, layout.Words())}
+	x := &executor{
+		prog:   prog,
+		layout: layout,
+		params: params,
+		nprocs: 1,
+		env:    prog.Env(params, 0, 1),
+		tgt:    t,
+		scale:  costScale(params),
+	}
+	x.exec(prog.Body)
+	return t.elapsed
+}
+
+// costScale reads the optional compute-scale parameter (see the apps
+// package: scaled-down data sets multiply per-element compute so the
+// computation-to-communication balance stays in the paper's regime).
+func costScale(params rsd.Env) int {
+	if v, ok := params["cscale"]; ok && v > 1 {
+		return v
+	}
+	return 1
+}
+
+// RunSeq executes prog sequentially (one logical processor, no DSM, no
+// costs) and returns the layout and final memory image, the reference for
+// verification.
+func RunSeq(prog *ir.Program, params rsd.Env) (*shm.Layout, []float64) {
+	layout := buildLayout(prog, params)
+	t := &seqTarget{mem: make([]float64, layout.Words())}
+	x := &executor{
+		prog:   prog,
+		layout: layout,
+		params: params,
+		nprocs: 1,
+		env:    prog.Env(params, 0, 1),
+		tgt:    t,
+		scale:  costScale(params),
+	}
+	x.exec(prog.Body)
+	return layout, t.mem
+}
+
+func buildLayout(prog *ir.Program, params rsd.Env) *shm.Layout {
+	l := shm.NewLayout()
+	env := rsd.Env{}
+	for k, v := range params {
+		env[k] = v
+	}
+	for _, a := range prog.Arrays {
+		dims := make([]int, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = d.Eval(env)
+		}
+		l.Alloc(a.Name, dims...)
+	}
+	return l
+}
+
+// dsmTarget runs on a DSM node.
+type dsmTarget struct{ nd *tmk.Node }
+
+func (t *dsmTarget) ensureRead(lo, hi int) {
+	t.nd.Mem.EnsureRead(t.nd.Proc(), shm.Region{Lo: lo, Hi: hi})
+}
+func (t *dsmTarget) ensureWrite(lo, hi int) {
+	t.nd.Mem.EnsureWrite(t.nd.Proc(), shm.Region{Lo: lo, Hi: hi})
+}
+func (t *dsmTarget) data() []float64         { return t.nd.Mem.Data() }
+func (t *dsmTarget) advance(d time.Duration) { t.nd.Proc().Advance(d) }
+func (t *dsmTarget) barrier(id int)          { t.nd.Barrier(id) }
+func (t *dsmTarget) acquire(id int)          { t.nd.Acquire(id) }
+func (t *dsmTarget) release(id int)          { t.nd.Release(id) }
+
+func (t *dsmTarget) validate(at ir.AccessType, regions []shm.Region, wsync, async bool) {
+	acc := map[ir.AccessType]tmk.AccessType{
+		ir.Read:         tmk.AccRead,
+		ir.Write:        tmk.AccWrite,
+		ir.ReadWrite:    tmk.AccReadWrite,
+		ir.WriteAll:     tmk.AccWriteAll,
+		ir.ReadWriteAll: tmk.AccReadWriteAll,
+	}[at]
+	if wsync {
+		t.nd.ValidateWSync(acc, regions)
+		return
+	}
+	t.nd.Validate(acc, regions, async)
+}
+
+func (t *dsmTarget) push(reads, writes [][]shm.Region) { t.nd.Push(reads, writes) }
+
+// seqTarget is the cost-free sequential reference; it accumulates compute
+// charges for SeqTime.
+type seqTarget struct {
+	mem     []float64
+	elapsed time.Duration
+}
+
+func (t *seqTarget) ensureRead(int, int)                              {}
+func (t *seqTarget) ensureWrite(int, int)                             {}
+func (t *seqTarget) data() []float64                                  { return t.mem }
+func (t *seqTarget) advance(d time.Duration)                          { t.elapsed += d }
+func (t *seqTarget) barrier(int)                                      {}
+func (t *seqTarget) acquire(int)                                      {}
+func (t *seqTarget) release(int)                                      {}
+func (t *seqTarget) validate(ir.AccessType, []shm.Region, bool, bool) {}
+func (t *seqTarget) push(reads, writes [][]shm.Region)                {}
+
+// executor walks the statement tree for one processor.
+type executor struct {
+	prog   *ir.Program
+	layout *shm.Layout
+	params rsd.Env
+	nprocs int
+	env    rsd.Env
+	tgt    target
+	scale  int // compute cost multiplier (cscale parameter)
+	srcs   []float64
+}
+
+// advance charges scaled compute time.
+func (x *executor) advance(d time.Duration) {
+	if x.scale > 1 {
+		d *= time.Duration(x.scale)
+	}
+	x.tgt.advance(d)
+}
+
+func (x *executor) exec(stmts []ir.Stmt) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case ir.Loop:
+			x.execLoop(st)
+		case ir.Compute:
+			x.env[st.Sym] = st.Fn(x.env)
+		case ir.Assign:
+			x.execAssignScalar(st)
+		case ir.Barrier:
+			x.tgt.barrier(st.ID)
+		case ir.LockAcquire:
+			x.tgt.acquire(st.ID.Eval(x.env))
+		case ir.LockRelease:
+			x.tgt.release(st.ID.Eval(x.env))
+		case ir.If:
+			if st.Cond(x.env) {
+				x.exec(st.Then)
+			} else {
+				x.exec(st.Else)
+			}
+		case ir.Kernel:
+			st.Run(&kernelCtx{x: x})
+		case ir.CallBoundary:
+			// Analysis boundary only; nothing happens at run time.
+		case ir.ValidateStmt:
+			var regions []shm.Region
+			for _, sec := range st.Secs {
+				cc := sec.Eval(x.env)
+				regions = append(regions, cc.Regions(x.layout)...)
+			}
+			regions = shm.Normalize(regions)
+			if len(regions) == 0 {
+				continue
+			}
+			x.tgt.validate(st.At, regions, st.WSync, st.Async)
+		case ir.PushStmt:
+			x.execPush(st)
+		default:
+			panic(fmt.Sprintf("interp: unknown statement %T", st))
+		}
+	}
+}
+
+// execPush evaluates the per-processor sections and invokes the runtime.
+func (x *executor) execPush(st ir.PushStmt) {
+	reads := make([][]shm.Region, x.nprocs)
+	writes := make([][]shm.Region, x.nprocs)
+	for i := 0; i < x.nprocs; i++ {
+		env := x.prog.Env(x.params, i, x.nprocs)
+		for k, v := range x.env {
+			if _, ok := env[k]; !ok {
+				env[k] = v // enclosing loop variables, identical on all procs
+			}
+		}
+		for _, sec := range st.Reads {
+			reads[i] = append(reads[i], sec.Eval(env).Regions(x.layout)...)
+		}
+		for _, sec := range st.Writes {
+			writes[i] = append(writes[i], sec.Eval(env).Regions(x.layout)...)
+		}
+		reads[i] = shm.Normalize(reads[i])
+		writes[i] = shm.Normalize(writes[i])
+	}
+	x.tgt.push(reads, writes)
+}
+
+// execLoop runs a counted loop; a loop whose body is a single assignment
+// is vectorized over contiguous address spans.
+func (x *executor) execLoop(st ir.Loop) {
+	lo, hi := st.Lo.Eval(x.env), st.Hi.Eval(x.env)
+	if hi < lo {
+		return
+	}
+	step := st.StepOr1()
+	if step == 1 && len(st.Body) == 1 {
+		if a, ok := st.Body[0].(ir.Assign); ok && x.execAssignVector(st.Var, lo, hi, a) {
+			return
+		}
+	}
+	for v := lo; v <= hi; v += step {
+		x.env[st.Var] = v
+		x.exec(st.Body)
+	}
+	delete(x.env, st.Var)
+}
+
+// addrAndStep resolves a reference to (address at v=at, address step per
+// unit of v).
+func (x *executor) addrAndStep(ref ir.Ref, v rsd.Sym, at int) (addr, step int) {
+	arr := x.layout.Array(ref.Array)
+	x.env[v] = at
+	idx := make([]int, len(ref.Idx))
+	for d, e := range ref.Idx {
+		idx[d] = e.Eval(x.env)
+		step += e.T[v] * arr.Stride(d)
+	}
+	delete(x.env, v)
+	return arr.Index(idx...), step
+}
+
+// execAssignVector runs `for v = lo..hi: lhs = Fn(rhs...)` as one ensured
+// span plus a tight loop. Unit- and zero-stride references are ensured as
+// single spans; larger constant strides are ensured page by page along
+// the traversal (exactly the pages a strided access touches). Returns
+// false when a reference moves backwards.
+func (x *executor) execAssignVector(v rsd.Sym, lo, hi int, a ir.Assign) bool {
+	type mov struct{ addr, step int }
+	refs := make([]mov, 0, len(a.RHS)+1)
+	la, ls := x.addrAndStep(a.LHS, v, lo)
+	if ls < 0 {
+		return false
+	}
+	refs = append(refs, mov{la, ls})
+	for _, r := range a.RHS {
+		ra, rs := x.addrAndStep(r, v, lo)
+		if rs < 0 {
+			return false
+		}
+		refs = append(refs, mov{ra, rs})
+	}
+	n := hi - lo + 1
+	ensure := func(m mov, write bool) {
+		lo, hi := m.addr, m.addr+1
+		switch m.step {
+		case 0:
+		case 1:
+			hi = m.addr + n
+		default:
+			// Strided traversal: ensure each touched page once.
+			last := -1
+			for t := 0; t < n; t++ {
+				addr := m.addr + m.step*t
+				if pg := addr / shm.PageWords; pg != last {
+					last = pg
+					if write {
+						x.tgt.ensureWrite(addr, addr+1)
+					} else {
+						x.tgt.ensureRead(addr, addr+1)
+					}
+				}
+			}
+			return
+		}
+		if write {
+			x.tgt.ensureWrite(lo, hi)
+		} else {
+			x.tgt.ensureRead(lo, hi)
+		}
+	}
+	ensure(refs[0], true)
+	for _, m := range refs[1:] {
+		ensure(m, false)
+	}
+	data := x.tgt.data()
+	if cap(x.srcs) < len(a.RHS) {
+		x.srcs = make([]float64, len(a.RHS))
+	}
+	srcs := x.srcs[:len(a.RHS)]
+	for t := 0; t < n; t++ {
+		for j, m := range refs[1:] {
+			srcs[j] = data[m.addr+m.step*t]
+		}
+		data[refs[0].addr+refs[0].step*t] = a.Fn(srcs)
+	}
+	x.advance(time.Duration(n) * a.Cost)
+	return true
+}
+
+// execAssignScalar runs one instance of an assignment with the current
+// environment.
+func (x *executor) execAssignScalar(a ir.Assign) {
+	arr := x.layout.Array(a.LHS.Array)
+	idx := make([]int, len(a.LHS.Idx))
+	for d, e := range a.LHS.Idx {
+		idx[d] = e.Eval(x.env)
+	}
+	lhs := arr.Index(idx...)
+	if cap(x.srcs) < len(a.RHS) {
+		x.srcs = make([]float64, len(a.RHS))
+	}
+	srcs := x.srcs[:len(a.RHS)]
+	for j, r := range a.RHS {
+		ra := x.layout.Array(r.Array)
+		ridx := make([]int, len(r.Idx))
+		for d, e := range r.Idx {
+			ridx[d] = e.Eval(x.env)
+		}
+		addr := ra.Index(ridx...)
+		x.tgt.ensureRead(addr, addr+1)
+		srcs[j] = x.tgt.data()[addr]
+	}
+	x.tgt.ensureWrite(lhs, lhs+1)
+	x.tgt.data()[lhs] = a.Fn(srcs)
+	x.advance(a.Cost)
+}
+
+// kernelCtx adapts the executor for opaque kernels.
+type kernelCtx struct{ x *executor }
+
+func (k *kernelCtx) Env() rsd.Env { return k.x.env }
+
+func (k *kernelCtx) ReadRegion(lo, hi int) []float64 {
+	k.x.tgt.ensureRead(lo, hi)
+	return k.x.tgt.data()
+}
+
+func (k *kernelCtx) WriteRegion(lo, hi int) []float64 {
+	k.x.tgt.ensureWrite(lo, hi)
+	return k.x.tgt.data()
+}
+
+func (k *kernelCtx) Addr(array string, idx ...int) int {
+	return k.x.layout.Array(array).Index(idx...)
+}
+
+func (k *kernelCtx) Charge(d time.Duration) { k.x.advance(d) }

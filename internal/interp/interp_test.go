@@ -1,0 +1,202 @@
+package interp
+
+import (
+	"testing"
+	"time"
+
+	"sdsm/internal/cluster"
+	"sdsm/internal/compiler"
+	"sdsm/internal/ir"
+	"sdsm/internal/model"
+	"sdsm/internal/rsd"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+	"sdsm/internal/tmk"
+)
+
+// prog1d builds a tiny SPMD program over a 1-D array for testing.
+func prog1d(body ...ir.Stmt) *ir.Program {
+	return &ir.Program{
+		Name:   "t",
+		Arrays: []ir.ArrayDecl{{Name: "x", Dims: []rsd.Lin{rsd.Var("n")}}},
+		Params: []rsd.Sym{"n"},
+		Derived: []ir.DerivedParam{
+			{Name: "lo", Fn: func(e rsd.Env) int { return e["p"]*e["n"]/e["nprocs"] + 1 }},
+			{Name: "hi", Fn: func(e rsd.Env) int { return (e["p"] + 1) * e["n"] / e["nprocs"] }},
+		},
+		Body: body,
+	}
+}
+
+func TestSeqLoopAndAssign(t *testing.T) {
+	i := rsd.Var("i")
+	p := prog1d(
+		ir.Loop{Var: "i", Lo: rsd.Const(1), Hi: rsd.Var("n"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 7 }, Cost: time.Nanosecond},
+		}},
+		ir.Loop{Var: "i", Lo: rsd.Const(2), Hi: rsd.Var("n"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("x", i), RHS: []ir.Ref{ir.At("x", i.Plus(-1)), ir.At("x", i)},
+				Fn: func(s []float64) float64 { return s[0] + s[1] }, Cost: time.Nanosecond},
+		}},
+	)
+	_, mem := RunSeq(p, rsd.Env{"n": 16})
+	// Prefix-sum-like recurrence starting from 7s: x[i] = 7(i).
+	for i := 1; i <= 16; i++ {
+		if mem[i-1] != float64(7*i) {
+			t.Fatalf("x[%d] = %v, want %d", i, mem[i-1], 7*i)
+		}
+	}
+}
+
+func TestSeqTimeCountsCosts(t *testing.T) {
+	i := rsd.Var("i")
+	p := prog1d(
+		ir.Loop{Var: "i", Lo: rsd.Const(1), Hi: rsd.Var("n"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 1 }, Cost: 10 * time.Nanosecond},
+		}},
+	)
+	if got := SeqTime(p, rsd.Env{"n": 100}); got != 1000*time.Nanosecond {
+		t.Fatalf("SeqTime = %v, want 1µs", got)
+	}
+	if got := SeqTime(p, rsd.Env{"n": 100, "cscale": 5}); got != 5000*time.Nanosecond {
+		t.Fatalf("scaled SeqTime = %v, want 5µs", got)
+	}
+}
+
+func TestComputeBindsSymbols(t *testing.T) {
+	i := rsd.Var("i")
+	p := prog1d(
+		ir.Compute{Sym: "start", Fn: func(e rsd.Env) int { return e["n"] / 2 }},
+		ir.Loop{Var: "i", Lo: rsd.Var("start"), Hi: rsd.Var("n"), Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 3 }, Cost: time.Nanosecond},
+		}},
+	)
+	_, mem := RunSeq(p, rsd.Env{"n": 10})
+	for i := 1; i <= 10; i++ {
+		want := 0.0
+		if i >= 5 {
+			want = 3
+		}
+		if mem[i-1] != want {
+			t.Fatalf("x[%d] = %v, want %v", i, mem[i-1], want)
+		}
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	i := rsd.Var("i")
+	p := prog1d(
+		ir.If{
+			Cond: func(e rsd.Env) bool { return e["n"] > 5 },
+			Then: []ir.Stmt{ir.Loop{Var: "i", Lo: rsd.Const(1), Hi: rsd.Const(1), Body: []ir.Stmt{
+				ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 1 }, Cost: 0}}}},
+			Else: []ir.Stmt{ir.Loop{Var: "i", Lo: rsd.Const(1), Hi: rsd.Const(1), Body: []ir.Stmt{
+				ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 2 }, Cost: 0}}}},
+		},
+	)
+	_, mem := RunSeq(p, rsd.Env{"n": 10})
+	if mem[0] != 1 {
+		t.Fatalf("then branch not taken: %v", mem[0])
+	}
+	_, mem = RunSeq(p, rsd.Env{"n": 4})
+	if mem[0] != 2 {
+		t.Fatalf("else branch not taken: %v", mem[0])
+	}
+}
+
+func TestStridedLoop(t *testing.T) {
+	i := rsd.Var("i")
+	p := prog1d(
+		ir.Loop{Var: "i", Lo: rsd.Const(1), Hi: rsd.Var("n"), Step: 3, Body: []ir.Stmt{
+			ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 1 }, Cost: 0},
+		}},
+	)
+	_, mem := RunSeq(p, rsd.Env{"n": 10})
+	for i := 1; i <= 10; i++ {
+		want := 0.0
+		if (i-1)%3 == 0 {
+			want = 1
+		}
+		if mem[i-1] != want {
+			t.Fatalf("x[%d] = %v, want %v", i, mem[i-1], want)
+		}
+	}
+}
+
+func TestDSMMatchesSeqForSPMDSum(t *testing.T) {
+	// Each processor fills its block; after a barrier, processor blocks are
+	// combined by reading the neighbours' data.
+	i := rsd.Var("i")
+	mk := func() *ir.Program {
+		return prog1d(
+			ir.Loop{Var: "i", Lo: rsd.Var("lo"), Hi: rsd.Var("hi"), Body: []ir.Stmt{
+				ir.Assign{LHS: ir.At("x", i), Fn: func([]float64) float64 { return 2 }, Cost: time.Nanosecond},
+			}},
+			ir.Barrier{ID: 1},
+			ir.Loop{Var: "i", Lo: rsd.Var("lo"), Hi: rsd.Var("hi"), Body: []ir.Stmt{
+				ir.Assign{LHS: ir.At("x", i), RHS: []ir.Ref{ir.At("x", i)},
+					Fn: func(s []float64) float64 { return s[0] * 3 }, Cost: time.Nanosecond},
+			}},
+			ir.Barrier{ID: 2},
+		)
+	}
+	params := rsd.Env{"n": 4096}
+	_, want := RunSeq(mk(), params)
+
+	prog := mk()
+	layout := compiler.BuildLayout(prog, params)
+	e := sim.NewEngine(4)
+	nw := cluster.New(e, model.SP2())
+	sys := tmk.New(e, nw, layout)
+	var got []float64
+	err := RunDSM(prog, sys, params, func(nd *tmk.Node) {
+		if nd.ID != 0 {
+			return
+		}
+		arr := layout.Array("x")
+		nd.Validate(tmk.AccRead, []shm.Region{arr.Whole()}, false)
+		nd.Mem.EnsureRead(nd.Proc(), arr.Whole())
+		got = append([]float64(nil), nd.Mem.Data()[arr.Base:arr.Base+arr.Words()]...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range got {
+		if got[w] != want[w] {
+			t.Fatalf("word %d: got %v want %v", w, got[w], want[w])
+		}
+	}
+}
+
+func TestKernelCtx(t *testing.T) {
+	p := prog1d(
+		ir.Kernel{
+			Name: "fill",
+			Accesses: []ir.TaggedSection{{
+				Sec: rsd.Section{Array: "x", Dims: []rsd.Bound{
+					rsd.Dense(rsd.Var("lo"), rsd.Var("hi")),
+				}},
+				Tag: rsd.Write | rsd.WriteFirst, Exact: true,
+			}},
+			Run: func(ctx ir.KernelCtx) {
+				e := ctx.Env()
+				lo, hi := e["lo"], e["hi"]
+				a := ctx.Addr("x", lo)
+				d := ctx.WriteRegion(a, ctx.Addr("x", hi)+1)
+				for w := a; w <= ctx.Addr("x", hi); w++ {
+					d[w] = 9
+				}
+				ctx.Charge(time.Microsecond)
+			},
+		},
+	)
+	_, mem := RunSeq(p, rsd.Env{"n": 8})
+	for i := 0; i < 8; i++ {
+		if mem[i] != 9 {
+			t.Fatalf("x[%d] = %v", i+1, mem[i])
+		}
+	}
+	if got := SeqTime(p, rsd.Env{"n": 8}); got != time.Microsecond {
+		t.Fatalf("kernel charge = %v", got)
+	}
+}

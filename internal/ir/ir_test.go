@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"testing"
+
+	"sdsm/internal/rsd"
+)
+
+func TestProgramEnvBindsDerived(t *testing.T) {
+	p := &Program{
+		Params: []rsd.Sym{"n"},
+		Derived: []DerivedParam{
+			{Name: "lo", Fn: func(e rsd.Env) int { return e["p"]*e["n"]/e["nprocs"] + 1 }},
+			{Name: "hi", Fn: func(e rsd.Env) int { return (e["p"] + 1) * e["n"] / e["nprocs"] }},
+		},
+	}
+	env := p.Env(rsd.Env{"n": 100}, 2, 4)
+	if env["p"] != 2 || env["nprocs"] != 4 {
+		t.Fatalf("p/nprocs not bound: %v", env)
+	}
+	if env["lo"] != 51 || env["hi"] != 75 {
+		t.Fatalf("derived block bounds wrong: lo=%d hi=%d", env["lo"], env["hi"])
+	}
+}
+
+func TestPrepareAppliesSetupWithoutMutatingInput(t *testing.T) {
+	p := &Program{
+		Setup: func(params rsd.Env, nprocs int) {
+			params["per"] = params["total"] / nprocs
+		},
+	}
+	in := rsd.Env{"total": 80}
+	out := p.Prepare(in, 8)
+	if out["per"] != 10 {
+		t.Fatalf("Setup not applied: %v", out)
+	}
+	if _, leaked := in["per"]; leaked {
+		t.Fatal("Prepare mutated the caller's parameters")
+	}
+}
+
+func TestPrepareNilSetup(t *testing.T) {
+	p := &Program{}
+	out := p.Prepare(rsd.Env{"x": 1}, 2)
+	if out["x"] != 1 {
+		t.Fatalf("params not copied: %v", out)
+	}
+}
+
+func TestLoopStepOr1(t *testing.T) {
+	if (Loop{}).StepOr1() != 1 {
+		t.Fatal("zero step must default to 1")
+	}
+	if (Loop{Step: 4}).StepOr1() != 4 {
+		t.Fatal("explicit step lost")
+	}
+}
+
+func TestAccessTypeStrings(t *testing.T) {
+	want := map[AccessType]string{
+		Read: "READ", Write: "WRITE", ReadWrite: "READ&WRITE",
+		WriteAll: "WRITE_ALL", ReadWriteAll: "READ&WRITE_ALL",
+	}
+	for at, s := range want {
+		if at.String() != s {
+			t.Errorf("%d.String() = %q, want %q", at, at.String(), s)
+		}
+	}
+}
+
+func TestAtBuildsRef(t *testing.T) {
+	r := At("a", rsd.Var("i"), rsd.Const(3))
+	if r.Array != "a" || len(r.Idx) != 2 {
+		t.Fatalf("At = %+v", r)
+	}
+}

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSP2MatchesPaperPrimitives(t *testing.T) {
+	c := SP2()
+	// One-way small message = 182.5µs, so send/receive roundtrip is the
+	// paper's 365µs including the interrupt.
+	oneWay := c.SendOverhead + c.WireLatency + c.RecvOverhead
+	if 2*oneWay != 365*time.Microsecond {
+		t.Errorf("minimal roundtrip = %v, want 365µs", 2*oneWay)
+	}
+	// A free lock acquire adds two lock-management charges: 427µs.
+	if 2*oneWay+2*c.LockMgmt != 427*time.Microsecond {
+		t.Errorf("free lock acquire = %v, want 427µs", 2*oneWay+2*c.LockMgmt)
+	}
+}
+
+func TestOneWayBandwidth(t *testing.T) {
+	c := SP2()
+	small := c.OneWay(0)
+	big := c.OneWay(1 << 20)
+	if big-small != (1<<20)*c.PerByte {
+		t.Errorf("bandwidth term wrong: %v", big-small)
+	}
+	// ~40 MB/s: a megabyte takes roughly 26ms on the wire.
+	if d := big - small; d < 20*time.Millisecond || d > 35*time.Millisecond {
+		t.Errorf("1MB transfer = %v, expected ~26ms at ~40MB/s", d)
+	}
+}
+
+func TestProtOpRange(t *testing.T) {
+	c := SP2()
+	if c.ProtOp(0) != 18*time.Microsecond {
+		t.Errorf("min protection op = %v, paper says 18µs", c.ProtOp(0))
+	}
+	at2000 := c.ProtOp(2000)
+	if at2000 < 750*time.Microsecond || at2000 > 850*time.Microsecond {
+		t.Errorf("protection op at 2000 pages = %v, paper says ~800µs", at2000)
+	}
+	if c.ProtOp(100000) != at2000 {
+		t.Error("protection cost must saturate at ProtCap")
+	}
+	if c.ProtOp(100) >= c.ProtOp(1000) {
+		t.Error("protection cost must grow with pages in use")
+	}
+}

@@ -1,0 +1,180 @@
+// Package mp is the hand-coded message-passing programming layer, the
+// stand-in for the PVMe versions the paper compares against (and, with a
+// per-phase distribution overhead, for the Forge XHPF compiler-generated
+// versions). Programs written against it own their data as private slices
+// and communicate explicitly over the simulated network, paying the same
+// message costs as the DSM runtime but none of its consistency machinery.
+package mp
+
+import (
+	"fmt"
+	"time"
+
+	"sdsm/internal/cluster"
+	"sdsm/internal/model"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+)
+
+// World is one message-passing machine.
+type World struct {
+	E  *sim.Engine
+	NW *cluster.Network
+}
+
+// NewWorld creates an n-rank world over the SP/2 cost model.
+func NewWorld(n int, costs model.Costs) *World {
+	e := sim.NewEngine(n)
+	return &World{E: e, NW: cluster.New(e, costs)}
+}
+
+// Run executes body once per rank.
+func (w *World) Run(body func(r *Rank)) error {
+	return w.E.Run(func(p *sim.Proc) {
+		body(&Rank{w: w, ID: p.ID, N: w.E.N(), p: p})
+	})
+}
+
+// MaxTime returns the parallel execution time.
+func (w *World) MaxTime() time.Duration {
+	var t time.Duration
+	for i := 0; i < w.E.N(); i++ {
+		if c := w.E.Proc(i).Now(); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Rank is one message-passing process.
+type Rank struct {
+	w     *World
+	ID    int
+	N     int
+	p     *sim.Proc
+	scale int
+}
+
+// SetCostScale sets the compute-cost multiplier (the cscale parameter of
+// scaled-down data sets); fixed overheads use AdvanceFixed.
+func (r *Rank) SetCostScale(s int) {
+	if s < 1 {
+		s = 1
+	}
+	r.scale = s
+}
+
+const (
+	tagData cluster.Tag = iota + 1
+	tagBarrier
+	tagReduce
+)
+
+// Advance charges compute time, scaled by the cost multiplier.
+func (r *Rank) Advance(d time.Duration) {
+	if r.scale > 1 {
+		d *= time.Duration(r.scale)
+	}
+	r.p.Advance(d)
+}
+
+// AdvanceFixed charges unscaled time (per-phase overheads).
+func (r *Rank) AdvanceFixed(d time.Duration) { r.p.Advance(d) }
+
+// Now returns the rank's virtual time.
+func (r *Rank) Now() time.Duration { return r.p.Now() }
+
+// Send transmits a copy of data to rank `to`.
+func (r *Rank) Send(to int, data []float64) {
+	r.w.NW.Send(r.p, to, tagData, append([]float64(nil), data...), len(data)*shm.WordBytes)
+}
+
+// Recv receives the next data message from rank `from`.
+func (r *Rank) Recv(from int) []float64 {
+	m := r.w.NW.Recv(r.p, from, tagData)
+	return m.Payload.([]float64)
+}
+
+// Bcast broadcasts data from root; every rank returns the payload.
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	if r.N == 1 {
+		return data
+	}
+	if r.ID == root {
+		tos := make([]int, 0, r.N-1)
+		for i := 0; i < r.N; i++ {
+			if i != root {
+				tos = append(tos, i)
+			}
+		}
+		r.w.NW.SendShared(r.p, tos, tagData, append([]float64(nil), data...), len(data)*shm.WordBytes)
+		return data
+	}
+	m := r.w.NW.Recv(r.p, root, tagData)
+	return m.Payload.([]float64)
+}
+
+// Barrier synchronizes all ranks (gather/scatter at rank 0).
+func (r *Rank) Barrier() {
+	if r.N == 1 {
+		return
+	}
+	if r.ID == 0 {
+		for i := 1; i < r.N; i++ {
+			r.w.NW.Recv(r.p, cluster.AnySender, tagBarrier)
+		}
+		r.w.NW.Broadcast(r.p, tagBarrier, nil, 0)
+		return
+	}
+	r.w.NW.Send(r.p, 0, tagBarrier, nil, 0)
+	r.w.NW.Recv(r.p, 0, tagBarrier)
+}
+
+// AllReduceSum sums a vector across all ranks (gather at 0, broadcast).
+func (r *Rank) AllReduceSum(data []float64) []float64 {
+	if r.N == 1 {
+		return data
+	}
+	if r.ID == 0 {
+		acc := append([]float64(nil), data...)
+		for i := 1; i < r.N; i++ {
+			m := r.w.NW.Recv(r.p, cluster.AnySender, tagReduce)
+			for j, v := range m.Payload.([]float64) {
+				acc[j] += v
+			}
+		}
+		tos := make([]int, r.N-1)
+		for i := 1; i < r.N; i++ {
+			tos[i-1] = i
+		}
+		r.w.NW.SendShared(r.p, tos, tagReduce, acc, len(acc)*shm.WordBytes)
+		return acc
+	}
+	r.w.NW.Send(r.p, 0, tagReduce, append([]float64(nil), data...), len(data)*shm.WordBytes)
+	m := r.w.NW.Recv(r.p, 0, tagReduce)
+	return m.Payload.([]float64)
+}
+
+// Gather collects per-rank slices at root; root receives them indexed by
+// rank (its own entry is data). Non-roots return nil.
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	if r.N == 1 {
+		return [][]float64{data}
+	}
+	if r.ID != root {
+		r.w.NW.Send(r.p, root, tagData, append([]float64(nil), data...), len(data)*shm.WordBytes)
+		return nil
+	}
+	out := make([][]float64, r.N)
+	out[root] = data
+	for i := 0; i < r.N; i++ {
+		if i == root {
+			continue
+		}
+		m := r.w.NW.Recv(r.p, i, tagData)
+		out[i] = m.Payload.([]float64)
+	}
+	return out
+}
+
+func (r *Rank) String() string { return fmt.Sprintf("rank %d/%d", r.ID, r.N) }

@@ -1,0 +1,237 @@
+package rsd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdsm/internal/shm"
+)
+
+func TestLinAlgebra(t *testing.T) {
+	b := Var("begin")
+	e := Var("end")
+	x := b.Plus(-1).Add(e).Sub(b) // begin-1+end-begin = end-1
+	if got := x.String(); got != "end-1" {
+		t.Fatalf("x = %q", got)
+	}
+	if v := x.Eval(Env{"end": 10}); v != 9 {
+		t.Fatalf("eval = %d", v)
+	}
+	if _, ok := x.IsConst(); ok {
+		t.Fatal("end-1 is not constant")
+	}
+	if c, ok := x.Sub(e).IsConst(); !ok || c != -1 {
+		t.Fatal("x-end must be constant -1")
+	}
+}
+
+func TestLinSubst(t *testing.T) {
+	// 2*i + j + 3 with i := p+1  →  2p + j + 5
+	l := Term(2, "i").Add(Var("j")).Plus(3)
+	got := l.Subst("i", Var("p").Plus(1))
+	want := Term(2, "p").Add(Var("j")).Plus(5)
+	if !got.Equal(want) {
+		t.Fatalf("subst = %v, want %v", got, want)
+	}
+}
+
+func TestLinEvalPanicsOnUnbound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound symbol")
+		}
+	}()
+	Var("zzz").Eval(Env{})
+}
+
+// jacobiReadSections reproduces the paper's Section 4.3 example: the four
+// read references to b in the Jacobi first loop nest union to
+// b[1:M, begin-1:end+1].
+func TestUnionMatchesPaperJacobiExample(t *testing.T) {
+	m := Var("m")
+	b := Var("begin")
+	e := Var("end")
+	mk := func(lo1, hi1, lo2, hi2 Lin) Section {
+		return Section{Array: "b", Dims: []Bound{Dense(lo1, hi1), Dense(lo2, hi2)}}
+	}
+	secs := []Section{
+		mk(Const(1), m.Plus(-2), b, e),
+		mk(Const(3), m, b, e),
+		mk(Const(2), m.Plus(-1), b.Plus(-1), e.Plus(-1)),
+		mk(Const(2), m.Plus(-1), b.Plus(1), e.Plus(1)),
+	}
+	u := secs[0]
+	for _, s := range secs[1:] {
+		var ok bool
+		u, ok = u.Union(s)
+		if !ok {
+			t.Fatalf("union failed at %v", s)
+		}
+	}
+	want := mk(Const(1), m, b.Plus(-1), e.Plus(1))
+	if !u.Equal(want) {
+		t.Fatalf("union = %v, want %v", u, want)
+	}
+}
+
+func TestUnionFailsOnIncomparableBounds(t *testing.T) {
+	a := Section{Array: "x", Dims: []Bound{Dense(Var("i"), Var("i"))}}
+	b := Section{Array: "x", Dims: []Bound{Dense(Var("j"), Var("j"))}}
+	if _, ok := a.Union(b); ok {
+		t.Fatal("union of incomparable bounds must fail")
+	}
+}
+
+func TestUnionFailsAcrossArrays(t *testing.T) {
+	a := Section{Array: "x", Dims: []Bound{Dense(Const(1), Const(2))}}
+	b := Section{Array: "y", Dims: []Bound{Dense(Const(1), Const(2))}}
+	if _, ok := a.Union(b); ok {
+		t.Fatal("union across arrays must fail")
+	}
+}
+
+func TestEvalAndElems(t *testing.T) {
+	s := Section{Array: "a", Dims: []Bound{
+		Dense(Const(1), Var("m")),
+		{Lo: Var("p").Plus(1), Hi: Var("n"), Stride: 4},
+	}}
+	c := s.Eval(Env{"m": 10, "p": 0, "n": 9})
+	if c.Dims[0].Count() != 10 || c.Dims[1].Count() != 3 {
+		t.Fatalf("counts = %d, %d", c.Dims[0].Count(), c.Dims[1].Count())
+	}
+	if c.Elems() != 30 {
+		t.Fatalf("elems = %d", c.Elems())
+	}
+	if c.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestConcreteIntersect(t *testing.T) {
+	a := Concrete{Array: "a", Dims: []CBound{{1, 100, 1}, {10, 20, 1}}}
+	b := Concrete{Array: "a", Dims: []CBound{{50, 200, 1}, {1, 15, 1}}}
+	x := a.Intersect(b)
+	if x.Empty() || x.Dims[0] != (CBound{50, 100, 1}) || x.Dims[1] != (CBound{10, 15, 1}) {
+		t.Fatalf("intersect = %+v", x)
+	}
+	// Disjoint in dim 1.
+	c := Concrete{Array: "a", Dims: []CBound{{1, 100, 1}, {30, 40, 1}}}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Fatalf("expected empty, got %+v", got)
+	}
+}
+
+func TestStridedIntersectPhase(t *testing.T) {
+	// Cyclic column distributions: stride nprocs, different phases are
+	// disjoint; same phase intersects.
+	a := Concrete{Array: "a", Dims: []CBound{{1, 8, 4}}}  // 1,5
+	b := Concrete{Array: "a", Dims: []CBound{{3, 8, 4}}}  // 3,7
+	c := Concrete{Array: "a", Dims: []CBound{{5, 16, 4}}} // 5,9,13
+	if !a.Intersect(b).Empty() {
+		t.Fatal("different phase must be disjoint")
+	}
+	x := a.Intersect(c)
+	if x.Empty() || x.Dims[0].Lo != 5 || x.Dims[0].Hi != 8 {
+		t.Fatalf("same phase intersect = %+v", x)
+	}
+}
+
+func TestDenseVsStridedIntersect(t *testing.T) {
+	dense := Concrete{Array: "a", Dims: []CBound{{1, 100, 1}}}
+	strided := Concrete{Array: "a", Dims: []CBound{{2, 99, 3}}} // 2,5,...,98
+	x := dense.Intersect(strided)
+	if x.Empty() || x.Dims[0].Stride != 3 || x.Dims[0].Lo != 2 {
+		t.Fatalf("intersect = %+v", x)
+	}
+}
+
+func TestRegionsColumnMajor(t *testing.T) {
+	l := shm.NewLayout()
+	l.Alloc("b", 100, 50)
+	// Full columns 3..4: one contiguous region of 200 words.
+	c := Concrete{Array: "b", Dims: []CBound{{1, 100, 1}, {3, 4, 1}}}
+	rs := c.Regions(l)
+	if len(rs) != 1 || rs[0].Words() != 200 {
+		t.Fatalf("regions = %v", rs)
+	}
+	// Partial columns: one region per column.
+	c = Concrete{Array: "b", Dims: []CBound{{2, 99, 1}, {3, 4, 1}}}
+	rs = c.Regions(l)
+	if len(rs) != 2 || rs[0].Words() != 98 {
+		t.Fatalf("regions = %v", rs)
+	}
+}
+
+func TestContiguity(t *testing.T) {
+	l := shm.NewLayout()
+	l.Alloc("b", 100, 50)
+	full := Concrete{Array: "b", Dims: []CBound{{1, 100, 1}, {10, 20, 1}}}
+	if !full.ContiguousIn(l) {
+		t.Fatal("full columns must be contiguous (column-major)")
+	}
+	part := Concrete{Array: "b", Dims: []CBound{{1, 99, 1}, {10, 20, 1}}}
+	if part.ContiguousIn(l) {
+		t.Fatal("partial columns must not be contiguous")
+	}
+}
+
+func TestRegionsElemCountProperty(t *testing.T) {
+	// Property: the total words of Regions equals Elems for stride-1
+	// sections (no overlap double-counting after Normalize).
+	l := shm.NewLayout()
+	l.Alloc("q", 64, 64)
+	f := func(lo1, hi1, lo2, hi2 uint8) bool {
+		d1 := CBound{1 + int(lo1)%64, 1 + int(hi1)%64, 1}
+		d2 := CBound{1 + int(lo2)%64, 1 + int(hi2)%64, 1}
+		c := Concrete{Array: "q", Dims: []CBound{d1, d2}}
+		if c.Empty() {
+			return true
+		}
+		return shm.TotalWords(c.Regions(l)) == c.Elems()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectProperty(t *testing.T) {
+	// Property: for dense 1-D sections, intersection selects exactly the
+	// common indices.
+	f := func(alo, ahi, blo, bhi uint8) bool {
+		a := Concrete{Array: "z", Dims: []CBound{{int(alo), int(ahi), 1}}}
+		b := Concrete{Array: "z", Dims: []CBound{{int(blo), int(bhi), 1}}}
+		x := a.Intersect(b)
+		for i := 0; i < 256; i++ {
+			inA := i >= a.Dims[0].Lo && i <= a.Dims[0].Hi
+			inB := i >= b.Dims[0].Lo && i <= b.Dims[0].Hi
+			inX := !x.Empty() && i >= x.Dims[0].Lo && i <= x.Dims[0].Hi
+			if inX != (inA && inB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	tg := Read | Write | WriteFirst
+	if !tg.Has(Read) || !tg.Has(Write) || !tg.Has(WriteFirst) {
+		t.Fatal("tag bits broken")
+	}
+	if s := tg.String(); s != "{read,write,write-first}" {
+		t.Fatalf("tag = %q", s)
+	}
+}
+
+func TestSectionString(t *testing.T) {
+	s := Section{Array: "b", Dims: []Bound{
+		Dense(Const(1), Var("m")),
+		{Lo: Var("begin"), Hi: Var("end"), Stride: 2},
+	}}
+	if got := s.String(); got != "b[1:m, begin:end:2]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim provides a deterministic, sequential discrete-event
+// simulation engine for a collection of virtual processors.
+//
+// Each processor runs as a goroutine, but the engine admits exactly one
+// runnable processor at a time and always resumes the runnable processor
+// with the smallest virtual clock (ties broken by processor id). This makes
+// every simulation deterministic regardless of the Go scheduler.
+//
+// Processors advance their own clocks with Advance, block with Block, and
+// are woken by other processors with Wake. Higher layers (network,
+// synchronization, DSM protocol) are built from these three primitives.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// state of a processor within the scheduler.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated processor. All methods except Wake and Charge must be
+// called from the goroutine running this processor's body.
+type Proc struct {
+	// ID is the processor number, 0..N-1.
+	ID int
+
+	e      *Engine
+	clock  time.Duration
+	state  procState
+	resume chan struct{}
+	reason string // why the processor is blocked, for deadlock reports
+}
+
+// Engine coordinates a fixed set of processors.
+type Engine struct {
+	mu    sync.Mutex
+	procs []*Proc
+	live  int
+	done  chan struct{}
+	err   error
+}
+
+// NewEngine creates an engine with n processors whose clocks start at zero.
+func NewEngine(n int) *Engine {
+	if n <= 0 {
+		panic("sim: engine needs at least one processor")
+	}
+	e := &Engine{done: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		e.procs = append(e.procs, &Proc{ID: i, e: e, resume: make(chan struct{}, 1)})
+	}
+	return e
+}
+
+// N returns the number of processors.
+func (e *Engine) N() int { return len(e.procs) }
+
+// Proc returns processor i.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// Run executes body once per processor and returns when all processors have
+// finished. It returns an error if the simulation deadlocks (every live
+// processor blocked) or if a body panics.
+func (e *Engine) Run(body func(p *Proc)) error {
+	e.mu.Lock()
+	e.live = len(e.procs)
+	for _, p := range e.procs {
+		p.state = stateRunnable
+		p.clock = 0
+	}
+	e.mu.Unlock()
+
+	for _, p := range e.procs {
+		p := p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.mu.Lock()
+					if e.err == nil {
+						e.err = fmt.Errorf("sim: processor %d panicked: %v", p.ID, r)
+					}
+					p.state = stateDone
+					e.live--
+					e.scheduleNextLocked()
+					e.mu.Unlock()
+					return
+				}
+				e.finish(p)
+			}()
+			<-p.resume // wait until scheduled for the first time
+			body(p)
+		}()
+	}
+
+	e.mu.Lock()
+	e.scheduleNextLocked()
+	e.mu.Unlock()
+
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// finish marks p done and hands the token to the next runnable processor.
+func (e *Engine) finish(p *Proc) {
+	e.mu.Lock()
+	p.state = stateDone
+	e.live--
+	e.scheduleNextLocked()
+	e.mu.Unlock()
+}
+
+// scheduleNextLocked picks the runnable processor with the smallest
+// (clock, id) and signals it. Caller holds e.mu.
+func (e *Engine) scheduleNextLocked() {
+	if e.live == 0 {
+		select {
+		case <-e.done:
+		default:
+			close(e.done)
+		}
+		return
+	}
+	var next *Proc
+	for _, q := range e.procs {
+		if q.state != stateRunnable {
+			continue
+		}
+		if next == nil || q.clock < next.clock || (q.clock == next.clock && q.ID < next.ID) {
+			next = q
+		}
+	}
+	if next == nil {
+		// Every live processor is blocked: deadlock.
+		if e.err == nil {
+			e.err = fmt.Errorf("sim: deadlock: %s", e.blockReportLocked())
+		}
+		select {
+		case <-e.done:
+		default:
+			close(e.done)
+		}
+		return
+	}
+	next.state = stateRunning
+	next.resume <- struct{}{}
+}
+
+func (e *Engine) blockReportLocked() string {
+	var parts []string
+	for _, q := range e.procs {
+		if q.state == stateBlocked {
+			parts = append(parts, fmt.Sprintf("p%d@%v(%s)", q.ID, q.clock, q.reason))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// Now returns the processor's current virtual time.
+func (p *Proc) Now() time.Duration { return p.clock }
+
+// Advance charges d of virtual time to the processor and yields, letting
+// any processor with a smaller clock run first.
+func (p *Proc) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	p.clock += d
+	p.Yield()
+}
+
+// Charge adds d to the processor's clock without yielding. It may be called
+// by the currently running processor on any processor (including a blocked
+// one) to account for overhead imposed remotely, such as servicing an
+// interrupt.
+func (p *Proc) Charge(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	p.clock += d
+}
+
+// Yield gives other processors with smaller clocks a chance to run.
+func (p *Proc) Yield() {
+	e := p.e
+	e.mu.Lock()
+	p.state = stateRunnable
+	e.scheduleNextLocked()
+	e.mu.Unlock()
+	<-p.resume
+}
+
+// Block suspends the processor until another processor calls Wake on it.
+// reason appears in deadlock reports.
+func (p *Proc) Block(reason string) {
+	e := p.e
+	e.mu.Lock()
+	p.state = stateBlocked
+	p.reason = reason
+	e.scheduleNextLocked()
+	e.mu.Unlock()
+	<-p.resume
+}
+
+// Wake makes a blocked processor runnable again, moving its clock forward
+// to at if at is later than the processor's clock. Wake must be called by
+// the currently running processor. Waking a non-blocked processor panics:
+// wakes are direct handoffs, never broadcasts.
+func (p *Proc) Wake(q *Proc, at time.Duration) {
+	e := p.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.state != stateBlocked {
+		panic(fmt.Sprintf("sim: Wake on non-blocked processor %d", q.ID))
+	}
+	if at > q.clock {
+		q.clock = at
+	}
+	q.state = stateRunnable
+	q.reason = ""
+}
+
+// SetClock forces the processor's clock to at if at is later. It is used by
+// synchronization objects that compute a common departure time.
+func (p *Proc) SetClock(at time.Duration) {
+	if at > p.clock {
+		p.clock = at
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleProcAdvance(t *testing.T) {
+	e := NewEngine(1)
+	var end time.Duration
+	err := e.Run(func(p *Proc) {
+		p.Advance(5 * time.Microsecond)
+		p.Advance(7 * time.Microsecond)
+		end = p.Now()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 12*time.Microsecond {
+		t.Fatalf("clock = %v, want 12µs", end)
+	}
+}
+
+func TestMinClockOrdering(t *testing.T) {
+	// Processor 1 advances in small steps, processor 0 in one big step.
+	// The order of observed steps must interleave by virtual time.
+	e := NewEngine(2)
+	var order []int64
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(100 * time.Microsecond)
+			order = append(order, 1000+int64(p.Now()/time.Microsecond))
+		} else {
+			for i := 0; i < 5; i++ {
+				p.Advance(10 * time.Microsecond)
+				order = append(order, 2000+int64(p.Now()/time.Microsecond))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int64{2010, 2020, 2030, 2040, 2050, 1100}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e := NewEngine(2)
+	var wakeTime time.Duration
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Block("waiting for p1")
+			wakeTime = p.Now()
+		} else {
+			p.Advance(50 * time.Microsecond)
+			p.Wake(e.Proc(0), 60*time.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wakeTime != 60*time.Microsecond {
+		t.Fatalf("wake time = %v, want 60µs", wakeTime)
+	}
+}
+
+func TestWakeDoesNotRewindClock(t *testing.T) {
+	e := NewEngine(2)
+	var wakeTime time.Duration
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(100 * time.Microsecond)
+			p.Block("wait")
+			wakeTime = p.Now()
+		} else {
+			p.Advance(200 * time.Microsecond)
+			p.Wake(e.Proc(0), 10*time.Microsecond) // earlier than p0's clock
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wakeTime != 100*time.Microsecond {
+		t.Fatalf("wake time = %v, want 100µs (clock must not rewind)", wakeTime)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(2)
+	err := e.Run(func(p *Proc) {
+		p.Block("forever")
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	e := NewEngine(2)
+	var end time.Duration
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(10 * time.Microsecond)
+			p.Charge(3 * time.Microsecond)
+			p.Advance(1 * time.Microsecond)
+			end = p.Now()
+		} else {
+			p.Advance(500 * time.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 14*time.Microsecond {
+		t.Fatalf("clock = %v, want 14µs", end)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(4)
+		var seq []int
+		err := e.Run(func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(time.Duration(1+p.ID) * time.Microsecond)
+				seq = append(seq, p.ID)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return seq
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: sequence %v != %v", trial, got, first)
+			}
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	e := NewEngine(2)
+	err := e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		p.Advance(time.Microsecond)
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking processor")
+	}
+}
+
+func TestManyProcsAllFinish(t *testing.T) {
+	const n = 16
+	e := NewEngine(n)
+	var count int64
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(time.Microsecond)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != n {
+		t.Fatalf("finished = %d, want %d", count, n)
+	}
+}
+
+func TestWakeNonBlockedPanics(t *testing.T) {
+	e := NewEngine(2)
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("Wake on a runnable processor must panic")
+				}
+			}()
+			p.Wake(e.Proc(1), time.Microsecond) // p1 is runnable, not blocked
+		}
+	})
+	// The panic is converted to a run error for the engine.
+	_ = err
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	e := NewEngine(1)
+	err := e.Run(func(p *Proc) {
+		defer func() { recover() }()
+		p.Advance(-time.Second)
+		t.Error("negative advance must panic")
+	})
+	_ = err
+}

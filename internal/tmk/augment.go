@@ -1,0 +1,283 @@
+package tmk
+
+import (
+	"time"
+
+	"sdsm/internal/shm"
+	"sdsm/internal/vm"
+)
+
+// wsyncRequest is a registered Validate_w_sync awaiting the next
+// synchronization operation.
+type wsyncRequest struct {
+	at      AccessType
+	pages   []int
+	regions []shm.Region
+}
+
+// Validate informs the run-time that the calling processor is about to
+// access the given regions with the declared pattern (Section 3.1.1).
+// Outstanding diffs for all named pages are fetched in one exchange per
+// responder (communication aggregation); the consistency actions depend on
+// the access type (consistency overhead elimination for the *_ALL types).
+// With async, the processor continues computing and the fetched data is
+// applied at the first access or the next synchronization point.
+func (nd *Node) Validate(at AccessType, regions []shm.Region, async bool) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.Stats.Validates++
+	pages := pagesOf(regions)
+	nd.p.Charge(time.Duration(len(pages)) * nd.sys.Costs.ValidatePerPage)
+
+	// The consistency-disabling treatment (no fetch for WRITE_ALL, no twin
+	// for both *_ALL types) is sound only for pages the section covers
+	// completely: a page shared with another processor's data keeps
+	// twin-based detection so its foreign words are never misattributed.
+	fullCover := map[int]bool{}
+	if at.noTwin() {
+		full, _ := splitCoverage(regions, pages)
+		for _, pg := range full {
+			fullCover[pg] = true
+		}
+	}
+	effective := func(pg int) AccessType {
+		if at.noTwin() && !fullCover[pg] {
+			return AccReadWrite
+		}
+		return at
+	}
+
+	if !at.fetches() {
+		var partial []int
+		for _, pg := range pages {
+			if fullCover[pg] {
+				nd.discardObligations(pg)
+				nd.applyAccessType(pg, at)
+			} else {
+				partial = append(partial, pg)
+			}
+		}
+		if len(partial) > 0 {
+			nd.fetchPages(partial, false)
+			for _, pg := range partial {
+				nd.applyAccessType(pg, AccReadWrite)
+			}
+		}
+		return
+	}
+
+	var need []int
+	for _, pg := range pages {
+		if len(nd.pending[pg]) > 0 {
+			need = append(need, pg)
+		}
+	}
+	if async {
+		for _, pg := range need {
+			nd.mode[pg] = effective(pg)
+		}
+		nd.fetchPages(need, true)
+		for _, pg := range pages {
+			if _, deferred := nd.mode[pg]; !deferred {
+				nd.applyAccessType(pg, effective(pg))
+			}
+		}
+		return
+	}
+	nd.fetchPages(need, false)
+	for _, pg := range pages {
+		nd.applyAccessType(pg, effective(pg))
+	}
+}
+
+// ValidateWSync registers a Validate whose data fetch is piggybacked on
+// the next synchronization operation (lock acquire or barrier).
+func (nd *Node) ValidateWSync(at AccessType, regions []shm.Region) {
+	pages := pagesOf(regions)
+	nd.p.Charge(time.Duration(len(pages)) * nd.sys.Costs.ValidatePerPage)
+	nd.Stats.Validates++
+	nd.wsync = append(nd.wsync, wsyncRequest{at: at, pages: pages, regions: regions})
+}
+
+// splitCoverage partitions pages into those fully covered by the
+// normalized region set and those only partially covered.
+func splitCoverage(regions []shm.Region, pages []int) (full, partial []int) {
+	for _, pg := range pages {
+		page := shm.Region{Lo: pg * shm.PageWords, Hi: (pg + 1) * shm.PageWords}
+		covered := 0
+		for _, r := range regions {
+			covered += r.Intersect(page).Words()
+		}
+		if covered >= shm.PageWords {
+			full = append(full, pg)
+		} else {
+			partial = append(partial, pg)
+		}
+	}
+	return full, partial
+}
+
+// discardObligations marks every known remote interval as applied for a
+// page that is about to be entirely overwritten. Correct only under exact
+// compiler analysis, as the paper requires.
+func (nd *Node) discardObligations(pg int) {
+	for o := range nd.vc {
+		if nd.vc[o] > nd.applied[pg][o] {
+			nd.applied[pg][o] = nd.vc[o]
+		}
+	}
+	delete(nd.pending, pg)
+}
+
+// applyAccessType performs the per-page consistency action of a Validate
+// once the page's data is current.
+func (nd *Node) applyAccessType(pg int, at AccessType) {
+	switch {
+	case at == AccRead:
+		if nd.Mem.Prot(pg) == vm.NoAccess {
+			nd.Mem.SetProt(nd.p, pg, vm.ReadOnly)
+		}
+	case at.noTwin():
+		nd.enableWrite(pg, true)
+	default:
+		nd.enableWrite(pg, false)
+	}
+}
+
+// consumeWSync applies the consistency actions of registered
+// Validate_w_sync requests after a synchronization operation has delivered
+// (some of) their data. Pages with still-outstanding notices are left
+// invalid; accessing them faults and fetches the remainder, as the paper
+// describes. Leftover deferred modes from asynchronous Validates are
+// dropped (their pages were never accessed in the phase).
+func (nd *Node) consumeWSync() {
+	for _, ws := range nd.wsync {
+		fullCover := map[int]bool{}
+		if ws.at.noTwin() {
+			full, _ := splitCoverage(ws.regions, ws.pages)
+			for _, pg := range full {
+				fullCover[pg] = true
+			}
+		}
+		for _, pg := range ws.pages {
+			if len(nd.pending[pg]) > 0 {
+				continue
+			}
+			at := ws.at
+			if at.noTwin() && !fullCover[pg] {
+				at = AccReadWrite
+			}
+			nd.applyAccessType(pg, at)
+		}
+	}
+	nd.wsync = nil
+	for pg := range nd.mode {
+		delete(nd.mode, pg)
+	}
+}
+
+const tagPush = 101
+
+// pushPayload carries raw section data sent by Push, received in place.
+type pushPayload struct {
+	chunks []pushChunk
+	ivl    int32 // sender's newest closed interval
+}
+
+type pushChunk struct {
+	lo   int
+	vals []float64
+}
+
+// Push replaces a barrier with a point-to-point exchange (Section 3.1.2):
+// reads[i] and writes[i] are the regions processor i reads after,
+// respectively wrote before, the replaced barrier. Each processor sends
+// the intersections of its writes with the others' reads and receives the
+// converse, in place, without twinning or diffing. Only the received
+// sections are made consistent; the run-time records them as applied so
+// the write notices arriving at the next real barrier do not re-invalidate
+// them.
+func (nd *Node) Push(reads, writes [][]shm.Region) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.completeInflight()
+	nd.closeInterval()
+	nd.Stats.Pushes++
+	s := nd.sys
+	n := s.N()
+	if n == 1 {
+		nd.consumeWSync()
+		return
+	}
+	myIvl := nd.vc[nd.ID]
+
+	// Send phase.
+	for i := 0; i < n; i++ {
+		if i == nd.ID {
+			continue
+		}
+		inter := shm.IntersectSets(writes[nd.ID], reads[i])
+		if len(inter) == 0 {
+			continue
+		}
+		pl := pushPayload{ivl: myIvl}
+		bytes := 16
+		words := 0
+		for _, r := range inter {
+			vals := append([]float64(nil), nd.Mem.Data()[r.Lo:r.Hi]...)
+			pl.chunks = append(pl.chunks, pushChunk{lo: r.Lo, vals: vals})
+			bytes += 16 + r.Bytes()
+			words += r.Words()
+		}
+		nd.p.Charge(time.Duration(words) * s.Costs.TwinPerWord) // gather memcpy
+		s.NW.Send(nd.p, i, tagPush, pl, bytes)
+	}
+
+	// Receive phase, in sender order for determinism.
+	for i := 0; i < n; i++ {
+		if i == nd.ID {
+			continue
+		}
+		inter := shm.IntersectSets(writes[i], reads[nd.ID])
+		if len(inter) == 0 {
+			continue
+		}
+		m := s.NW.Recv(nd.p, i, tagPush)
+		pl := m.Payload.(pushPayload)
+		for _, ch := range pl.chunks {
+			nd.applyPushChunk(i, pl.ivl, ch)
+		}
+	}
+	nd.consumeWSync()
+}
+
+// applyPushChunk writes received data in place, page by page, marking the
+// sender's interval applied so later write notices do not invalidate the
+// pushed data.
+func (nd *Node) applyPushChunk(sender int, ivl int32, ch pushChunk) {
+	lo := ch.lo
+	hi := ch.lo + len(ch.vals)
+	for lo < hi {
+		pg := lo / shm.PageWords
+		pageEnd := (pg + 1) * shm.PageWords
+		end := hi
+		if pageEnd < end {
+			end = pageEnd
+		}
+		nd.Mem.ApplyRuns(nd.p, pg, []vm.Run{{Off: lo - pg*shm.PageWords, Vals: ch.vals[lo-ch.lo : end-ch.lo]}})
+		// A page only counts as applied when the chunk delivers all of it;
+		// partially pushed pages keep their obligations (the paper: Push
+		// guarantees consistency only for the received sections).
+		if ivl > nd.applied[pg][sender] && end-lo == shm.PageWords {
+			nd.applied[pg][sender] = ivl
+		}
+		nd.prunePending(pg)
+		if nd.Mem.Prot(pg) == vm.NoAccess {
+			nd.Mem.SetProt(nd.p, pg, vm.ReadOnly)
+		}
+		lo = end
+	}
+}
+
+// PagesOf exposes section-to-page translation for tests and tools.
+func PagesOf(regions []shm.Region) []int { return pagesOf(regions) }

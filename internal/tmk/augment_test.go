@@ -1,0 +1,230 @@
+package tmk
+
+import (
+	"testing"
+	"time"
+
+	"sdsm/internal/shm"
+)
+
+// TestAsyncValidateSingleFaultDrainsAllModes: the paper's asynchronous
+// Validate finishes in the page fault handler; one fault must complete the
+// deferred consistency actions for every page of the Validate, not fault
+// once per page.
+func TestAsyncValidateSingleFaultDrainsAllModes(t *testing.T) {
+	const pages = 6
+	s := testSystem(2, pages*shm.PageWords)
+	run(t, s, func(nd *Node) {
+		if nd.ID == 0 {
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: 0, Hi: pages * shm.PageWords})
+			d := nd.Mem.Data()
+			for i := range d {
+				d[i] = float64(i)
+			}
+		}
+		nd.Barrier(1)
+		if nd.ID == 1 {
+			nd.Validate(AccRead, region(0, pages*shm.PageWords), true)
+			before := nd.Mem.Counters.ReadFaults
+			// Touch every page; only the first may fault.
+			for pg := 0; pg < pages; pg++ {
+				if got := r(nd, pg*shm.PageWords+1); got != float64(pg*shm.PageWords+1) {
+					t.Errorf("page %d stale: %v", pg, got)
+				}
+			}
+			if faults := nd.Mem.Counters.ReadFaults - before; faults > 1 {
+				t.Errorf("async validate caused %d faults, want at most 1", faults)
+			}
+		}
+		nd.Barrier(2)
+	})
+}
+
+// TestPushPartialPageKeepsObligations: a push chunk covering part of a
+// page must not mark the page applied — the unpushed words still carry
+// their write notices.
+func TestPushPartialPageKeepsObligations(t *testing.T) {
+	s := testSystem(2, shm.PageWords)
+	run(t, s, func(nd *Node) {
+		half := shm.PageWords / 2
+		if nd.ID == 0 {
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: 0, Hi: shm.PageWords})
+			d := nd.Mem.Data()
+			for i := 0; i < shm.PageWords; i++ {
+				d[i] = float64(i) + 1
+			}
+		}
+		// Push only the first half of the page to node 1.
+		reads := [][]shm.Region{0: {}, 1: {{Lo: 0, Hi: half}}}
+		writes := [][]shm.Region{0: {{Lo: 0, Hi: half}}, 1: {}}
+		nd.Push(reads, writes)
+		nd.Barrier(1)
+		if nd.ID == 1 {
+			// The pushed half is present; reading the other half must fault
+			// and fetch (obligation retained).
+			before := nd.Mem.Counters.ReadFaults
+			if got := r(nd, half+5); got != float64(half+5)+1 {
+				t.Errorf("unpushed half stale: %v", got)
+			}
+			if nd.Mem.Counters.ReadFaults == before {
+				t.Error("partial push should have left the page's obligation in place")
+			}
+		}
+		nd.Barrier(2)
+	})
+}
+
+// TestPushFullPageSkipsRefetch: a fully pushed page must not be
+// re-invalidated by the notices arriving at the next barrier. As in the
+// compiler's output, the pushed section is written under WRITE_ALL (a
+// plain twin-based page stays dirty across the interval close and is
+// conservatively re-noticed, which would legitimately re-invalidate).
+func TestPushFullPageSkipsRefetch(t *testing.T) {
+	s := testSystem(2, shm.PageWords)
+	run(t, s, func(nd *Node) {
+		if nd.ID == 0 {
+			nd.Validate(AccWriteAll, region(0, shm.PageWords), false)
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: 0, Hi: shm.PageWords})
+			d := nd.Mem.Data()
+			for i := 0; i < shm.PageWords; i++ {
+				d[i] = 7
+			}
+		}
+		all := shm.Region{Lo: 0, Hi: shm.PageWords}
+		nd.Push([][]shm.Region{0: {}, 1: {all}}, [][]shm.Region{0: {all}, 1: {}})
+		nd.Barrier(1)
+		if nd.ID == 1 {
+			before := nd.Mem.Counters.ReadFaults
+			if got := r(nd, 9); got != 7 {
+				t.Errorf("pushed value = %v", got)
+			}
+			if nd.Mem.Counters.ReadFaults != before {
+				t.Error("fully pushed page re-faulted after the barrier")
+			}
+		}
+		nd.Barrier(2)
+	})
+}
+
+// TestWriteAllPartialPageFallsBackToTwin: WRITE_ALL on a section that only
+// partially covers a page must keep twin-based detection for that page, so
+// the other processor's half survives.
+func TestWriteAllPartialPageFallsBackToTwin(t *testing.T) {
+	s := testSystem(2, shm.PageWords)
+	run(t, s, func(nd *Node) {
+		half := shm.PageWords / 2
+		mine := shm.Region{Lo: nd.ID * half, Hi: (nd.ID + 1) * half}
+		for iter := 0; iter < 3; iter++ {
+			nd.Validate(AccWriteAll, []shm.Region{mine}, false)
+			nd.Mem.EnsureWrite(nd.p, mine)
+			d := nd.Mem.Data()
+			for w := mine.Lo; w < mine.Hi; w++ {
+				d[w] = float64(iter*10 + nd.ID + 1)
+			}
+			nd.Barrier(1)
+			other := shm.Region{Lo: (1 - nd.ID) * half, Hi: (2 - nd.ID) * half}
+			nd.Mem.EnsureRead(nd.p, other)
+			if got := nd.Mem.Data()[other.Lo]; got != float64(iter*10+(1-nd.ID)+1) {
+				t.Errorf("iter %d node %d: other half = %v", iter, nd.ID, got)
+			}
+			nd.Barrier(2)
+		}
+	})
+}
+
+// TestValidateWSyncOnLockCarriesGrantDiffs: the lock-grant path serves the
+// registered sections ("the requested data is piggy-backed on the
+// response").
+func TestValidateWSyncConsumedOncePerSync(t *testing.T) {
+	s := testSystem(2, shm.PageWords)
+	run(t, s, func(nd *Node) {
+		if nd.ID == 0 {
+			nd.Acquire(5)
+			w(nd, 0, 42)
+			nd.Release(5)
+		} else {
+			nd.p.Advance(5 * time.Millisecond)
+			nd.ValidateWSync(AccRead, region(0, 16))
+			nd.Acquire(5)
+			if len(nd.wsync) != 0 {
+				t.Error("wsync registration not consumed at acquire")
+			}
+			nd.Release(5)
+		}
+	})
+}
+
+// TestDiffAccumulationAvoidedByWholeNotices compares the bytes fetched by
+// a late reader in the migratory pattern: twin-based writers make the
+// reader pull every writer's overlapping diff, WRITE_ALL writers let it
+// pull one whole page.
+func TestDiffAccumulationAvoidedByWholeNotices(t *testing.T) {
+	runChain := func(writeAll bool) int64 {
+		const n = 4
+		s := testSystem(n, shm.PageWords)
+		if err := s.Run(func(nd *Node) {
+			nd.p.Advance(time.Duration(nd.ID) * time.Millisecond)
+			nd.Acquire(1)
+			if writeAll {
+				nd.Validate(AccReadWriteAll, region(0, shm.PageWords), false)
+			}
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: 0, Hi: shm.PageWords})
+			d := nd.Mem.Data()
+			for i := 0; i < shm.PageWords; i++ {
+				d[i] = float64(nd.ID*1000 + i)
+			}
+			nd.Release(1)
+			nd.Barrier(1)
+			if nd.ID == 0 {
+				before := s.NW.Stats().Bytes
+				nd.Validate(AccRead, region(0, shm.PageWords), false)
+				_ = r(nd, 5)
+				_ = before
+			}
+			nd.Barrier(2)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s.NW.Stats().Bytes
+	}
+	accum := runChain(false)
+	whole := runChain(true)
+	if whole >= accum {
+		t.Fatalf("WRITE_ALL chain moved %d bytes, twin chain %d; accumulation not avoided", whole, accum)
+	}
+}
+
+// TestSixteenProcessors exercises the system beyond the paper's count.
+func TestSixteenProcessors(t *testing.T) {
+	const n = 16
+	s := testSystem(n, n*shm.PageWords)
+	run(t, s, func(nd *Node) {
+		for iter := 0; iter < 2; iter++ {
+			w(nd, nd.ID*shm.PageWords+iter, float64(100*nd.ID+iter))
+			nd.Barrier(1)
+			peer := (nd.ID + 1) % n
+			if got := r(nd, peer*shm.PageWords+iter); got != float64(100*peer+iter) {
+				t.Errorf("iter %d: node %d read %v from peer %d", iter, nd.ID, got, peer)
+			}
+			nd.Barrier(2)
+		}
+	})
+}
+
+// TestProtBatchingAccounting: a Validate over a contiguous section must
+// charge one protection run, not one op per page.
+func TestProtBatchingAccounting(t *testing.T) {
+	const pages = 16
+	s := testSystem(2, pages*shm.PageWords)
+	run(t, s, func(nd *Node) {
+		if nd.ID == 0 {
+			before := nd.Mem.Counters.ProtOps
+			nd.Validate(AccWriteAll, region(0, pages*shm.PageWords), false)
+			ops := nd.Mem.Counters.ProtOps - before
+			if ops > 2 {
+				t.Errorf("WRITE_ALL over %d contiguous pages charged %d protection ops, want 1-2", pages, ops)
+			}
+		}
+		nd.Barrier(1)
+	})
+}

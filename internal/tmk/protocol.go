@@ -1,0 +1,648 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"sdsm/internal/cluster"
+	"sdsm/internal/sim"
+	"sdsm/internal/vm"
+)
+
+// storedDiff is a unit of modification data held in a node's diff cache:
+// either a twin-based diff covering the creator's intervals (from, to], or
+// a whole-page snapshot (WRITE_ALL pages have no twins) whose content
+// subsumes every interval in covers.
+type storedDiff struct {
+	page    int
+	creator int
+	from    int32 // exclusive
+	to      int32 // inclusive
+	whole   bool
+	covers  []int32 // per-owner coverage; set for whole snapshots
+	// vc is the creator's vector time when the diff was created. Diffs
+	// from different creators may overlap (migratory data under locks);
+	// they are applied in a linear extension of vector-time order, as in
+	// TreadMarks.
+	vc   []int32
+	runs []vm.Run
+
+	vcSum int64 // cached ordering key: sum of vc
+}
+
+// orderKey returns the scalar used to linearize vector-time order: if d1's
+// interval happened before d2's, vc(d1) <= vc(d2) pointwise, hence
+// sum(vc(d1)) <= sum(vc(d2)); ascending sums are a valid linear extension.
+func (d *storedDiff) orderKey() int64 {
+	if d.vcSum == 0 {
+		for _, x := range d.vc {
+			d.vcSum += int64(x)
+		}
+	}
+	return d.vcSum
+}
+
+// helps reports whether applying d would advance the given per-owner
+// applied timestamps.
+func (d *storedDiff) helps(applied []int32) bool {
+	if d.whole {
+		for o, c := range d.covers {
+			if c > applied[o] {
+				return true
+			}
+		}
+		return false
+	}
+	return d.to > applied[d.creator]
+}
+
+// maxCover is used to order diff application (older data first).
+func (d *storedDiff) maxCover() int32 {
+	if !d.whole {
+		return d.to
+	}
+	var m int32
+	for _, c := range d.covers {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// wireBytes is the transfer size of the diff.
+func (d *storedDiff) wireBytes() int { return 16 + vm.RunsBytes(d.runs) }
+
+// Fault implements vm.FaultHandler: the base TreadMarks access-miss path.
+// A fault first drains any asynchronous fetches covering the page, then
+// fetches outstanding diffs for this single page (one exchange per
+// responder, as TreadMarks does per fault), and finally arms write
+// detection for write faults.
+func (nd *Node) Fault(p *sim.Proc, page int, acc vm.Access) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.completeInflight()
+	if len(nd.pending[page]) > 0 || nd.Mem.Prot(page) == vm.NoAccess {
+		nd.fetchPages([]int{page}, false)
+	}
+	if at, ok := nd.mode[page]; ok {
+		// Deferred consistency actions from an asynchronous Validate: one
+		// fault resumes the remainder of the Validate for every deferred
+		// page (the data arrived with completeInflight above), exactly as
+		// the paper's asynchronous variant finishes in the fault handler.
+		for pg, m := range nd.mode {
+			if pg == page || len(nd.pending[pg]) > 0 {
+				continue
+			}
+			nd.applyAccessType(pg, m)
+			delete(nd.mode, pg)
+		}
+		delete(nd.mode, page)
+		nd.applyAccessType(page, at)
+		if acc == vm.Write && !at.writes() {
+			nd.enableWrite(page, false)
+		}
+		return
+	}
+	if acc == vm.Write {
+		nd.enableWrite(page, false)
+	} else if nd.Mem.Prot(page) == vm.NoAccess {
+		nd.Mem.SetProt(p, page, vm.ReadOnly)
+	}
+}
+
+// enableWrite arms the multiple-writer machinery for a page: twin (unless
+// noTwin mode) and write access.
+func (nd *Node) enableWrite(page int, noTwin bool) {
+	if noTwin && nd.dirty[page] && !nd.noTwin[page] {
+		// Transition from twin-based detection to WRITE_ALL mode: capture
+		// the outstanding twin-based modifications first so earlier
+		// intervals stay servable, then switch modes.
+		nd.flushLocalDiff(page, true)
+	}
+	if nd.dirty[page] && nd.Mem.Prot(page) == vm.ReadWrite {
+		return
+	}
+	if noTwin {
+		nd.noTwin[page] = true
+	} else if !nd.Mem.HasTwin(page) {
+		nd.Mem.MakeTwin(nd.p, page)
+	}
+	nd.Mem.SetProt(nd.p, page, vm.ReadWrite)
+	nd.dirty[page] = true
+	if debugHook != nil {
+		debugHook("enablewrite", nd.ID, page, int(nd.vc[nd.ID]), noTwin)
+	}
+}
+
+// closeInterval ends the node's open interval at a release point (lock
+// release, barrier arrival, Push), publishing write notices for every
+// dirty page.
+//
+// Twin-based pages stay write-enabled and dirty; later writes fold into
+// the same twin and the page is re-noticed at the next release
+// (TreadMarks behaviour, the source of diff accumulation). WRITE_ALL
+// pages have no twin, so their content is snapshotted now (a memcpy, not
+// a diff) and they leave the dirty set; the compiler's exactness contract
+// guarantees a new Validate precedes the next write to them.
+func (nd *Node) closeInterval() {
+	if len(nd.dirty) == 0 {
+		return
+	}
+	idx := nd.vc[nd.ID] + 1
+	nd.vc[nd.ID] = idx
+	pages := make([]int, 0, len(nd.dirty))
+	for pg := range nd.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	iv := interval{pages: make([]pageRef, len(pages)), vc: append([]int32(nil), nd.vc...)}
+	for i, pg := range pages {
+		iv.pages[i] = pageRef{page: int32(pg), whole: nd.noTwin[pg]}
+	}
+	nd.know[nd.ID] = append(nd.know[nd.ID], iv)
+	for _, pg := range pages {
+		if nd.noTwin[pg] {
+			nd.snapshotWholePage(pg)
+		}
+	}
+}
+
+// snapshotWholePage captures a WRITE_ALL page's full content as a
+// whole-page diff, pruning everything it subsumes, and removes the page
+// from the dirty set. The page stays write-enabled (no protection cost):
+// exact analysis guarantees the next writer re-Validates first.
+func (nd *Node) snapshotWholePage(pg int) {
+	covers := make([]int32, nd.sys.N())
+	copy(covers, nd.applied[pg])
+	covers[nd.ID] = nd.vc[nd.ID]
+	d := &storedDiff{
+		page: pg, creator: nd.ID,
+		from: nd.lastDiffed[pg], to: nd.vc[nd.ID],
+		whole: true, covers: covers,
+		vc:   diffVC(nd, nd.vc[nd.ID]),
+		runs: nd.Mem.WholePageRuns(nd.p, pg),
+	}
+	nd.storeDiff(d)
+	nd.lastDiffed[pg] = nd.vc[nd.ID]
+	delete(nd.dirty, pg)
+	delete(nd.noTwin, pg)
+}
+
+// storeDiff adds d to the diff cache, dropping any older diffs a whole
+// snapshot subsumes (bounding memory: a page that is repeatedly
+// WRITE_ALL-validated keeps only its newest snapshot).
+func (nd *Node) storeDiff(d *storedDiff) {
+	cache := nd.diffs[d.page]
+	if d.whole {
+		kept := cache[:0]
+		for _, old := range cache {
+			if subsumes(d, old) {
+				continue
+			}
+			kept = append(kept, old)
+		}
+		cache = kept
+	}
+	nd.diffs[d.page] = append(cache, d)
+}
+
+// subsumes reports whether whole snapshot w makes diff d redundant.
+func subsumes(w, d *storedDiff) bool {
+	if !w.whole {
+		return false
+	}
+	if d.whole {
+		for o := range d.covers {
+			if d.covers[o] > w.covers[o] {
+				return false
+			}
+		}
+		return true
+	}
+	return w.covers[d.creator] >= d.to
+}
+
+// learnInterval records a remote interval and invalidates the affected
+// pages, unless their modifications were already applied (for example via
+// Push).
+func (nd *Node) learnInterval(owner int, idx int32, iv interval) {
+	if owner == nd.ID {
+		panic("tmk: node taught its own interval")
+	}
+	if int32(len(nd.know[owner]))+1 != idx {
+		panic(fmt.Sprintf("tmk: node %d learning interval %d of %d out of order (knows %d)",
+			nd.ID, idx, owner, len(nd.know[owner])))
+	}
+	nd.know[owner] = append(nd.know[owner], iv)
+	nd.vc[owner] = idx
+	for _, ref := range iv.pages {
+		pg := int(ref.page)
+		if nd.applied[pg][owner] >= idx {
+			continue
+		}
+		nd.pending[pg] = append(nd.pending[pg], notice{owner: owner, idx: idx, whole: ref.whole})
+		if debugHook != nil {
+			debugHook("notice", nd.ID, owner, pg, int(idx))
+		}
+		nd.invalidate(pg)
+	}
+}
+
+// invalidate removes access to a page. Local modifications are saved as a
+// diff first so they can still be served (diff on invalidate).
+func (nd *Node) invalidate(page int) {
+	if nd.dirty[page] {
+		nd.flushLocalDiff(page, true)
+	}
+	if nd.Mem.Prot(page) != vm.NoAccess {
+		nd.Mem.SetProt(nd.p, page, vm.NoAccess)
+		nd.Stats.Invalidations++
+	}
+}
+
+// flushLocalDiff captures the node's own outstanding modifications to a
+// dirty page into the diff cache.
+//
+// When every closed interval of this page has already been diffed
+// (lastDiffed == vc), any captured modifications belong to the still-open
+// interval; the interval is split as real TreadMarks does: a fresh
+// single-page interval is closed on the spot so the diff carries a
+// coverage no earlier diff claims. Without the split, two diffs with
+// identical (creator, to) would exist and receivers would drop the newer
+// one.
+//
+// disarm selects what happens to write detection afterwards. On the
+// invalidation path the page loses all access, so the next local write
+// re-faults and detection re-arms naturally. On the serve path (a remote
+// processor requested diffs) the local processor may be mid-computation
+// holding established write access — a real MMU would deliver a fault at
+// its next store after re-protection, but the software MMU checks
+// protections only at Ensure boundaries. Detection therefore stays armed:
+// the page keeps write access and the dirty mark, and a fresh twin
+// snapshots the served state so later writes diff against it.
+func (nd *Node) flushLocalDiff(page int, disarm bool) {
+	if !nd.dirty[page] {
+		return
+	}
+	to := nd.vc[nd.ID]
+	mustSplit := nd.lastDiffed[page] == to
+	if nd.noTwin[page] {
+		if mustSplit {
+			to = nd.splitInterval(page, true)
+		}
+		// Snapshot an open WRITE_ALL page so the content stays servable.
+		covers := make([]int32, nd.sys.N())
+		copy(covers, nd.applied[page])
+		covers[nd.ID] = to
+		nd.storeDiff(&storedDiff{
+			page: page, creator: nd.ID,
+			from: nd.lastDiffed[page], to: to,
+			whole: true, covers: covers,
+			vc:   diffVC(nd, to),
+			runs: nd.Mem.WholePageRuns(nd.p, page),
+		})
+		nd.lastDiffed[page] = to
+		if disarm {
+			delete(nd.noTwin, page)
+			delete(nd.dirty, page)
+			nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
+		}
+		return
+	}
+	if nd.Mem.HasTwin(page) {
+		runs := nd.Mem.DiffAgainstTwin(nd.p, page)
+		if len(runs) > 0 && mustSplit {
+			to = nd.splitInterval(page, false)
+		}
+		if len(runs) > 0 || nd.lastDiffed[page] < to {
+			nd.storeDiff(&storedDiff{
+				page: page, creator: nd.ID,
+				from: nd.lastDiffed[page], to: to,
+				vc:   diffVC(nd, to),
+				runs: runs,
+			})
+		}
+	}
+	nd.lastDiffed[page] = to
+	if debugHook != nil {
+		debugHook("flush", nd.ID, page, int(to), disarm, nd.Mem.Data()[page*512+88], nd.Mem.HasTwin(page))
+	}
+	if disarm {
+		delete(nd.dirty, page)
+		nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
+		return
+	}
+	nd.Mem.MakeTwin(nd.p, page) // re-arm detection against the served state
+}
+
+// debugHook, when set by a test, observes protocol events:
+// ("flush", node, page, to, disarm), ("apply", node, creator, page, to,
+// whole, words), ("notice", node, owner, page, idx), ("skip", node,
+// creator, page, to).
+var debugHook func(event string, args ...any)
+
+// diffVC returns the ordering timestamp of a diff covering the creator's
+// intervals up to `to`: the vector time at which interval `to` closed.
+func diffVC(nd *Node, to int32) []int32 {
+	if int(to) <= len(nd.know[nd.ID]) && to >= 1 {
+		return nd.know[nd.ID][to-1].vc
+	}
+	// No closed interval (initial state): the diff covers nothing newer
+	// than the creator's current knowledge.
+	vc := append([]int32(nil), nd.vc...)
+	if to > vc[nd.ID] {
+		vc[nd.ID] = to
+	}
+	return vc
+}
+
+// splitInterval closes a fresh interval containing just the given page
+// and returns its index.
+func (nd *Node) splitInterval(page int, whole bool) int32 {
+	idx := nd.vc[nd.ID] + 1
+	nd.vc[nd.ID] = idx
+	nd.know[nd.ID] = append(nd.know[nd.ID], interval{
+		pages: []pageRef{{page: int32(page), whole: whole}},
+		vc:    append([]int32(nil), nd.vc...),
+	})
+	return idx
+}
+
+// responderFor picks who to ask for a page's outstanding diffs: if the
+// most recent notice is a whole-page overwrite, its owner alone suffices;
+// otherwise every noticed owner is asked for its own diffs.
+func (nd *Node) responderFor(page int) []int {
+	pend := nd.pending[page]
+	if len(pend) == 0 {
+		return nil
+	}
+	latest := pend[0]
+	owners := map[int]bool{}
+	for _, n := range pend {
+		owners[n.owner] = true
+		if n.idx > latest.idx || (n.idx == latest.idx && n.owner > latest.owner) {
+			latest = n
+		}
+	}
+	if latest.whole {
+		return []int{latest.owner}
+	}
+	out := make([]int, 0, len(owners))
+	for o := range owners {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// inflightFetch is a started but unapplied diff exchange.
+type inflightFetch struct {
+	comp  cluster.Completion
+	pages []int
+	reply []*storedDiff
+}
+
+// fetchPages retrieves outstanding modifications for the given pages,
+// aggregating all pages per responder into one exchange (the communication
+// aggregation optimization; the base fault path passes a single page, so
+// aggregation degenerates to TreadMarks behaviour there). With async, the
+// exchanges are left in flight and completed at the next fault on an
+// affected page or at the next synchronization point.
+func (nd *Node) fetchPages(pages []int, async bool) {
+	reqs := map[int][]int{} // responder -> pages
+	for _, pg := range pages {
+		for _, r := range nd.responderFor(pg) {
+			reqs[r] = append(reqs[r], pg)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	responders := make([]int, 0, len(reqs))
+	for r := range reqs {
+		responders = append(responders, r)
+	}
+	sort.Ints(responders)
+	for _, r := range responders {
+		pgs := reqs[r]
+		f := inflightFetch{pages: pgs}
+		resp := nd.sys.Nodes[r]
+		f.comp = nd.sys.NW.StartRPC(nd.p, r, 16+8*len(pgs), func() int {
+			reply, bytes := resp.serveDiffs(pgs, nd)
+			f.reply = reply
+			return bytes
+		})
+		nd.inflight = append(nd.inflight, f)
+		nd.Stats.DiffFetches++
+	}
+	if !async {
+		nd.completeInflight()
+	}
+}
+
+// completeInflight waits for all in-flight fetches and applies their
+// replies. Pages still missing diffs afterwards (a responder lacked some
+// other owner's diff) are re-fetched synchronously per owner, mirroring
+// the paper's "other diffs cause an access miss and are faulted in".
+func (nd *Node) completeInflight() {
+	for len(nd.inflight) > 0 {
+		fetches := nd.inflight
+		nd.inflight = nil
+		comps := make([]cluster.Completion, len(fetches))
+		for i := range fetches {
+			comps[i] = fetches[i].comp
+		}
+		nd.sys.NW.AwaitAll(nd.p, comps)
+		// Apply every reply of the round together: diffs from different
+		// responders may overlap (migratory and falsely shared pages), and
+		// only a global sort preserves vector-time order.
+		var all []*storedDiff
+		for _, f := range fetches {
+			all = append(all, f.reply...)
+		}
+		nd.applyDiffs(all)
+		retry := map[int]bool{}
+		for _, f := range fetches {
+			for _, pg := range f.pages {
+				if len(nd.pending[pg]) > 0 {
+					retry[pg] = true
+				}
+			}
+		}
+		if len(retry) > 0 {
+			pages := make([]int, 0, len(retry))
+			for pg := range retry {
+				pages = append(pages, pg)
+			}
+			sort.Ints(pages)
+			// Ask each remaining owner directly; owners can always serve
+			// their own diffs.
+			reqs := map[int][]int{}
+			for _, pg := range pages {
+				for _, n := range nd.pending[pg] {
+					reqs[n.owner] = append(reqs[n.owner], pg)
+				}
+			}
+			var round []*storedDiff
+			for _, r := range sortedKeys(reqs) {
+				pgs := dedupInts(reqs[r])
+				resp := nd.sys.Nodes[r]
+				var reply []*storedDiff
+				nd.sys.NW.RPC(nd.p, r, 16+8*len(pgs), func() int {
+					var bytes int
+					reply, bytes = resp.serveDiffs(pgs, nd)
+					return bytes
+				})
+				nd.Stats.DiffFetches++
+				round = append(round, reply...)
+			}
+			nd.applyDiffs(round)
+			for _, pg := range pages {
+				if len(nd.pending[pg]) > 0 {
+					panic(fmt.Sprintf("tmk: node %d cannot resolve notices for page %d: %+v",
+						nd.ID, pg, nd.pending[pg]))
+				}
+			}
+		}
+	}
+}
+
+// serveDiffs runs at the responder (inside an RPC handler): it flushes its
+// own outstanding modifications for the requested pages and returns every
+// cached diff the requester lacks, including diffs created by third
+// parties (the source of the diff accumulation the paper describes for
+// IS). The responder's CPU costs are charged by the vm operations.
+func (nd *Node) serveDiffs(pages []int, req *Node) ([]*storedDiff, int) {
+	var out []*storedDiff
+	bytes := 16
+	for _, pg := range pages {
+		if debugHook != nil {
+			debugHook("serve", nd.ID, req.ID, pg, nd.dirty[pg], int(nd.Mem.Prot(pg)), int(nd.lastDiffed[pg]), int(nd.vc[nd.ID]), nd.Mem.Data()[pg*512+88])
+		}
+		if nd.dirty[pg] {
+			nd.flushLocalDiff(pg, false)
+		}
+		applied := req.applied[pg]
+		var cand []*storedDiff
+		var best *storedDiff // newest whole snapshot, if any
+		for _, d := range nd.diffs[pg] {
+			if d.creator == req.ID || !d.helps(applied) {
+				continue
+			}
+			cand = append(cand, d)
+			if d.whole && (best == nil || subsumes(d, best)) {
+				best = d
+			}
+		}
+		// A whole snapshot that subsumes every other candidate is sent
+		// alone: the requester gets the full page once instead of the
+		// accumulated overlapping diffs.
+		if best != nil {
+			all := true
+			for _, d := range cand {
+				if d != best && !subsumes(best, d) {
+					all = false
+					break
+				}
+			}
+			if all {
+				cand = []*storedDiff{best}
+			}
+		}
+		for _, d := range cand {
+			out = append(out, d)
+			bytes += d.wireBytes()
+		}
+	}
+	return out, bytes
+}
+
+// applyDiffs merges received diffs, oldest coverage first, updating the
+// applied timestamps, pruning satisfied notices, caching the diffs for
+// later forwarding, and revalidating pages whose notices are all applied.
+func (nd *Node) applyDiffs(reply []*storedDiff) {
+	sort.SliceStable(reply, func(i, j int) bool {
+		a, b := reply[i], reply[j]
+		if a.page != b.page {
+			return a.page < b.page
+		}
+		if a.orderKey() != b.orderKey() {
+			return a.orderKey() < b.orderKey()
+		}
+		if a.creator != b.creator {
+			return a.creator < b.creator
+		}
+		return a.to < b.to
+	})
+	touched := map[int]bool{}
+	for _, d := range reply {
+		pg := d.page
+		applied := nd.applied[pg]
+		if !d.helps(applied) {
+			if debugHook != nil {
+				debugHook("skip", nd.ID, d.creator, pg, int(d.to))
+			}
+			continue
+		}
+		nd.Mem.ApplyRuns(nd.p, pg, d.runs)
+		if debugHook != nil {
+			debugHook("apply", nd.ID, d.creator, pg, int(d.to), d.whole, vm.RunsWords(d.runs))
+		}
+		nd.Stats.DiffsApplied++
+		nd.Stats.WordsApplied += int64(vm.RunsWords(d.runs))
+		if d.whole {
+			for o, c := range d.covers {
+				if c > applied[o] {
+					applied[o] = c
+				}
+			}
+		} else if d.to > applied[d.creator] {
+			applied[d.creator] = d.to
+		}
+		nd.storeDiff(d)
+		touched[pg] = true
+	}
+	for pg := range touched {
+		nd.prunePending(pg)
+	}
+}
+
+// prunePending drops satisfied notices and restores read access when a
+// page has no outstanding modifications left.
+func (nd *Node) prunePending(page int) {
+	pend := nd.pending[page][:0]
+	for _, n := range nd.pending[page] {
+		if n.idx > nd.applied[page][n.owner] {
+			pend = append(pend, n)
+		}
+	}
+	if len(pend) == 0 {
+		delete(nd.pending, page)
+		if nd.Mem.Prot(page) == vm.NoAccess {
+			nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
+		}
+		return
+	}
+	nd.pending[page] = pend
+}
+
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

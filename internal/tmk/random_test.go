@@ -1,0 +1,144 @@
+package tmk
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sdsm/internal/shm"
+)
+
+// xorshift is a tiny deterministic PRNG so the stress runs are seeded and
+// reproducible without math/rand.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// TestRandomizedBarrierPrograms runs randomly generated barrier-structured
+// SPMD programs against a golden shared-memory model. Each round, every
+// node writes a random set of regions from a disjoint per-node partition
+// of the round (so the program is race-free), with random Validate usage;
+// after the barrier every node reads random words and checks them against
+// the golden memory.
+func TestRandomizedBarrierPrograms(t *testing.T) {
+	const (
+		n      = 4
+		pages  = 8
+		rounds = 12
+	)
+	for seed := 1; seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			words := pages * shm.PageWords
+			golden := make([]float64, words)
+
+			// Pre-generate the whole schedule deterministically so every
+			// node and the golden model agree.
+			rng := xorshift(seed * 2654435761)
+			var schedule [rounds][]randWrite
+			for rd := 0; rd < rounds; rd++ {
+				// Slice the address space into n disjoint chunks this round,
+				// rotating so page ownership migrates between rounds.
+				chunk := words / n
+				rot := rng.intn(n)
+				for node := 0; node < n; node++ {
+					owner := (node + rot) % n
+					base := owner * chunk
+					for k := 0; k < 1+rng.intn(3); k++ {
+						lo := base + rng.intn(chunk-1)
+						hi := lo + 1 + rng.intn(minI(chunk-(lo-base)-1, 700))
+						w := randWrite{
+							node: node, lo: lo, hi: hi,
+							val: float64(rd*1000 + node*100 + k),
+							how: rng.intn(4),
+						}
+						schedule[rd] = append(schedule[rd], w)
+					}
+				}
+				// Apply to the golden model in schedule order (later writes
+				// this round only overlap within one node, which executes
+				// them in order).
+				for _, w := range schedule[rd] {
+					for a := w.lo; a < w.hi; a++ {
+						golden[a] = w.val
+					}
+				}
+			}
+
+			s := testSystem(n, words)
+			run(t, s, func(nd *Node) {
+				for rd := 0; rd < rounds; rd++ {
+					for _, w := range schedule[rd] {
+						if w.node != nd.ID {
+							continue
+						}
+						reg := []shm.Region{{Lo: w.lo, Hi: w.hi}}
+						switch w.how {
+						case 1:
+							nd.Validate(AccWrite, reg, false)
+						case 2:
+							nd.Validate(AccWriteAll, reg, false)
+						case 3:
+							nd.Validate(AccReadWrite, reg, true)
+						}
+						nd.Mem.EnsureWrite(nd.p, reg[0])
+						d := nd.Mem.Data()
+						for a := w.lo; a < w.hi; a++ {
+							d[a] = w.val
+						}
+					}
+					nd.p.Advance(time.Duration(nd.ID+1) * 53 * time.Microsecond)
+					nd.Barrier(1)
+					// Read back random words written up to this round.
+					probe := xorshift(uint64(seed*1_000_003 + rd*7919 + nd.ID))
+					goldenAt := goldenAfter(schedule[:rd+1], words)
+					for k := 0; k < 32; k++ {
+						a := probe.intn(words)
+						nd.Mem.EnsureRead(nd.p, shm.Region{Lo: a, Hi: a + 1})
+						if got := nd.Mem.Data()[a]; got != goldenAt[a] {
+							t.Fatalf("round %d node %d word %d: got %v want %v", rd, nd.ID, a, got, goldenAt[a])
+						}
+					}
+					nd.Barrier(2)
+				}
+			})
+		})
+	}
+}
+
+// randWrite is one generated write of the stress schedule.
+type randWrite struct {
+	node   int
+	lo, hi int
+	val    float64
+	how    int // 0 plain, 1 validate WRITE, 2 validate WRITE_ALL, 3 async READ&WRITE
+}
+
+// goldenAfter replays the schedule prefix into a fresh memory image.
+func goldenAfter(schedule [][]randWrite, words int) []float64 {
+	mem := make([]float64, words)
+	for _, rd := range schedule {
+		for _, w := range rd {
+			for a := w.lo; a < w.hi; a++ {
+				mem[a] = w.val
+			}
+		}
+	}
+	return mem
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

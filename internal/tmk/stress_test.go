@@ -1,0 +1,72 @@
+package tmk
+
+import (
+	"testing"
+
+	"sdsm/internal/shm"
+)
+
+// TestFalseSharingStress: 4 writers share one page; every iteration each
+// node reads the whole page (checking last iteration's values from all
+// writers) and overwrites its own quarter.
+func TestFalseSharingStress(t *testing.T) {
+	const n = 4
+	const iters = 6
+	const q = shm.PageWords / n
+	s := testSystem(n, shm.PageWords)
+	run(t, s, func(nd *Node) {
+		for it := 1; it <= iters; it++ {
+			// read whole page, check values from iteration it-1
+			nd.Mem.EnsureRead(nd.p, shm.Region{Lo: 0, Hi: shm.PageWords})
+			d := nd.Mem.Data()
+			for w := 0; w < n; w++ {
+				want := float64((it-1)*100 + w)
+				if it == 1 {
+					want = 0
+				}
+				if got := d[w*q]; got != want {
+					t.Errorf("iter %d node %d: word %d = %v, want %v", it, nd.ID, w*q, got, want)
+				}
+			}
+			nd.Barrier(1)
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: nd.ID * q, Hi: nd.ID*q + q})
+			for t := 0; t < q; t++ {
+				d[nd.ID*q+t] = float64(it*100 + nd.ID)
+			}
+			nd.Barrier(2)
+		}
+	})
+}
+
+// Same stress but with cross-phase reads resembling the FFT transpose:
+// phase A writes array X regions, phase B copies X into private places.
+func TestFalseSharingTranspose(t *testing.T) {
+	const n = 4
+	const iters = 4
+	const q = shm.PageWords / n
+	s := testSystem(n, 2*shm.PageWords) // page 0: X, page 1: Y
+	run(t, s, func(nd *Node) {
+		for it := 1; it <= iters; it++ {
+			// write own region of X
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: nd.ID * q, Hi: nd.ID*q + q})
+			d := nd.Mem.Data()
+			for t := 0; t < q; t++ {
+				d[nd.ID*q+t] = float64(it*1000 + nd.ID)
+			}
+			nd.Barrier(1)
+			// read all of X, write own region of Y with the sum
+			nd.Mem.EnsureRead(nd.p, shm.Region{Lo: 0, Hi: shm.PageWords})
+			sum := 0.0
+			for w := 0; w < n; w++ {
+				sum += d[w*q]
+			}
+			want := float64(it*1000*n + 0 + 1 + 2 + 3)
+			if sum != want {
+				t.Errorf("iter %d node %d: sum %v, want %v", it, nd.ID, sum, want)
+			}
+			nd.Mem.EnsureWrite(nd.p, shm.Region{Lo: shm.PageWords + nd.ID*q, Hi: shm.PageWords + nd.ID*q + q})
+			d[shm.PageWords+nd.ID*q] = sum
+			nd.Barrier(2)
+		}
+	})
+}

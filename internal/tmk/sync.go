@@ -1,0 +1,469 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// lock is the shared state of one TreadMarks lock: a static home node
+// forwards acquire requests to the last releaser.
+type lock struct {
+	id           int
+	home         int
+	holder       int // -1 when free
+	lastReleaser int
+	queue        []*lockWaiter
+}
+
+type lockWaiter struct {
+	nd *Node
+	// tAtHolder is when the forwarded request has been fielded by the
+	// holder.
+	tAtHolder time.Duration
+}
+
+func (s *System) lock(id int) *lock {
+	l, ok := s.locks[id]
+	if !ok {
+		home := id % s.N()
+		l = &lock{id: id, home: home, holder: -1, lastReleaser: home}
+		s.locks[id] = l
+	}
+	return l
+}
+
+// grant carries what a releaser hands to an acquirer: the write notices
+// the acquirer lacks, plus any diffs piggybacked for a pending
+// Validate_w_sync.
+type grant struct {
+	intervals []ownedInterval
+	served    []*storedDiff
+	bytes     int
+}
+
+type ownedInterval struct {
+	owner int
+	idx   int32
+	iv    interval
+}
+
+// buildGrant assembles the grant for req, including Validate_w_sync
+// piggybacked diffs ("in the case of a lock acquire, the requested data is
+// piggy-backed on the response"). Only diffs present locally are sent.
+func (nd *Node) buildGrant(req *Node) *grant {
+	g := &grant{}
+	for o := range nd.vc {
+		for idx := req.vc[o] + 1; idx <= nd.vc[o]; idx++ {
+			iv := nd.know[o][idx-1]
+			g.intervals = append(g.intervals, ownedInterval{owner: o, idx: idx, iv: iv})
+			g.bytes += iv.wireBytes()
+		}
+	}
+	for _, ws := range req.wsync {
+		for _, pg := range ws.pages {
+			nd.p.Charge(nd.sys.Costs.SectionScanPerPage)
+			if nd.dirty[pg] {
+				nd.flushLocalDiff(pg, false)
+			}
+			for _, d := range nd.diffs[pg] {
+				if d.creator == req.ID {
+					continue
+				}
+				if d.helps(req.applied[pg]) {
+					g.served = append(g.served, d)
+					g.bytes += d.wireBytes()
+				}
+			}
+		}
+	}
+	return g
+}
+
+// applyGrant merges a grant at the acquirer.
+func (nd *Node) applyGrant(g *grant) {
+	for _, oi := range g.intervals {
+		nd.learnInterval(oi.owner, oi.idx, oi.iv)
+	}
+	nd.applyDiffs(g.served)
+	nd.consumeWSync()
+}
+
+// Acquire obtains lock id, receiving the releaser's write notices
+// (invalidations happen here, per lazy release consistency).
+func (nd *Node) Acquire(id int) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.completeInflight()
+	nd.Stats.LockAcquires++
+	s := nd.sys
+	c := s.Costs
+	if s.N() == 1 {
+		nd.p.Charge(c.LockMgmt)
+		nd.consumeWSync()
+		return
+	}
+	l := s.lock(id)
+	t := nd.p.Now()
+	if l.home != nd.ID {
+		t = s.NW.Message(nd.ID, l.home, t, 0)
+	}
+	s.E.Proc(l.home).Charge(c.LockMgmt)
+	t += c.LockMgmt
+
+	if l.holder != -1 {
+		if l.holder != l.home {
+			t = s.NW.Message(l.home, l.holder, t, 0)
+			s.E.Proc(l.holder).Charge(c.LockMgmt)
+			t += c.LockMgmt
+		}
+		l.queue = append(l.queue, &lockWaiter{nd: nd, tAtHolder: t})
+		nd.p.Block(fmt.Sprintf("lock %d", id))
+		g := nd.grantInbox
+		nd.grantInbox = nil
+		nd.applyGrant(g)
+		return
+	}
+
+	l.holder = nd.ID
+	r := l.lastReleaser
+	if r == nd.ID {
+		// Re-acquiring a lock we released last: nothing new to learn.
+		if l.home != nd.ID {
+			t = s.NW.Message(l.home, nd.ID, t, 0)
+		}
+		nd.p.SetClock(t)
+		nd.consumeWSync()
+		return
+	}
+	if r != l.home {
+		t = s.NW.Message(l.home, r, t, 0)
+		s.E.Proc(r).Charge(c.LockMgmt)
+		t += c.LockMgmt
+	}
+	g := s.Nodes[r].buildGrant(nd)
+	s.E.Proc(r).Charge(c.LockMgmt)
+	t += c.LockMgmt
+	t = s.NW.Message(r, nd.ID, t, g.bytes)
+	nd.p.SetClock(t)
+	nd.applyGrant(g)
+}
+
+// Release ends the critical section: the open interval closes (a release
+// point) and a queued waiter, if any, is granted the lock directly.
+func (nd *Node) Release(id int) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.completeInflight()
+	nd.closeInterval()
+	s := nd.sys
+	if s.N() == 1 {
+		return
+	}
+	l := s.lock(id)
+	if l.holder != nd.ID {
+		panic(fmt.Sprintf("tmk: node %d releasing lock %d held by %d", nd.ID, id, l.holder))
+	}
+	l.lastReleaser = nd.ID
+	if len(l.queue) == 0 {
+		l.holder = -1
+		return
+	}
+	w := l.queue[0]
+	l.queue = l.queue[1:]
+	l.holder = w.nd.ID
+	g := nd.buildGrant(w.nd)
+	t := nd.p.Now()
+	if w.tAtHolder > t {
+		t = w.tAtHolder
+	}
+	t += s.Costs.LockMgmt
+	t = s.NW.Message(nd.ID, w.nd.ID, t, g.bytes)
+	w.nd.grantInbox = g
+	nd.p.Wake(w.nd.p, t)
+}
+
+// barrier is one episode of a named barrier.
+type barrier struct {
+	arrivals []*barrierArrival
+}
+
+type barrierArrival struct {
+	nd *Node
+	at time.Duration
+	vc []int32 // the node's vector time at arrival
+}
+
+// departInfo is staged for each node by the barrier master logic.
+type departInfo struct {
+	at        time.Duration
+	intervals []ownedInterval
+	remoteWS  []remoteWSync
+}
+
+// remoteWSync is one node's Validate_w_sync registration together with the
+// diffs the responsible processors contributed; the data rides the barrier
+// departure message ("the data can be broadcast to all other processors at
+// the time of the barrier").
+type remoteWSync struct {
+	req    *Node
+	pages  []int
+	served []*storedDiff
+	bytes  int
+}
+
+func (s *System) barrier(id int) *barrier {
+	b, ok := s.barriers[id]
+	if !ok {
+		b = &barrier{}
+		s.barriers[id] = b
+	}
+	return b
+}
+
+// Barrier synchronizes all nodes. Arrival closes the open interval; the
+// master (node 0) gathers vector times and write notices from the arrival
+// messages and redistributes the missing notices on the departure
+// messages; departure applies the invalidations. Validate_w_sync requests
+// ride the arrival and departure messages and are answered right after
+// departure (Section 3.2.1), with broadcast when a responder sends the
+// same data to everyone.
+func (nd *Node) Barrier(id int) {
+	nd.Mem.BeginProtBatch()
+	defer nd.Mem.FlushProtBatch(nd.p)
+	nd.completeInflight()
+	nd.closeInterval()
+	nd.Stats.Barriers++
+	s := nd.sys
+	if s.N() == 1 {
+		nd.consumeWSync()
+		return
+	}
+	b := s.barrier(id)
+	b.arrivals = append(b.arrivals, &barrierArrival{nd: nd, at: nd.p.Now(), vc: append([]int32(nil), nd.vc...)})
+	if len(b.arrivals) < s.N() {
+		nd.p.Block(fmt.Sprintf("barrier %d", id))
+		nd.postBarrier()
+		return
+	}
+	delete(s.barriers, id)
+	s.runBarrier(b, nd)
+	nd.postBarrier()
+}
+
+// runBarrier executes the master logic in the last arriver's context.
+func (s *System) runBarrier(b *barrier, executor *Node) {
+	c := s.Costs
+	master := s.Nodes[0]
+	n := s.N()
+
+	// Arrival messages, processed in arrival order; the master merges all
+	// write notices into its own state (charging its own processor for the
+	// invalidations it performs on itself).
+	var tDep time.Duration
+	for _, a := range b.arrivals {
+		if a.nd == master {
+			if a.at > tDep {
+				tDep = a.at
+			}
+			continue
+		}
+		bytes := 16
+		for o := range master.vc {
+			for idx := master.vc[o] + 1; idx <= a.nd.vc[o]; idx++ {
+				bytes += a.nd.know[o][idx-1].wireBytes()
+			}
+		}
+		h := s.NW.Message(a.nd.ID, master.ID, a.at, bytes)
+		if h > tDep {
+			tDep = h
+		}
+		for o := range master.vc {
+			if o == master.ID {
+				continue
+			}
+			for idx := master.vc[o] + 1; idx <= a.nd.vc[o]; idx++ {
+				master.learnInterval(o, idx, a.nd.know[o][idx-1])
+			}
+		}
+	}
+	// The master fields n-1 arrival interrupts back to back.
+	tDep += time.Duration(n-2)*c.RecvOverhead + c.BarrierMgmt
+
+	// With all notices merged, resolve the Validate_w_sync requests: the
+	// responsible processors contribute their diffs now (every processor
+	// has arrived, so the requested data is final) and the payload rides
+	// the departure messages. Identical payloads to every requester count
+	// as a broadcast.
+	var allWS []remoteWSync
+	for _, a := range b.arrivals {
+		q := a.nd
+		pageSet := map[int]bool{}
+		for _, ws := range q.wsync {
+			for _, pg := range ws.pages {
+				pageSet[pg] = true
+			}
+		}
+		if len(pageSet) == 0 {
+			continue
+		}
+		rw := remoteWSync{req: q}
+		for _, pg := range sortedSet(pageSet) {
+			rw.pages = append(rw.pages, pg)
+			for _, r := range master.wsyncResponder(q, pg) {
+				if r == q.ID {
+					continue
+				}
+				resp := s.Nodes[r]
+				resp.p.Charge(c.SectionScanPerPage)
+				if resp.dirty[pg] {
+					resp.flushLocalDiff(pg, false)
+				}
+				for _, d := range resp.diffs[pg] {
+					if d.creator == q.ID || (d.creator != r && !d.whole) {
+						continue
+					}
+					if d.helps(q.applied[pg]) {
+						rw.served = append(rw.served, d)
+						rw.bytes += d.wireBytes()
+						resp.Stats.WSyncServes++
+					}
+				}
+			}
+		}
+		allWS = append(allWS, rw)
+	}
+	// Broadcast accounting: a diff delivered to every other processor is a
+	// broadcast.
+	fanout := map[*storedDiff]int{}
+	for _, rw := range allWS {
+		for _, d := range rw.served {
+			fanout[d]++
+		}
+	}
+	for d, k := range fanout {
+		if k == n-1 {
+			s.Nodes[d.creator].Stats.WSyncBcasts++
+		}
+	}
+
+	// Departure messages, serialized at the master; Validate_w_sync
+	// payloads ride along.
+	dep := tDep
+	for _, a := range b.arrivals {
+		if a.nd == master {
+			continue
+		}
+		var ivs []ownedInterval
+		bytes := 16
+		for o := range master.vc {
+			for idx := a.vc[o] + 1; idx <= master.vc[o]; idx++ {
+				iv := master.know[o][idx-1]
+				ivs = append(ivs, ownedInterval{owner: o, idx: idx, iv: iv})
+				bytes += iv.wireBytes()
+			}
+		}
+		for i := range allWS {
+			if allWS[i].req == a.nd {
+				bytes += allWS[i].bytes
+			}
+		}
+		h := s.NW.Message(master.ID, a.nd.ID, dep, bytes)
+		dep += c.SendOverhead
+		a.nd.depart = &departInfo{at: h, intervals: ivs, remoteWS: allWS}
+	}
+	master.depart = &departInfo{at: tDep + time.Duration(n-1)*c.SendOverhead, remoteWS: allWS}
+
+	for _, a := range b.arrivals {
+		if a.nd == executor {
+			continue
+		}
+		executor.p.Wake(a.nd.p, a.nd.depart.at)
+	}
+	executor.p.SetClock(executor.depart.at)
+}
+
+// depart is staged by runBarrier; postBarrier consumes it.
+func (nd *Node) postBarrier() {
+	d := nd.depart
+	nd.depart = nil
+	if d == nil {
+		panic(fmt.Sprintf("tmk: node %d woke from barrier without departure info", nd.ID))
+	}
+	nd.p.SetClock(d.at)
+	for _, oi := range d.intervals {
+		if oi.owner == nd.ID {
+			continue
+		}
+		nd.learnInterval(oi.owner, oi.idx, oi.iv)
+	}
+	for i := range d.remoteWS {
+		if d.remoteWS[i].req == nd {
+			nd.applyDiffs(d.remoteWS[i].served)
+		}
+	}
+	nd.consumeWSync()
+}
+
+// wsyncResponder determines, from post-barrier global knowledge, which
+// node answers requester q's Validate_w_sync for page pg. Every node
+// computes the same assignment independently.
+func (nd *Node) wsyncResponder(q *Node, pg int) []int {
+	var latest notice
+	owners := map[int]bool{}
+	for o := range nd.vc {
+		if o == q.ID {
+			continue
+		}
+		for idx := q.applied[pg][o] + 1; idx <= nd.vc[o]; idx++ {
+			ref, ok := nd.know[o][idx-1].find(pg)
+			if !ok {
+				continue
+			}
+			owners[o] = true
+			if idx > latest.idx || (idx == latest.idx && o > latest.owner) {
+				latest = notice{owner: o, idx: idx, whole: ref.whole}
+			}
+		}
+	}
+	if len(owners) == 0 {
+		return nil
+	}
+	if latest.whole {
+		return []int{latest.owner}
+	}
+	out := make([]int, 0, len(owners))
+	for o := range owners {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (iv interval) find(pg int) (pageRef, bool) {
+	i := sort.Search(len(iv.pages), func(i int) bool { return int(iv.pages[i].page) >= pg })
+	if i < len(iv.pages) && int(iv.pages[i].page) == pg {
+		return iv.pages[i], true
+	}
+	return pageRef{}, false
+}
+
+const tagWSync = 100
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedSet(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,267 @@
+// Package tmk implements a TreadMarks-style software distributed shared
+// memory run-time with lazy release consistency, extended with the
+// compiler interface the paper introduces (Section 3): Validate,
+// Validate_w_sync, and Push, with synchronous and asynchronous data
+// fetching.
+//
+// The base protocol follows the paper's description of TreadMarks:
+//
+//   - Lazy release consistency with vector timestamps and intervals; write
+//     notices propagate at lock acquires and barrier departures and
+//     invalidate pages.
+//   - An invalidate, multiple-writer protocol: first writes twin the page;
+//     diffs (word runs) are created lazily when modifications are
+//     requested, and pages are re-protected at diff creation.
+//   - Locks have a static home (id mod N) that forwards requests to the
+//     last releaser; barriers are master-based.
+//
+// The augmented interface bypasses (Validate with READ/WRITE/READ&WRITE)
+// or disables (WRITE_ALL/READ&WRITE_ALL) the page-based consistency
+// machinery, aggregates diff fetches into one exchange per responder,
+// piggybacks fetches on synchronization (Validate_w_sync, with broadcast
+// detection at barriers), and replaces barriers by point-to-point data
+// exchanges (Push).
+package tmk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdsm/internal/cluster"
+	"sdsm/internal/model"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+	"sdsm/internal/vm"
+)
+
+// AccessType is the access pattern the compiler declares in a Validate
+// call (Section 3.1.1).
+type AccessType int
+
+// Access types. The first three preserve consistency; the last two disable
+// it and require exact compiler analysis.
+const (
+	AccRead AccessType = iota
+	AccWrite
+	AccReadWrite
+	AccWriteAll
+	AccReadWriteAll
+)
+
+func (a AccessType) String() string {
+	switch a {
+	case AccRead:
+		return "READ"
+	case AccWrite:
+		return "WRITE"
+	case AccReadWrite:
+		return "READ&WRITE"
+	case AccWriteAll:
+		return "WRITE_ALL"
+	case AccReadWriteAll:
+		return "READ&WRITE_ALL"
+	}
+	return fmt.Sprintf("AccessType(%d)", int(a))
+}
+
+// writes reports whether the access type enables writing.
+func (a AccessType) writes() bool { return a != AccRead }
+
+// noTwin reports whether the access type disables twinning/diffing.
+func (a AccessType) noTwin() bool { return a == AccWriteAll || a == AccReadWriteAll }
+
+// fetches reports whether the access type requires updating page contents.
+func (a AccessType) fetches() bool { return a != AccWriteAll }
+
+// ProtocolStats counts run-time events beyond the vm and network counters.
+type ProtocolStats struct {
+	LockAcquires  int64
+	Barriers      int64
+	Validates     int64
+	Pushes        int64
+	WSyncServes   int64 // diff messages sent in response to Validate_w_sync
+	WSyncBcasts   int64 // of which broadcast
+	DiffFetches   int64 // RPC exchanges performed to fetch diffs
+	DiffsApplied  int64
+	WordsApplied  int64
+	Invalidations int64
+}
+
+// System is one DSM machine: N nodes over a simulated network sharing a
+// page-based address space.
+type System struct {
+	E      *sim.Engine
+	NW     *cluster.Network
+	Costs  model.Costs
+	Layout *shm.Layout
+	Nodes  []*Node
+
+	locks    map[int]*lock
+	barriers map[int]*barrier
+}
+
+// New builds a DSM system for every processor of e. All pages start
+// unmapped, as after TreadMarks initialization; the first touch of an
+// unwritten page faults once and validates it zero-filled locally,
+// without communication.
+func New(e *sim.Engine, nw *cluster.Network, layout *shm.Layout) *System {
+	s := &System{
+		E:        e,
+		NW:       nw,
+		Costs:    nw.Costs(),
+		Layout:   layout,
+		locks:    map[int]*lock{},
+		barriers: map[int]*barrier{},
+	}
+	n := e.N()
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			ID:      i,
+			sys:     s,
+			vc:      make([]int32, n),
+			know:    make([][]interval, n),
+			dirty:   map[int]bool{},
+			noTwin:  map[int]bool{},
+			pending: map[int][]notice{},
+			diffs:   map[int][]*storedDiff{},
+			mode:    map[int]AccessType{},
+		}
+		nd.Mem = vm.New(i, layout.Words(), s.Costs, nd)
+		pages := nd.Mem.Pages()
+		nd.applied = make([][]int32, pages)
+		for pg := range nd.applied {
+			nd.applied[pg] = make([]int32, n)
+		}
+		nd.lastDiffed = make([]int32, pages)
+		s.Nodes = append(s.Nodes, nd)
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *System) N() int { return s.E.N() }
+
+// Run executes body once per node, binding each node to its processor.
+func (s *System) Run(body func(nd *Node)) error {
+	return s.E.Run(func(p *sim.Proc) {
+		nd := s.Nodes[p.ID]
+		nd.p = p
+		body(nd)
+	})
+}
+
+// Stats aggregates protocol statistics across nodes.
+func (s *System) Stats() (vm.Counters, ProtocolStats) {
+	var vc vm.Counters
+	var ps ProtocolStats
+	for _, nd := range s.Nodes {
+		c := nd.Mem.Counters
+		vc.ReadFaults += c.ReadFaults
+		vc.WriteFaults += c.WriteFaults
+		vc.ProtOps += c.ProtOps
+		vc.Twins += c.Twins
+		vc.Diffs += c.Diffs
+		vc.DiffWords += c.DiffWords
+		ps.LockAcquires += nd.Stats.LockAcquires
+		ps.Barriers += nd.Stats.Barriers
+		ps.Validates += nd.Stats.Validates
+		ps.Pushes += nd.Stats.Pushes
+		ps.WSyncServes += nd.Stats.WSyncServes
+		ps.WSyncBcasts += nd.Stats.WSyncBcasts
+		ps.DiffFetches += nd.Stats.DiffFetches
+		ps.DiffsApplied += nd.Stats.DiffsApplied
+		ps.WordsApplied += nd.Stats.WordsApplied
+		ps.Invalidations += nd.Stats.Invalidations
+	}
+	return vc, ps
+}
+
+// MaxTime returns the largest node clock, the parallel execution time.
+func (s *System) MaxTime() time.Duration {
+	var t time.Duration
+	for i := 0; i < s.N(); i++ {
+		if c := s.E.Proc(i).Now(); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// notice is a write notice: owner wrote page in its interval idx. whole
+// marks intervals that overwrote the entire page without twinning
+// (WRITE_ALL), which lets a fetch from the latest such writer subsume
+// older modifications.
+type notice struct {
+	owner int
+	idx   int32
+	whole bool
+}
+
+// pageRef names a page within an interval record.
+type pageRef struct {
+	page  int32
+	whole bool
+}
+
+// interval records the pages one owner modified in one interval, plus the
+// owner's vector time when the interval closed. Lazily created diffs take
+// their ordering timestamp from here: stamping them with the (later)
+// flush-time clock would overstate their causal position and invert the
+// application order of overlapping diffs.
+type interval struct {
+	pages []pageRef
+	vc    []int32
+}
+
+// wireBytes estimates the write-notice payload for an interval record.
+func (iv interval) wireBytes() int { return 8 + 4*len(iv.pages) }
+
+// Node is one processor's DSM runtime state.
+type Node struct {
+	ID  int
+	sys *System
+	Mem *vm.Mem
+	p   *sim.Proc
+
+	vc         []int32          // vc[o]: latest interval of owner o known here
+	know       [][]interval     // know[o][i]: interval i+1 of owner o
+	applied    [][]int32        // applied[page][o]: o's latest interval reflected in the local copy
+	pending    map[int][]notice // unapplied write notices per page
+	dirty      map[int]bool     // pages writable in the current/open interval
+	noTwin     map[int]bool     // dirty pages in WRITE_ALL mode
+	diffs      map[int][]*storedDiff
+	lastDiffed []int32 // per page: own modifications diffed up to this interval
+
+	inflight []inflightFetch    // asynchronous fetches not yet completed
+	mode     map[int]AccessType // deferred consistency action for async Validate
+	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
+
+	grantInbox *grant      // lock grant stashed by a releaser before waking us
+	depart     *departInfo // barrier departure staged by the master logic
+
+	Stats ProtocolStats
+}
+
+// Proc returns the simulated processor the node runs on.
+func (nd *Node) Proc() *sim.Proc { return nd.p }
+
+// Time returns the node's current virtual time.
+func (nd *Node) Time() time.Duration { return nd.p.Now() }
+
+// pagesOf expands regions to the set of overlapped page numbers, sorted.
+func pagesOf(regions []shm.Region) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range regions {
+		p0, p1 := r.Pages()
+		for pg := p0; pg < p1; pg++ {
+			if !seen[pg] {
+				seen[pg] = true
+				out = append(out, pg)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

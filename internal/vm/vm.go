@@ -1,0 +1,323 @@
+// Package vm is the software MMU of the simulated DSM node.
+//
+// A real TreadMarks implementation relies on mprotect and SIGSEGV to detect
+// shared accesses; a Go process cannot own either (the Go runtime does), so
+// this package substitutes a paged memory with explicit protection bits.
+// Application code accesses shared memory through EnsureRead/EnsureWrite
+// region calls; a protection mismatch delivers a fault to the DSM protocol
+// exactly as a hardware trap would, with the fault, protection-change,
+// twinning and diffing costs of the paper's platform charged to virtual
+// time. The protocol layer (package tmk) is the fault handler.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdsm/internal/model"
+	"sdsm/internal/shm"
+	"sdsm/internal/sim"
+)
+
+// Prot is a page protection state.
+type Prot uint8
+
+const (
+	// NoAccess pages fault on any access (invalid pages).
+	NoAccess Prot = iota
+	// ReadOnly pages fault on writes (write detection armed).
+	ReadOnly
+	// ReadWrite pages never fault.
+	ReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case NoAccess:
+		return "none"
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	}
+	return fmt.Sprintf("prot(%d)", uint8(p))
+}
+
+// Access is the kind of memory access that faulted.
+type Access uint8
+
+const (
+	// Read access.
+	Read Access = iota
+	// Write access.
+	Write
+)
+
+// FaultHandler receives protection faults. The handler must leave the page
+// with sufficient protection for the faulting access, or the access panics.
+type FaultHandler interface {
+	Fault(p *sim.Proc, page int, acc Access)
+}
+
+// Run is a contiguous span of modified words within a page, the unit a
+// diff is made of.
+type Run struct {
+	Off  int // word offset within the page
+	Vals []float64
+}
+
+// RunsBytes returns the wire size of a set of runs: one word of header per
+// run plus the data words.
+func RunsBytes(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += shm.WordBytes * (1 + len(r.Vals))
+	}
+	return n
+}
+
+// RunsWords returns the number of data words covered by runs.
+func RunsWords(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.Vals)
+	}
+	return n
+}
+
+// Counters tallies MMU events for one node; the paper's "segv" column in
+// Table 2 is ReadFaults+WriteFaults.
+type Counters struct {
+	ReadFaults  int64
+	WriteFaults int64
+	ProtOps     int64
+	Twins       int64
+	Diffs       int64
+	DiffWords   int64
+}
+
+// Mem is one node's view of the shared address space.
+type Mem struct {
+	Node  int
+	costs model.Costs
+
+	data    []float64
+	prot    []Prot
+	twins   map[int][]float64
+	handler FaultHandler
+
+	batchDepth int
+	batched    map[int]Prot // page -> protection before the batch
+
+	// Counters is exported for the statistics harness.
+	Counters Counters
+}
+
+// New creates a node memory of the given size with all pages NoAccess.
+func New(node int, words int, costs model.Costs, handler FaultHandler) *Mem {
+	pages := (words + shm.PageWords - 1) / shm.PageWords
+	return &Mem{
+		Node:    node,
+		costs:   costs,
+		data:    make([]float64, pages*shm.PageWords),
+		prot:    make([]Prot, pages),
+		twins:   map[int][]float64{},
+		handler: handler,
+	}
+}
+
+// Pages returns the number of pages in the address space.
+func (m *Mem) Pages() int { return len(m.prot) }
+
+// Data exposes the node's memory image. Callers must have established
+// access rights with EnsureRead/EnsureWrite first.
+func (m *Mem) Data() []float64 { return m.data }
+
+// PageData returns the words of one page.
+func (m *Mem) PageData(page int) []float64 {
+	return m.data[page*shm.PageWords : (page+1)*shm.PageWords]
+}
+
+// PageRegion returns the region covered by page.
+func PageRegion(page int) shm.Region {
+	return shm.Region{Lo: page * shm.PageWords, Hi: (page + 1) * shm.PageWords}
+}
+
+// Prot returns the protection of page.
+func (m *Mem) Prot(page int) Prot { return m.prot[page] }
+
+// SetProt changes the protection of page, charging the platform's
+// protection-operation cost and counting it. Setting the same protection
+// is free (no system call would be issued). Inside a protection batch
+// (BeginProtBatch/FlushProtBatch) the bit changes immediately but the cost
+// is coalesced per contiguous same-protection run, the way the augmented
+// run-time's section primitives (Write_enable(Section) and friends,
+// Figure 4 of the paper) issue one mprotect per address range.
+func (m *Mem) SetProt(p *sim.Proc, page int, prot Prot) {
+	if m.prot[page] == prot {
+		return
+	}
+	if m.batchDepth > 0 {
+		if _, seen := m.batched[page]; !seen {
+			m.batched[page] = m.prot[page] // remember the pre-batch state
+		}
+		m.prot[page] = prot
+		return
+	}
+	m.prot[page] = prot
+	m.Counters.ProtOps++
+	p.Charge(m.costs.ProtOp(m.Pages()))
+}
+
+// BeginProtBatch opens a (reentrant) protection batch.
+func (m *Mem) BeginProtBatch() {
+	if m.batchDepth == 0 {
+		m.batched = map[int]Prot{}
+	}
+	m.batchDepth++
+}
+
+// FlushProtBatch closes the batch, charging one protection operation per
+// contiguous run of pages with the same final protection.
+func (m *Mem) FlushProtBatch(p *sim.Proc) {
+	m.batchDepth--
+	if m.batchDepth > 0 {
+		return
+	}
+	if len(m.batched) == 0 {
+		m.batched = nil
+		return
+	}
+	pages := make([]int, 0, len(m.batched))
+	for pg, orig := range m.batched {
+		if m.prot[pg] != orig { // changed-back pages need no syscall
+			pages = append(pages, pg)
+		}
+	}
+	sort.Ints(pages)
+	runs := 0
+	for i, pg := range pages {
+		if i == 0 || pg != pages[i-1]+1 || m.prot[pg] != m.prot[pages[i-1]] {
+			runs++
+		}
+	}
+	m.Counters.ProtOps += int64(runs)
+	p.Charge(time.Duration(runs) * m.costs.ProtOp(m.Pages()))
+	m.batched = nil
+}
+
+// SetProtInit changes protection without cost, for pre-run initialization.
+func (m *Mem) SetProtInit(page int, prot Prot) { m.prot[page] = prot }
+
+// EnsureRead establishes read access to every page overlapping r,
+// delivering faults to the handler as needed.
+func (m *Mem) EnsureRead(p *sim.Proc, r shm.Region) {
+	p0, p1 := r.Pages()
+	for pg := p0; pg < p1; pg++ {
+		if m.prot[pg] == NoAccess {
+			m.fault(p, pg, Read)
+		}
+	}
+}
+
+// EnsureWrite establishes write access to every page overlapping r.
+func (m *Mem) EnsureWrite(p *sim.Proc, r shm.Region) {
+	p0, p1 := r.Pages()
+	for pg := p0; pg < p1; pg++ {
+		if m.prot[pg] != ReadWrite {
+			m.fault(p, pg, Write)
+		}
+	}
+}
+
+func (m *Mem) fault(p *sim.Proc, page int, acc Access) {
+	if acc == Read {
+		m.Counters.ReadFaults++
+	} else {
+		m.Counters.WriteFaults++
+	}
+	p.Charge(m.costs.PageFault)
+	m.handler.Fault(p, page, acc)
+	if acc == Read && m.prot[page] == NoAccess || acc == Write && m.prot[page] != ReadWrite {
+		panic(fmt.Sprintf("vm: handler left page %d at %v after %d fault", page, m.prot[page], acc))
+	}
+}
+
+// HasTwin reports whether page currently has a twin.
+func (m *Mem) HasTwin(page int) bool {
+	_, ok := m.twins[page]
+	return ok
+}
+
+// MakeTwin snapshots page for later diffing, charging the copy cost.
+func (m *Mem) MakeTwin(p *sim.Proc, page int) {
+	if _, ok := m.twins[page]; ok {
+		panic(fmt.Sprintf("vm: page %d already has a twin", page))
+	}
+	tw := make([]float64, shm.PageWords)
+	copy(tw, m.PageData(page))
+	m.twins[page] = tw
+	m.Counters.Twins++
+	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
+}
+
+// DropTwin discards the twin of page, if any.
+func (m *Mem) DropTwin(page int) { delete(m.twins, page) }
+
+// DiffAgainstTwin compares page to its twin and returns the modified word
+// runs, charging the scan cost. The twin is consumed.
+func (m *Mem) DiffAgainstTwin(p *sim.Proc, page int) []Run {
+	tw, ok := m.twins[page]
+	if !ok {
+		panic(fmt.Sprintf("vm: page %d has no twin to diff against", page))
+	}
+	delete(m.twins, page)
+	cur := m.PageData(page)
+	var runs []Run
+	i := 0
+	for i < shm.PageWords {
+		if cur[i] == tw[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < shm.PageWords && cur[j] != tw[j] {
+			j++
+		}
+		runs = append(runs, Run{Off: i, Vals: append([]float64(nil), cur[i:j]...)})
+		i = j
+	}
+	m.Counters.Diffs++
+	m.Counters.DiffWords += int64(RunsWords(runs))
+	p.Charge(time.Duration(shm.PageWords) * m.costs.DiffScanPerWord)
+	return runs
+}
+
+// WholePageRuns returns the full contents of page as a single run, used
+// when modifications must be shipped but no twin exists (WRITE_ALL pages).
+// It is a memcpy, not a compare, so it costs the twin rate per word.
+func (m *Mem) WholePageRuns(p *sim.Proc, page int) []Run {
+	vals := append([]float64(nil), m.PageData(page)...)
+	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
+	return []Run{{Off: 0, Vals: vals}}
+}
+
+// ApplyRuns merges received modification runs into page, charging the
+// apply cost.
+func (m *Mem) ApplyRuns(p *sim.Proc, page int, runs []Run) {
+	dst := m.PageData(page)
+	words := 0
+	for _, r := range runs {
+		copy(dst[r.Off:r.Off+len(r.Vals)], r.Vals)
+		words += len(r.Vals)
+	}
+	// Applying must not corrupt an armed twin: if the page has a twin, the
+	// twin receives the same data so local modifications remain detectable.
+	if tw, ok := m.twins[page]; ok {
+		for _, r := range runs {
+			copy(tw[r.Off:r.Off+len(r.Vals)], r.Vals)
+		}
+	}
+	p.Charge(time.Duration(words) * m.costs.ApplyPerWord)
+}

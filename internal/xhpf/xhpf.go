@@ -1,0 +1,20 @@
+// Package xhpf models the Forge XHPF parallelizing compiler the paper
+// compares against. A real data-parallel compiler generates owner-computes
+// message passing; this stand-in reuses the hand-coded message-passing
+// schedules with a per-phase distribution-bookkeeping overhead (XHPF
+// tracks distributions and inserts ownership guards at run time), and it
+// refuses the programs a data-parallel compiler cannot handle: IS's
+// indirect access to the main array.
+package xhpf
+
+// Applicable reports whether the stand-in can parallelize the named
+// application.
+func Applicable(app string) bool { return app != "is" }
+
+// RejectionReason explains a refusal, mirroring the paper's discussion.
+func RejectionReason(app string) string {
+	if app == "is" {
+		return "indirect access to the main array in the computation"
+	}
+	return ""
+}

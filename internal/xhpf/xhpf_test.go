@@ -1,0 +1,20 @@
+package xhpf
+
+import "testing"
+
+func TestApplicability(t *testing.T) {
+	for _, app := range []string{"jacobi", "fft", "shallow", "gauss", "mgs"} {
+		if !Applicable(app) {
+			t.Errorf("%s should be parallelizable", app)
+		}
+		if RejectionReason(app) != "" {
+			t.Errorf("%s should have no rejection reason", app)
+		}
+	}
+	if Applicable("is") {
+		t.Error("IS must be rejected (indirect access to the main array)")
+	}
+	if RejectionReason("is") == "" {
+		t.Error("IS rejection must be explained")
+	}
+}
