@@ -7,10 +7,13 @@
 //
 // reproduces the evaluation and cmd/sdsm-experiments pretty-prints it.
 // EXPERIMENTS.md records a reference run next to the paper's numbers.
+// The sweep benchmarks fan their independent runs across all cores via the
+// harness's experiment scheduler; virtual-time metrics are unaffected.
 package sdsm_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sdsm/internal/apps"
@@ -37,7 +40,7 @@ func BenchmarkMicro(b *testing.B) {
 // BenchmarkTable1 regenerates the uniprocessor execution times.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table1()
+		rows, err := harness.Table1(runtime.GOMAXPROCS(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +55,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates the segv/msg/data reductions of Opt vs Base.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table2(harness.DefaultProcs)
+		rows, err := harness.Table2(harness.DefaultProcs, runtime.GOMAXPROCS(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +100,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the optimization-level sweep.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig6(harness.DefaultProcs)
+		rows, err := harness.Fig6(harness.DefaultProcs, runtime.GOMAXPROCS(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +115,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the synchronous vs asynchronous comparison.
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig7(harness.DefaultProcs)
+		rows, err := harness.Fig7(harness.DefaultProcs, runtime.GOMAXPROCS(0))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,6 +3,11 @@
 //
 //	sdsm-experiments -all
 //	sdsm-experiments -table1 -fig5 -procs 8
+//	sdsm-experiments -all -parallel 8
+//
+// Every experiment is a self-contained simulation, so -parallel N fans
+// independent runs across N workers: virtual-time numbers are unchanged,
+// only wall-clock time drops (see EXPERIMENTS.md for a reference run).
 //
 // The output prints measured values next to the paper's where applicable;
 // EXPERIMENTS.md discusses the comparisons.
@@ -12,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sdsm/internal/harness"
 )
@@ -26,8 +32,13 @@ func main() {
 		fig7   = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
 		micro  = flag.Bool("micro", false, "Section 5 primitive costs")
 		procs  = flag.Int("procs", harness.DefaultProcs, "processor count")
+		par    = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *micro) {
 		flag.Usage()
 		os.Exit(2)
@@ -45,35 +56,35 @@ func main() {
 		fmt.Println(harness.FormatMicro(m))
 	}
 	if *all || *table1 {
-		rows, err := harness.Table1()
+		rows, err := harness.Table1(workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(harness.FormatTable1(rows))
 	}
 	if *all || *table2 {
-		rows, err := harness.Table2(*procs)
+		rows, err := harness.Table2(*procs, workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(harness.FormatTable2(rows))
 	}
 	if *all || *fig5 {
-		rows, err := harness.Fig5(*procs)
+		rows, err := harness.Fig5(*procs, workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(harness.FormatFig5(rows, *procs))
 	}
 	if *all || *fig6 {
-		rows, err := harness.Fig6(*procs)
+		rows, err := harness.Fig6(*procs, workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(harness.FormatFig6(rows, *procs))
 	}
 	if *all || *fig7 {
-		rows, err := harness.Fig7(*procs)
+		rows, err := harness.Fig7(*procs, workers)
 		if err != nil {
 			fail(err)
 		}

@@ -3,6 +3,11 @@
 //
 //	sdsm-run -app jacobi -system opt-tmk -set large -procs 8
 //	sdsm-run -app is -system tmk -set small -procs 4 -verify
+//	sdsm-run -app fft -backend real -verify
+//
+// -backend real runs the DSM nodes as goroutines genuinely in parallel
+// (results are identical to the deterministic sim backend; virtual times
+// become scheduling-dependent).
 package main
 
 import (
@@ -17,12 +22,13 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs")
-		system = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
-		set    = flag.String("set", "large", "data set: large, small")
-		procs  = flag.Int("procs", harness.DefaultProcs, "processor count")
-		verify = flag.Bool("verify", false, "verify the result against the sequential reference")
-		sync   = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
+		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs")
+		system  = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
+		set     = flag.String("set", "large", "data set: large, small")
+		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
+		verify  = flag.Bool("verify", false, "verify the result against the sequential reference")
+		sync    = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
+		backend = flag.String("backend", "sim", "host backend for DSM systems: sim (deterministic), real (goroutine per node)")
 	)
 	flag.Parse()
 
@@ -40,6 +46,7 @@ func main() {
 	res, err := harness.Run(harness.Config{
 		App: a, Set: ds, System: harness.SystemKind(*system),
 		Procs: *procs, Verify: *verify, SyncFetch: *sync,
+		Backend: harness.Backend(*backend),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
@@ -53,7 +60,11 @@ func main() {
 	}
 
 	fmt.Printf("application:   %s (%s set)\n", a.Name, ds)
-	fmt.Printf("system:        %s on %d processors\n", *system, *procs)
+	shownBackend := *backend
+	if harness.SystemKind(*system) == harness.PVMe || harness.SystemKind(*system) == harness.XHPF {
+		shownBackend = string(harness.BackendSim) // message passing always runs on sim
+	}
+	fmt.Printf("system:        %s on %d processors (%s backend)\n", *system, *procs, shownBackend)
 	fmt.Printf("time:          %v (uniprocessor %v, speedup %.2f)\n", res.Time, uni, harness.Speedup(uni, res.Time))
 	fmt.Printf("messages:      %d (%.2f MB)\n", res.Msgs, float64(res.Bytes)/1e6)
 	if harness.SystemKind(*system) == harness.Base || harness.SystemKind(*system) == harness.Opt {

@@ -18,59 +18,52 @@ import (
 	"fmt"
 	"time"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
-	"sdsm/internal/sim"
 )
 
 // Tag distinguishes message classes within a mailbox.
-type Tag int
+type Tag = host.Tag
 
 // AnySender matches messages from every sender in Recv.
-const AnySender = -1
+const AnySender = host.AnySender
 
 // Msg is a delivered message.
-type Msg struct {
-	From, To int
-	Tag      Tag
-	Payload  any
-	Bytes    int
-	Arrival  time.Duration
-}
+type Msg = host.Msg
 
 // NodeStats counts traffic at one node.
-type NodeStats struct {
-	MsgsSent, MsgsRecv   int64
-	BytesSent, BytesRecv int64
-}
+type NodeStats = host.NodeStats
 
 // Stats aggregates network traffic. The DSM statistics the paper reports
 // ("msg" and "data" in Table 2) are derived from these counters.
-type Stats struct {
-	Msgs  int64
-	Bytes int64
-	Node  []NodeStats
-}
+type Stats = host.Stats
+
+// Completion describes an in-flight RPC reply for asynchronous fetching.
+type Completion = host.Completion
 
 type waiter struct {
-	p    *sim.Proc
+	p    host.Proc
 	from int
 	tag  Tag
 }
 
-// Network is the simulated interconnect.
+// Network implements host.Transport over any host backend: the mailbox and
+// RPC state is shared, so all methods must be called inside a protocol
+// section (the sim host makes every instant one; the real host's run-time
+// layers bracket their entry points).
 type Network struct {
-	e     *sim.Engine
+	h     host.Host
 	costs model.Costs
 	boxes [][]Msg // pending messages per destination
 	waits []*waiter
 	stats Stats
 }
 
-// New creates a network for every processor of e.
-func New(e *sim.Engine, costs model.Costs) *Network {
-	n := e.N()
+// New creates a network for every processor of h.
+func New(h host.Host, costs model.Costs) *Network {
+	n := h.N()
 	return &Network{
-		e:     e,
+		h:     h,
 		costs: costs,
 		boxes: make([][]Msg, n),
 		waits: make([]*waiter, n),
@@ -90,7 +83,7 @@ func (nw *Network) Stats() Stats {
 
 // ResetStats zeroes all counters (used between experiment phases).
 func (nw *Network) ResetStats() {
-	nw.stats = Stats{Node: make([]NodeStats, nw.e.N())}
+	nw.stats = Stats{Node: make([]NodeStats, nw.h.N())}
 }
 
 func (nw *Network) account(from, to, bytes int) {
@@ -104,20 +97,20 @@ func (nw *Network) account(from, to, bytes int) {
 
 // Send transmits payload from p to node `to`. The sender is charged send
 // overhead; the message arrives after wire latency plus bandwidth time.
-func (nw *Network) Send(p *sim.Proc, to int, tag Tag, payload any, bytes int) {
-	if to == p.ID {
+func (nw *Network) Send(p host.Proc, to int, tag Tag, payload any, bytes int) {
+	if to == p.ID() {
 		panic("cluster: send to self")
 	}
 	p.Charge(nw.costs.SendOverhead)
 	m := Msg{
-		From:    p.ID,
+		From:    p.ID(),
 		To:      to,
 		Tag:     tag,
 		Payload: payload,
 		Bytes:   bytes,
 		Arrival: p.Now() + nw.costs.OneWay(bytes),
 	}
-	nw.account(p.ID, to, bytes)
+	nw.account(p.ID(), to, bytes)
 	nw.boxes[to] = append(nw.boxes[to], m)
 	if w := nw.waits[to]; w != nil && (w.from == AnySender || w.from == m.From) && w.tag == m.Tag {
 		nw.waits[to] = nil
@@ -127,9 +120,9 @@ func (nw *Network) Send(p *sim.Proc, to int, tag Tag, payload any, bytes int) {
 
 // Broadcast sends payload to every other node, serializing the per-message
 // send overhead at the sender (how MPL broadcast behaves for small n).
-func (nw *Network) Broadcast(p *sim.Proc, tag Tag, payload any, bytes int) {
-	for to := 0; to < nw.e.N(); to++ {
-		if to != p.ID {
+func (nw *Network) Broadcast(p host.Proc, tag Tag, payload any, bytes int) {
+	for to := 0; to < nw.h.N(); to++ {
+		if to != p.ID() {
 			nw.Send(p, to, tag, payload, bytes)
 		}
 	}
@@ -138,17 +131,17 @@ func (nw *Network) Broadcast(p *sim.Proc, tag Tag, payload any, bytes int) {
 // Recv blocks p until a message with the given tag (and sender, unless
 // AnySender) is available, then delivers the earliest-arriving match.
 // Receiving charges the interrupt/dispatch overhead.
-func (nw *Network) Recv(p *sim.Proc, from int, tag Tag) Msg {
+func (nw *Network) Recv(p host.Proc, from int, tag Tag) Msg {
 	for {
-		if m, ok := nw.take(p.ID, from, tag); ok {
+		if m, ok := nw.take(p.ID(), from, tag); ok {
 			p.SetClock(m.Arrival)
 			p.Charge(nw.costs.RecvOverhead)
 			return m
 		}
-		if nw.waits[p.ID] != nil {
-			panic(fmt.Sprintf("cluster: node %d has two concurrent receivers", p.ID))
+		if nw.waits[p.ID()] != nil {
+			panic(fmt.Sprintf("cluster: node %d has two concurrent receivers", p.ID()))
 		}
-		nw.waits[p.ID] = &waiter{p: p, from: from, tag: tag}
+		nw.waits[p.ID()] = &waiter{p: p, from: from, tag: tag}
 		p.Block(fmt.Sprintf("recv tag=%d from=%d", tag, from))
 	}
 }
@@ -183,16 +176,10 @@ func (nw *Network) Message(from, to int, depart time.Duration, bytes int) time.D
 	if from == to {
 		panic("cluster: message to self")
 	}
-	nw.e.Proc(from).Charge(nw.costs.SendOverhead)
-	nw.e.Proc(to).Charge(nw.costs.RecvOverhead)
+	nw.h.Proc(from).Charge(nw.costs.SendOverhead)
+	nw.h.Proc(to).Charge(nw.costs.RecvOverhead)
 	nw.account(from, to, bytes)
 	return depart + nw.costs.SendOverhead + nw.costs.OneWay(bytes) + nw.costs.RecvOverhead
-}
-
-// Completion describes an in-flight RPC reply for asynchronous fetching.
-type Completion struct {
-	Arrival time.Duration
-	Bytes   int
 }
 
 // RPC performs a synchronous request/reply with node `to`. The handler is
@@ -201,7 +188,7 @@ type Completion struct {
 // arrival. The target is additionally charged interrupt, service, and
 // reply-injection overheads, and the requester's clock moves to the
 // reply's arrival.
-func (nw *Network) RPC(p *sim.Proc, to int, reqBytes int, handler func() (respBytes int)) {
+func (nw *Network) RPC(p host.Proc, to int, reqBytes int, handler func() (respBytes int)) {
 	c := nw.StartRPC(p, to, reqBytes, handler)
 	nw.Await(p, c)
 }
@@ -210,20 +197,20 @@ func (nw *Network) RPC(p *sim.Proc, to int, reqBytes int, handler func() (respBy
 // The handler still runs immediately (the protocol state transition is
 // deterministic); only the requester's time accounting is deferred, which
 // models asynchronous data fetching (Section 3.2.3 of the paper).
-func (nw *Network) StartRPC(p *sim.Proc, to int, reqBytes int, handler func() (respBytes int)) Completion {
-	if to == p.ID {
+func (nw *Network) StartRPC(p host.Proc, to int, reqBytes int, handler func() (respBytes int)) Completion {
+	if to == p.ID() {
 		panic("cluster: RPC to self")
 	}
 	p.Charge(nw.costs.SendOverhead)
 	reqArrival := p.Now() + nw.costs.OneWay(reqBytes)
-	nw.account(p.ID, to, reqBytes)
+	nw.account(p.ID(), to, reqBytes)
 
-	target := nw.e.Proc(to)
+	target := nw.h.Proc(to)
 	before := target.Now()
 	respBytes := handler() // handler charges the target for its own work
 	target.Charge(nw.costs.RecvOverhead + nw.costs.RequestService + nw.costs.SendOverhead)
 	service := target.Now() - before
-	nw.account(to, p.ID, respBytes)
+	nw.account(to, p.ID(), respBytes)
 
 	respArrival := reqArrival + service + nw.costs.OneWay(respBytes)
 	return Completion{Arrival: respArrival, Bytes: respBytes}
@@ -234,21 +221,21 @@ func (nw *Network) StartRPC(p *sim.Proc, to int, reqBytes int, handler func() (r
 // switch-assisted broadcast the augmented run-time uses at barriers when a
 // processor sends identical data to everyone). Each delivery is still
 // accounted as a message.
-func (nw *Network) SendShared(p *sim.Proc, tos []int, tag Tag, payload any, bytes int) {
+func (nw *Network) SendShared(p host.Proc, tos []int, tag Tag, payload any, bytes int) {
 	p.Charge(nw.costs.SendOverhead)
 	for _, to := range tos {
-		if to == p.ID {
+		if to == p.ID() {
 			panic("cluster: send to self")
 		}
 		m := Msg{
-			From:    p.ID,
+			From:    p.ID(),
 			To:      to,
 			Tag:     tag,
 			Payload: payload,
 			Bytes:   bytes,
 			Arrival: p.Now() + nw.costs.OneWay(bytes),
 		}
-		nw.account(p.ID, to, bytes)
+		nw.account(p.ID(), to, bytes)
 		nw.boxes[to] = append(nw.boxes[to], m)
 		if w := nw.waits[to]; w != nil && (w.from == AnySender || w.from == m.From) && w.tag == m.Tag {
 			nw.waits[to] = nil
@@ -259,14 +246,14 @@ func (nw *Network) SendShared(p *sim.Proc, tos []int, tag Tag, payload any, byte
 
 // Await advances p to the completion of one in-flight RPC and charges the
 // receive overhead.
-func (nw *Network) Await(p *sim.Proc, c Completion) {
+func (nw *Network) Await(p host.Proc, c Completion) {
 	p.SetClock(c.Arrival)
 	p.Charge(nw.costs.RecvOverhead)
 }
 
 // AwaitAll completes a set of in-flight RPCs, processing replies in arrival
 // order (the receive overheads serialize at the requester).
-func (nw *Network) AwaitAll(p *sim.Proc, cs []Completion) {
+func (nw *Network) AwaitAll(p host.Proc, cs []Completion) {
 	rest := append([]Completion(nil), cs...)
 	for len(rest) > 0 {
 		best := 0

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/sim"
 )
@@ -15,8 +16,8 @@ func TestSendRecvTiming(t *testing.T) {
 	nw := New(e, model.SP2())
 	c := model.SP2()
 	var recvAt time.Duration
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			nw.Send(p, 1, tagData, "hello", 0)
 		} else {
 			m := nw.Recv(p, 0, tagData)
@@ -41,8 +42,8 @@ func TestMinRoundTripMatchesPaper(t *testing.T) {
 	e := sim.NewEngine(2)
 	nw := New(e, model.SP2())
 	var rt time.Duration
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			start := p.Now()
 			nw.Send(p, 1, tagData, nil, 0)
 			nw.Recv(p, 1, tagData)
@@ -66,8 +67,8 @@ func TestBandwidthCharge(t *testing.T) {
 	nw := New(e, costs)
 	var recvAt time.Duration
 	const bytes = 1 << 20
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			nw.Send(p, 1, tagData, nil, bytes)
 		} else {
 			nw.Recv(p, 0, tagData)
@@ -87,8 +88,8 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 	e := sim.NewEngine(2)
 	nw := New(e, model.SP2())
 	var recvAt time.Duration
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			p.Advance(10 * time.Millisecond)
 			nw.Send(p, 1, tagData, nil, 0)
 		} else {
@@ -107,8 +108,8 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 func TestStatsCount(t *testing.T) {
 	e := sim.NewEngine(3)
 	nw := New(e, model.SP2())
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			nw.Broadcast(p, tagData, nil, 100)
 		} else {
 			nw.Recv(p, 0, tagData)
@@ -134,8 +135,8 @@ func TestRPCChargesBothSides(t *testing.T) {
 	costs := model.SP2()
 	nw := New(e, costs)
 	var reqDone, targetClock time.Duration
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			nw.RPC(p, 1, 16, func() int {
 				e.Proc(1).Charge(5 * time.Microsecond)
 				return 64
@@ -164,8 +165,8 @@ func TestAwaitAllSerializesReceives(t *testing.T) {
 	costs := model.SP2()
 	nw := New(e, costs)
 	var done time.Duration
-	err := e.Run(func(p *sim.Proc) {
-		switch p.ID {
+	err := e.Run(func(p host.Proc) {
+		switch p.ID() {
 		case 0:
 			c1 := nw.StartRPC(p, 1, 0, func() int { return 0 })
 			c2 := nw.StartRPC(p, 2, 0, func() int { return 0 })
@@ -200,8 +201,8 @@ func TestAsyncOverlapsComputation(t *testing.T) {
 		e := sim.NewEngine(2)
 		nw := New(e, costs)
 		var done time.Duration
-		err := e.Run(func(p *sim.Proc) {
-			if p.ID == 0 {
+		err := e.Run(func(p host.Proc) {
+			if p.ID() == 0 {
 				if async {
 					c := nw.StartRPC(p, 1, 0, func() int { return 4096 })
 					p.Advance(300 * time.Microsecond) // overlapped compute
@@ -227,8 +228,8 @@ func TestPerSenderOrderingByArrival(t *testing.T) {
 	// Messages from one sender are received in arrival (send) order.
 	e := sim.NewEngine(2)
 	nw := New(e, model.SP2())
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			for i := 0; i < 5; i++ {
 				nw.Send(p, 1, tagData, i, 0)
 			}
@@ -249,8 +250,8 @@ func TestRecvByTagSelectsCorrectly(t *testing.T) {
 	const tagA, tagB Tag = 10, 11
 	e := sim.NewEngine(2)
 	nw := New(e, model.SP2())
-	err := e.Run(func(p *sim.Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			nw.Send(p, 1, tagA, "a", 0)
 			nw.Send(p, 1, tagB, "b", 0)
 		} else {

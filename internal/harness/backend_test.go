@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"sdsm/internal/apps"
+)
+
+// TestBackendEquivalence asserts that every paper application computes
+// bit-identical results on the deterministic sim backend and on the
+// real-concurrency backend, across node counts. The applications are
+// data-race-free, so the DSM protocol delivers the same final memory
+// image regardless of scheduling; virtual times differ (the real backend
+// makes no determinism promise for them), checksums must not.
+//
+// The real-backend runs execute in parallel (t.Parallel), which doubles as
+// the suite's race-detector workout for the host layer.
+func TestBackendEquivalence(t *testing.T) {
+	for _, a := range apps.Registry() {
+		a := a
+		seq := SeqChecksum(a, apps.Small)
+		for _, procs := range []int{1, 2, 8} {
+			procs := procs
+			simRes, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true})
+			if err != nil {
+				t.Fatalf("%s/p%d: sim backend: %v", a.Name, procs, err)
+			}
+			if !apps.Close(simRes.Checksum, seq) {
+				t.Fatalf("%s/p%d: sim checksum %v differs from sequential %v", a.Name, procs, simRes.Checksum, seq)
+			}
+			t.Run(fmt.Sprintf("%s/p%d/real", a.Name, procs), func(t *testing.T) {
+				t.Parallel()
+				realRes, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Backend: BackendReal})
+				if err != nil {
+					t.Fatalf("real backend: %v", err)
+				}
+				if realRes.Checksum != simRes.Checksum {
+					t.Errorf("real backend checksum %v != sim backend checksum %v", realRes.Checksum, simRes.Checksum)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendEquivalenceOpt runs the compiler-optimized system on both
+// backends for the applications exercising each augmented-interface
+// feature (WRITE_ALL for jacobi, Validate_w_sync broadcast for gauss,
+// lock-phase optimization for is).
+func TestBackendEquivalenceOpt(t *testing.T) {
+	for _, name := range []string{"jacobi", "gauss", "is"} {
+		name := name
+		a, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRes, err := Run(Config{App: a, Set: apps.Small, System: Opt, Procs: 4, Verify: true})
+		if err != nil {
+			t.Fatalf("%s: sim backend: %v", name, err)
+		}
+		t.Run(name+"/real", func(t *testing.T) {
+			t.Parallel()
+			realRes, err := Run(Config{App: a, Set: apps.Small, System: Opt, Procs: 4, Verify: true, Backend: BackendReal})
+			if err != nil {
+				t.Fatalf("real backend: %v", err)
+			}
+			if realRes.Checksum != simRes.Checksum {
+				t.Errorf("real backend checksum %v != sim backend checksum %v", realRes.Checksum, simRes.Checksum)
+			}
+		})
+	}
+}

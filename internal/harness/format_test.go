@@ -53,3 +53,12 @@ func TestSpeedupGuards(t *testing.T) {
 		t.Errorf("Speedup = %v", got)
 	}
 }
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	a, _ := apps.ByName("jacobi")
+	for _, sys := range []SystemKind{Base, PVMe} { // MP systems must validate too
+		if _, err := Run(Config{App: a, Set: Small, System: sys, Procs: 2, Backend: "reall"}); err == nil {
+			t.Errorf("%s: unknown backend must error", sys)
+		}
+	}
+}

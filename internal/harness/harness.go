@@ -13,6 +13,7 @@ import (
 	"sdsm/internal/apps"
 	"sdsm/internal/cluster"
 	"sdsm/internal/compiler"
+	"sdsm/internal/host"
 	"sdsm/internal/interp"
 	"sdsm/internal/model"
 	"sdsm/internal/mp"
@@ -36,6 +37,18 @@ const (
 	PVMe SystemKind = "pvme"    // hand-coded message passing
 )
 
+// Backend selects the execution backend for DSM runs.
+type Backend string
+
+// The two host backends (see internal/host). The sim backend reproduces
+// the paper's virtual-time numbers deterministically; the real backend
+// runs the nodes as goroutines genuinely in parallel, with identical
+// application results but scheduling-dependent virtual times.
+const (
+	BackendSim  Backend = "sim"
+	BackendReal Backend = "real"
+)
+
 // Config selects one run.
 type Config struct {
 	App    *apps.App
@@ -44,6 +57,11 @@ type Config struct {
 	Procs  int
 	Costs  model.Costs
 	Verify bool
+	// Backend picks the host backend for DSM systems; empty means
+	// BackendSim. Message-passing systems always use the sim backend
+	// (their receive-any and reduction orders are only deterministic
+	// there).
+	Backend Backend
 	// Level overrides the per-app best compiler options (for the Figure 6
 	// sweep); nil means BestOptions for Opt.
 	Level *compiler.Options
@@ -67,6 +85,11 @@ type Result struct {
 func Run(cfg Config) (*Result, error) {
 	if cfg.Costs == (model.Costs{}) {
 		cfg.Costs = model.SP2()
+	}
+	switch cfg.Backend {
+	case "", BackendSim, BackendReal:
+	default:
+		return nil, fmt.Errorf("harness: unknown backend %q", cfg.Backend)
 	}
 	switch cfg.System {
 	case Base, Opt:
@@ -102,9 +125,14 @@ func runDSM(cfg Config) (*Result, error) {
 	}
 
 	layout := compiler.BuildLayout(prog, params)
-	e := sim.NewEngine(cfg.Procs)
-	nw := cluster.New(e, cfg.Costs)
-	sys := tmk.New(e, nw, layout)
+	var h host.Host
+	if cfg.Backend == BackendReal {
+		h = host.NewReal(cfg.Procs)
+	} else {
+		h = sim.NewEngine(cfg.Procs)
+	}
+	nw := cluster.New(h, cfg.Costs)
+	sys := tmk.New(h, nw, layout)
 
 	var checksum float64
 	var epilogue []func(nd *tmk.Node)

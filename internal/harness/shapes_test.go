@@ -1,12 +1,18 @@
 package harness
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"sdsm/internal/apps"
 	"sdsm/internal/model"
 )
+
+// sweepWorkers sizes the experiment scheduler's pool for the full-size
+// sweeps: every run is self-contained, so the sweeps parallelize across
+// cores without changing any virtual-time result.
+func sweepWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // The shape tests assert the paper's qualitative claims (see DESIGN.md):
 // who wins, in which direction the optimizations act, and where the
@@ -15,7 +21,7 @@ import (
 
 func fig5Rows(t *testing.T) []Fig5Row {
 	t.Helper()
-	rows, err := Fig5(8)
+	rows, err := Fig5(8, sweepWorkers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +102,7 @@ func TestPaperShapeTable2(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
 	}
-	rows, err := Table2(8)
+	rows, err := Table2(8, sweepWorkers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +130,7 @@ func TestPaperShapeFig6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
 	}
-	rows, err := Fig6(8)
+	rows, err := Fig6(8, sweepWorkers())
 	if err != nil {
 		t.Fatal(err)
 	}

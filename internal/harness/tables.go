@@ -8,6 +8,7 @@ import (
 
 	"sdsm/internal/apps"
 	"sdsm/internal/cluster"
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/rsd"
 	"sdsm/internal/shm"
@@ -37,26 +38,46 @@ var Table1Paper = map[string]float64{
 	"mgs/large": 449.3, "mgs/small": 56.4,
 }
 
-// Table1 measures uniprocessor virtual times for every application and
-// data set. Note the measured values use the scaled default sizes; the
-// paper column is at the original sizes (see EXPERIMENTS.md).
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
+// appSet is one cell of the (application, data set) grid, the unit of
+// work the experiment scheduler fans out.
+type appSet struct {
+	app *apps.App
+	set apps.DataSet
+}
+
+// appSets enumerates the grid in the paper's order.
+func appSets() []appSet {
+	var out []appSet
 	for _, a := range apps.Registry() {
 		for _, set := range []apps.DataSet{Large, Small} {
-			t, err := UniTime(a, set, model.SP2())
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table1Row{
-				App: a.Name, Set: set,
-				Params:   paramString(a, set),
-				Measured: t,
-				Paper:    time.Duration(Table1Paper[a.Name+"/"+string(set)] * float64(time.Second)),
-			})
+			out = append(out, appSet{a, set})
 		}
 	}
-	return rows, nil
+	return out
+}
+
+// Table1 measures uniprocessor virtual times for every application and
+// data set, fanning the measurements across workers. Note the measured
+// values use the scaled default sizes; the paper column is at the
+// original sizes (see EXPERIMENTS.md).
+func Table1(workers int) ([]Table1Row, error) {
+	cases := appSets()
+	rows := make([]Table1Row, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		t, err := UniTime(a, set, model.SP2())
+		if err != nil {
+			return err
+		}
+		rows[i] = Table1Row{
+			App: a.Name, Set: set,
+			Params:   paramString(a, set),
+			Measured: t,
+			Paper:    time.Duration(Table1Paper[a.Name+"/"+string(set)] * float64(time.Second)),
+		}
+		return nil
+	})
+	return rows, err
 }
 
 // Large/Small aliases re-exported for callers of the harness.
@@ -107,31 +128,32 @@ func pctReduction(base, opt int64) float64 {
 	return 100 * float64(base-opt) / float64(base)
 }
 
-// Table2 runs base and optimized TreadMarks at 8 processors and reports
-// the reductions in page faults, messages, and data.
-func Table2(procs int) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, a := range apps.Registry() {
-		for _, set := range []apps.DataSet{Large, Small} {
-			base, err := Run(Config{App: a, Set: set, System: Base, Procs: procs})
-			if err != nil {
-				return nil, err
-			}
-			opt, err := Run(Config{App: a, Set: set, System: Opt, Procs: procs})
-			if err != nil {
-				return nil, err
-			}
-			paper := Table2Paper[a.Name+"/"+string(set)]
-			rows = append(rows, Table2Row{
-				App: a.Name, Set: set,
-				SegvPct:   pctReduction(base.Segv, opt.Segv),
-				MsgPct:    pctReduction(base.Msgs, opt.Msgs),
-				DataPct:   pctReduction(base.Bytes, opt.Bytes),
-				PaperSegv: paper[0], PaperMsg: paper[1], PaperData: paper[2],
-			})
+// Table2 runs base and optimized TreadMarks and reports the reductions in
+// page faults, messages, and data, one (app, set) pair per worker job.
+func Table2(procs, workers int) ([]Table2Row, error) {
+	cases := appSets()
+	rows := make([]Table2Row, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		base, err := Run(Config{App: a, Set: set, System: Base, Procs: procs})
+		if err != nil {
+			return err
 		}
-	}
-	return rows, nil
+		opt, err := Run(Config{App: a, Set: set, System: Opt, Procs: procs})
+		if err != nil {
+			return err
+		}
+		paper := Table2Paper[a.Name+"/"+string(set)]
+		rows[i] = Table2Row{
+			App: a.Name, Set: set,
+			SegvPct:   pctReduction(base.Segv, opt.Segv),
+			MsgPct:    pctReduction(base.Msgs, opt.Msgs),
+			DataPct:   pctReduction(base.Bytes, opt.Bytes),
+			PaperSegv: paper[0], PaperMsg: paper[1], PaperData: paper[2],
+		}
+		return nil
+	})
+	return rows, err
 }
 
 // Fig5Row is one application/data-set speedup comparison across the four
@@ -142,40 +164,42 @@ type Fig5Row struct {
 	Base, Opt, XHPF, PVMe float64 // speedups; XHPF = 0 when inapplicable
 }
 
-// Fig5 computes the Figure 5 speedups at the given processor count.
-func Fig5(procs int) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, a := range apps.Registry() {
-		for _, set := range []apps.DataSet{Large, Small} {
-			uni, err := UniTime(a, set, model.SP2())
-			if err != nil {
-				return nil, err
-			}
-			row := Fig5Row{App: a.Name, Set: set}
-			for _, sys := range []SystemKind{Base, Opt, XHPF, PVMe} {
-				if sys == XHPF && !a.XHPF {
-					continue
-				}
-				res, err := Run(Config{App: a, Set: set, System: sys, Procs: procs})
-				if err != nil {
-					return nil, err
-				}
-				sp := Speedup(uni, res.Time)
-				switch sys {
-				case Base:
-					row.Base = sp
-				case Opt:
-					row.Opt = sp
-				case XHPF:
-					row.XHPF = sp
-				case PVMe:
-					row.PVMe = sp
-				}
-			}
-			rows = append(rows, row)
+// Fig5 computes the Figure 5 speedups at the given processor count, one
+// (app, set) pair per worker job.
+func Fig5(procs, workers int) ([]Fig5Row, error) {
+	cases := appSets()
+	rows := make([]Fig5Row, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		uni, err := UniTime(a, set, model.SP2())
+		if err != nil {
+			return err
 		}
-	}
-	return rows, nil
+		row := Fig5Row{App: a.Name, Set: set}
+		for _, sys := range []SystemKind{Base, Opt, XHPF, PVMe} {
+			if sys == XHPF && !a.XHPF {
+				continue
+			}
+			res, err := Run(Config{App: a, Set: set, System: sys, Procs: procs})
+			if err != nil {
+				return err
+			}
+			sp := Speedup(uni, res.Time)
+			switch sys {
+			case Base:
+				row.Base = sp
+			case Opt:
+				row.Opt = sp
+			case XHPF:
+				row.XHPF = sp
+			case PVMe:
+				row.PVMe = sp
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
 }
 
 // Fig6Row is one application/data-set speedup sweep over the optimization
@@ -188,45 +212,48 @@ type Fig6Row struct {
 	Applies [5]bool
 }
 
-// Fig6 sweeps the cumulative optimization levels of Figure 6.
-func Fig6(procs int) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, a := range apps.Registry() {
-		for _, set := range []apps.DataSet{Large, Small} {
-			uni, err := UniTime(a, set, model.SP2())
-			if err != nil {
-				return nil, err
-			}
-			prog := a.Build(procs)
-			params := prog.Prepare(a.Sets[set], procs)
-			row := Fig6Row{App: a.Name, Set: set}
-			for li, lvl := range Levels(a, procs, params) {
-				applies := true
-				switch li {
-				case 3:
-					applies = a.WSyncApplicable
-				case 4:
-					applies = a.PushApplicable
-				}
-				row.Applies[li] = applies
-				if !applies {
-					row.Levels[li] = row.Levels[li-1]
-					continue
-				}
-				cfg := Config{App: a, Set: set, System: Opt, Procs: procs, Level: lvl}
-				if lvl == nil {
-					cfg.System = Base
-				}
-				res, err := Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Levels[li] = Speedup(uni, res.Time)
-			}
-			rows = append(rows, row)
+// Fig6 sweeps the cumulative optimization levels of Figure 6, one
+// (app, set) pair per worker job (the levels within a row stay
+// sequential: inapplicable levels repeat the previous one).
+func Fig6(procs, workers int) ([]Fig6Row, error) {
+	cases := appSets()
+	rows := make([]Fig6Row, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		uni, err := UniTime(a, set, model.SP2())
+		if err != nil {
+			return err
 		}
-	}
-	return rows, nil
+		prog := a.Build(procs)
+		params := prog.Prepare(a.Sets[set], procs)
+		row := Fig6Row{App: a.Name, Set: set}
+		for li, lvl := range Levels(a, procs, params) {
+			applies := true
+			switch li {
+			case 3:
+				applies = a.WSyncApplicable
+			case 4:
+				applies = a.PushApplicable
+			}
+			row.Applies[li] = applies
+			if !applies {
+				row.Levels[li] = row.Levels[li-1]
+				continue
+			}
+			cfg := Config{App: a, Set: set, System: Opt, Procs: procs, Level: lvl}
+			if lvl == nil {
+				cfg.System = Base
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				return err
+			}
+			row.Levels[li] = Speedup(uni, res.Time)
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
 }
 
 // Fig7Row compares synchronous and asynchronous data fetching (large data
@@ -236,34 +263,37 @@ type Fig7Row struct {
 	Base, Sync, Async float64
 }
 
-// Fig7 computes the Figure 7 comparison.
-func Fig7(procs int) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, a := range apps.Registry() {
+// Fig7 computes the Figure 7 comparison, one application per worker job.
+func Fig7(procs, workers int) ([]Fig7Row, error) {
+	registry := apps.Registry()
+	rows := make([]Fig7Row, len(registry))
+	err := parallelDo(len(registry), workers, func(i int) error {
+		a := registry[i]
 		uni, err := UniTime(a, Large, model.SP2())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := Run(Config{App: a, Set: Large, System: Base, Procs: procs})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		syncRes, err := Run(Config{App: a, Set: Large, System: Opt, Procs: procs, SyncFetch: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		asyncRes, err := Run(Config{App: a, Set: Large, System: Opt, Procs: procs})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig7Row{
+		rows[i] = Fig7Row{
 			App:   a.Name,
 			Base:  Speedup(uni, base.Time),
 			Sync:  Speedup(uni, syncRes.Time),
 			Async: Speedup(uni, asyncRes.Time),
-		})
-	}
-	return rows, nil
+		}
+		return nil
+	})
+	return rows, err
 }
 
 // Micro reports the Section 5 primitive costs measured on the simulated
@@ -288,9 +318,9 @@ func Micro() (*MicroResult, error) {
 	{
 		e := sim.NewEngine(2)
 		nw := cluster.New(e, costs)
-		err := e.Run(func(p *sim.Proc) {
+		err := e.Run(func(p host.Proc) {
 			const tag = 1
-			if p.ID == 0 {
+			if p.ID() == 0 {
 				start := p.Now()
 				nw.Send(p, 1, tag, nil, 0)
 				nw.Recv(p, 1, tag)

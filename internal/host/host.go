@@ -1,0 +1,190 @@
+// Package host defines the platform seam between the DSM protocol stack
+// (tmk), the message-passing layer (mp), and the applications on one side,
+// and a concrete execution backend on the other.
+//
+// A backend provides two things:
+//
+//   - A Host: a fixed set of processors with virtual clocks and the
+//     blocking primitives the protocol layers are written against
+//     (Advance/Charge, Block/Wake, Yield).
+//   - A Transport: the interconnect carrying mailbox messages and
+//     request/reply (RPC) exchanges with latency, bandwidth, and CPU
+//     overhead accounting (package cluster is the reference
+//     implementation, usable on any Host).
+//
+// Two hosts exist:
+//
+//   - The deterministic discrete-event engine (package sim), which admits
+//     exactly one runnable processor at a time and reproduces the paper's
+//     virtual-time numbers bit for bit regardless of the Go scheduler.
+//   - The real-concurrency host (NewReal, this package), where each
+//     processor is a goroutine running genuinely in parallel on the
+//     machine's cores. Virtual time is still accounted (atomically) but no
+//     longer serializes execution.
+//
+// # The protocol-section contract
+//
+// The DSM protocol mutates shared state (mailboxes, lock queues, barrier
+// episodes, remote diff caches) under the historical assumption that only
+// one processor runs at a time. The seam preserves that assumption without
+// giving up parallelism through three bracketing primitives, all no-ops on
+// the sequential sim host:
+//
+//   - Begin/End delimit a protocol section. The real host backs them with
+//     a single host-wide token mutex: protocol code on different nodes is
+//     mutually excluded, exactly as under the sim engine. Block releases
+//     the token while suspended and reacquires it on wake, so waiting
+//     inside a protocol section (locks, barriers, message receive) cannot
+//     deadlock the machine.
+//   - BeginCompute/EndCompute delimit a local compute section: a stretch
+//     of application code that writes the node's own shared-memory image
+//     without entering the protocol. The real host backs them with a
+//     per-processor lock.
+//   - Hold(q, fn) runs fn while q is excluded from compute sections. The
+//     protocol uses it when servicing a request against another node's
+//     state (diff creation reads the target's memory image): on the real
+//     host, the target may be mid-computation, and Hold provides the
+//     mutual exclusion — and the happens-before edge — that the sim host
+//     gets for free from its global serialization.
+//
+// Lock order is token before compute lock; compute sections never enter
+// protocol sections (callers end compute before calling the run-time, see
+// the interp package), so the order is acyclic and the real host is
+// deadlock-free wherever the sim host is.
+package host
+
+import (
+	"time"
+
+	"sdsm/internal/model"
+)
+
+// Proc is one virtual processor as seen by the protocol stack and the
+// applications. All methods except Charge, Wake, and Hold must be called
+// from the goroutine running the processor's body.
+type Proc interface {
+	// ID is the processor number, 0..N-1.
+	ID() int
+	// Now returns the processor's current virtual time.
+	Now() time.Duration
+	// Advance charges d of virtual time, yielding on hosts that
+	// schedule by virtual time.
+	Advance(d time.Duration)
+	// Charge adds d to the processor's clock without yielding. It may be
+	// called on any processor (including a blocked one) to account for
+	// overhead imposed remotely, such as servicing an interrupt.
+	Charge(d time.Duration)
+	// Yield gives other processors a chance to run.
+	Yield()
+	// Block suspends the processor until another processor calls Wake on
+	// it. reason appears in deadlock reports. Inside a protocol section,
+	// the section token is released while blocked.
+	Block(reason string)
+	// Wake makes a blocked processor runnable, moving its clock forward
+	// to at if at is later. Wakes are direct handoffs, never broadcasts;
+	// waking a non-blocked processor panics.
+	Wake(q Proc, at time.Duration)
+	// SetClock forces the clock to at if at is later (synchronization
+	// objects computing a common departure time).
+	SetClock(at time.Duration)
+
+	// Begin enters a protocol section (see the package comment). No-op on
+	// the deterministic sim host.
+	Begin()
+	// End leaves a protocol section.
+	End()
+	// BeginCompute enters a local compute section.
+	BeginCompute()
+	// EndCompute leaves a local compute section.
+	EndCompute()
+	// Hold runs fn while q is held out of compute sections. Must be
+	// called inside a protocol section.
+	Hold(q Proc, fn func())
+}
+
+// Host is one machine of N processors.
+type Host interface {
+	// N returns the number of processors.
+	N() int
+	// Proc returns processor i.
+	Proc(i int) Proc
+	// Run executes body once per processor and returns when all have
+	// finished, with an error on panic or (where detectable) deadlock.
+	Run(body func(p Proc)) error
+}
+
+// Tag distinguishes message classes within a mailbox.
+type Tag int
+
+// AnySender matches messages from every sender in Recv.
+const AnySender = -1
+
+// Msg is a delivered mailbox message.
+type Msg struct {
+	From, To int
+	Tag      Tag
+	Payload  any
+	Bytes    int
+	Arrival  time.Duration
+}
+
+// Completion describes an in-flight RPC reply for asynchronous fetching.
+type Completion struct {
+	Arrival time.Duration
+	Bytes   int
+}
+
+// NodeStats counts traffic at one node.
+type NodeStats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+}
+
+// Stats aggregates network traffic. The DSM statistics the paper reports
+// ("msg" and "data" in Table 2) are derived from these counters.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+	Node  []NodeStats
+}
+
+// Transport is the interconnect seam: everything the DSM run-time and the
+// message-passing layer need from the wire. Package cluster implements it
+// over any Host; a future TCP or shared-memory transport slots in here.
+//
+// Transport methods must be called inside a protocol section.
+type Transport interface {
+	// Costs returns the platform cost model in force.
+	Costs() model.Costs
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// ResetStats zeroes all counters.
+	ResetStats()
+
+	// Send transmits payload to node to; the sender pays send overhead
+	// and the message arrives after wire latency plus bandwidth time.
+	Send(p Proc, to int, tag Tag, payload any, bytes int)
+	// SendShared transmits one payload to several recipients charging the
+	// sender's injection overhead once (switch-assisted broadcast).
+	SendShared(p Proc, tos []int, tag Tag, payload any, bytes int)
+	// Broadcast sends payload to every other node, serializing the
+	// per-message send overhead at the sender.
+	Broadcast(p Proc, tag Tag, payload any, bytes int)
+	// Recv blocks until a matching message is available and delivers the
+	// earliest-arriving match.
+	Recv(p Proc, from int, tag Tag) Msg
+	// Message accounts for a protocol message between two nodes that may
+	// both differ from the caller (multi-hop exchanges such as lock
+	// forwarding) and returns the time the receiver has fielded it.
+	Message(from, to int, depart time.Duration, bytes int) time.Duration
+	// RPC performs a synchronous request/reply; the handler runs once at
+	// the target to produce the reply size.
+	RPC(p Proc, to int, reqBytes int, handler func() (respBytes int))
+	// StartRPC issues the request and returns a Completion without
+	// waiting (asynchronous data fetching).
+	StartRPC(p Proc, to int, reqBytes int, handler func() (respBytes int)) Completion
+	// Await advances p to the completion of one in-flight RPC.
+	Await(p Proc, c Completion)
+	// AwaitAll completes a set of in-flight RPCs in arrival order.
+	AwaitAll(p Proc, cs []Completion)
+}

@@ -22,10 +22,18 @@ import (
 )
 
 // target abstracts where a program executes.
+//
+// beginCompute/endCompute bracket stretches that write shared memory
+// directly through data() without entering the run-time; on the
+// real-concurrency backend they serialize those writes against remote
+// diff creation (see internal/host). A compute section must be ended
+// before calling any other target method that can enter the run-time.
 type target interface {
 	ensureRead(lo, hi int)
 	ensureWrite(lo, hi int)
 	data() []float64
+	beginCompute()
+	endCompute()
 	advance(d time.Duration)
 	barrier(id int)
 	acquire(id int)
@@ -132,6 +140,8 @@ func (t *dsmTarget) ensureWrite(lo, hi int) {
 	t.nd.Mem.EnsureWrite(t.nd.Proc(), shm.Region{Lo: lo, Hi: hi})
 }
 func (t *dsmTarget) data() []float64         { return t.nd.Mem.Data() }
+func (t *dsmTarget) beginCompute()           { t.nd.Proc().BeginCompute() }
+func (t *dsmTarget) endCompute()             { t.nd.Proc().EndCompute() }
 func (t *dsmTarget) advance(d time.Duration) { t.nd.Proc().Advance(d) }
 func (t *dsmTarget) barrier(id int)          { t.nd.Barrier(id) }
 func (t *dsmTarget) acquire(id int)          { t.nd.Acquire(id) }
@@ -163,6 +173,8 @@ type seqTarget struct {
 
 func (t *seqTarget) ensureRead(int, int)                              {}
 func (t *seqTarget) ensureWrite(int, int)                             {}
+func (t *seqTarget) beginCompute()                                    {}
+func (t *seqTarget) endCompute()                                      {}
 func (t *seqTarget) data() []float64                                  { return t.mem }
 func (t *seqTarget) advance(d time.Duration)                          { t.elapsed += d }
 func (t *seqTarget) barrier(int)                                      {}
@@ -213,7 +225,11 @@ func (x *executor) exec(stmts []ir.Stmt) {
 				x.exec(st.Else)
 			}
 		case ir.Kernel:
+			// Kernels run inside a compute section; the context suspends
+			// it around region faults (see kernelCtx).
+			x.tgt.beginCompute()
 			st.Run(&kernelCtx{x: x})
+			x.tgt.endCompute()
 		case ir.CallBoundary:
 			// Analysis boundary only; nothing happens at run time.
 		case ir.ValidateStmt:
@@ -350,12 +366,14 @@ func (x *executor) execAssignVector(v rsd.Sym, lo, hi int, a ir.Assign) bool {
 		x.srcs = make([]float64, len(a.RHS))
 	}
 	srcs := x.srcs[:len(a.RHS)]
+	x.tgt.beginCompute()
 	for t := 0; t < n; t++ {
 		for j, m := range refs[1:] {
 			srcs[j] = data[m.addr+m.step*t]
 		}
 		data[refs[0].addr+refs[0].step*t] = a.Fn(srcs)
 	}
+	x.tgt.endCompute()
 	x.advance(time.Duration(n) * a.Cost)
 	return true
 }
@@ -384,7 +402,9 @@ func (x *executor) execAssignScalar(a ir.Assign) {
 		srcs[j] = x.tgt.data()[addr]
 	}
 	x.tgt.ensureWrite(lhs, lhs+1)
+	x.tgt.beginCompute()
 	x.tgt.data()[lhs] = a.Fn(srcs)
+	x.tgt.endCompute()
 	x.advance(a.Cost)
 }
 
@@ -393,13 +413,21 @@ type kernelCtx struct{ x *executor }
 
 func (k *kernelCtx) Env() rsd.Env { return k.x.env }
 
+// ReadRegion and WriteRegion suspend the kernel's compute section while
+// the fault path runs (protocol sections and compute sections must not
+// nest, see internal/host), then resume it.
+
 func (k *kernelCtx) ReadRegion(lo, hi int) []float64 {
+	k.x.tgt.endCompute()
 	k.x.tgt.ensureRead(lo, hi)
+	k.x.tgt.beginCompute()
 	return k.x.tgt.data()
 }
 
 func (k *kernelCtx) WriteRegion(lo, hi int) []float64 {
+	k.x.tgt.endCompute()
 	k.x.tgt.ensureWrite(lo, hi)
+	k.x.tgt.beginCompute()
 	return k.x.tgt.data()
 }
 

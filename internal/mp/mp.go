@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdsm/internal/cluster"
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
 	"sdsm/internal/sim"
@@ -18,40 +19,48 @@ import (
 
 // World is one message-passing machine.
 type World struct {
-	E  *sim.Engine
-	NW *cluster.Network
+	H  host.Host
+	NW host.Transport
 }
 
-// NewWorld creates an n-rank world over the SP/2 cost model.
+// NewWorld creates an n-rank world over the SP/2 cost model on the
+// deterministic sim engine.
 func NewWorld(n int, costs model.Costs) *World {
-	e := sim.NewEngine(n)
-	return &World{E: e, NW: cluster.New(e, costs)}
+	return NewWorldOn(sim.NewEngine(n), costs)
+}
+
+// NewWorldOn creates a world over an existing host backend.
+func NewWorldOn(h host.Host, costs model.Costs) *World {
+	return &World{H: h, NW: cluster.New(h, costs)}
 }
 
 // Run executes body once per rank.
 func (w *World) Run(body func(r *Rank)) error {
-	return w.E.Run(func(p *sim.Proc) {
-		body(&Rank{w: w, ID: p.ID, N: w.E.N(), p: p})
+	return w.H.Run(func(p host.Proc) {
+		body(&Rank{w: w, ID: p.ID(), N: w.H.N(), p: p})
 	})
 }
 
 // MaxTime returns the parallel execution time.
 func (w *World) MaxTime() time.Duration {
 	var t time.Duration
-	for i := 0; i < w.E.N(); i++ {
-		if c := w.E.Proc(i).Now(); c > t {
+	for i := 0; i < w.H.N(); i++ {
+		if c := w.H.Proc(i).Now(); c > t {
 			t = c
 		}
 	}
 	return t
 }
 
-// Rank is one message-passing process.
+// Rank is one message-passing process. Rank data is private to the rank
+// (plain Go slices), so only the communication methods — which bracket
+// protocol sections themselves — touch shared state; compute between them
+// runs in parallel on the real-concurrency host.
 type Rank struct {
 	w     *World
 	ID    int
 	N     int
-	p     *sim.Proc
+	p     host.Proc
 	scale int
 }
 
@@ -86,11 +95,15 @@ func (r *Rank) Now() time.Duration { return r.p.Now() }
 
 // Send transmits a copy of data to rank `to`.
 func (r *Rank) Send(to int, data []float64) {
+	r.p.Begin()
+	defer r.p.End()
 	r.w.NW.Send(r.p, to, tagData, append([]float64(nil), data...), len(data)*shm.WordBytes)
 }
 
 // Recv receives the next data message from rank `from`.
 func (r *Rank) Recv(from int) []float64 {
+	r.p.Begin()
+	defer r.p.End()
 	m := r.w.NW.Recv(r.p, from, tagData)
 	return m.Payload.([]float64)
 }
@@ -100,6 +113,8 @@ func (r *Rank) Bcast(root int, data []float64) []float64 {
 	if r.N == 1 {
 		return data
 	}
+	r.p.Begin()
+	defer r.p.End()
 	if r.ID == root {
 		tos := make([]int, 0, r.N-1)
 		for i := 0; i < r.N; i++ {
@@ -119,6 +134,8 @@ func (r *Rank) Barrier() {
 	if r.N == 1 {
 		return
 	}
+	r.p.Begin()
+	defer r.p.End()
 	if r.ID == 0 {
 		for i := 1; i < r.N; i++ {
 			r.w.NW.Recv(r.p, cluster.AnySender, tagBarrier)
@@ -135,6 +152,8 @@ func (r *Rank) AllReduceSum(data []float64) []float64 {
 	if r.N == 1 {
 		return data
 	}
+	r.p.Begin()
+	defer r.p.End()
 	if r.ID == 0 {
 		acc := append([]float64(nil), data...)
 		for i := 1; i < r.N; i++ {
@@ -161,6 +180,8 @@ func (r *Rank) Gather(root int, data []float64) [][]float64 {
 	if r.N == 1 {
 		return [][]float64{data}
 	}
+	r.p.Begin()
+	defer r.p.End()
 	if r.ID != root {
 		r.w.NW.Send(r.p, root, tagData, append([]float64(nil), data...), len(data)*shm.WordBytes)
 		return nil

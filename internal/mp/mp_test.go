@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 )
 
@@ -124,5 +125,30 @@ func TestSingleRankCollectivesNoMessages(t *testing.T) {
 	}
 	if w.NW.Stats().Msgs != 0 {
 		t.Fatalf("single rank sent %d messages", w.NW.Stats().Msgs)
+	}
+}
+
+// TestRealHostWorld runs the message-passing layer on the
+// real-concurrency backend: ranks are goroutines, communication methods
+// bracket protocol sections themselves, and rank data stays private, so
+// the same programs run unmodified.
+func TestRealHostWorld(t *testing.T) {
+	w := NewWorldOn(host.NewReal(4), model.SP2())
+	err := w.Run(func(r *Rank) {
+		next := (r.ID + 1) % r.N
+		prev := (r.ID - 1 + r.N) % r.N
+		r.Send(next, []float64{float64(r.ID)})
+		got := r.Recv(prev)
+		if got[0] != float64(prev) {
+			t.Errorf("rank %d got %v from %d", r.ID, got[0], prev)
+		}
+		r.Barrier()
+		sum := r.AllReduceSum([]float64{1})
+		if sum[0] != 4 {
+			t.Errorf("rank %d: reduce sum %v, want 4", r.ID, sum[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sdsm/internal/host"
 )
 
 // state of a processor within the scheduler.
@@ -29,11 +31,11 @@ const (
 	stateDone
 )
 
-// Proc is a simulated processor. All methods except Wake and Charge must be
-// called from the goroutine running this processor's body.
+// Proc is a simulated processor, implementing host.Proc. All methods
+// except Wake and Charge must be called from the goroutine running this
+// processor's body.
 type Proc struct {
-	// ID is the processor number, 0..N-1.
-	ID int
+	id int
 
 	e      *Engine
 	clock  time.Duration
@@ -58,7 +60,7 @@ func NewEngine(n int) *Engine {
 	}
 	e := &Engine{done: make(chan struct{})}
 	for i := 0; i < n; i++ {
-		e.procs = append(e.procs, &Proc{ID: i, e: e, resume: make(chan struct{}, 1)})
+		e.procs = append(e.procs, &Proc{id: i, e: e, resume: make(chan struct{}, 1)})
 	}
 	return e
 }
@@ -67,12 +69,12 @@ func NewEngine(n int) *Engine {
 func (e *Engine) N() int { return len(e.procs) }
 
 // Proc returns processor i.
-func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+func (e *Engine) Proc(i int) host.Proc { return e.procs[i] }
 
 // Run executes body once per processor and returns when all processors have
 // finished. It returns an error if the simulation deadlocks (every live
 // processor blocked) or if a body panics.
-func (e *Engine) Run(body func(p *Proc)) error {
+func (e *Engine) Run(body func(p host.Proc)) error {
 	e.mu.Lock()
 	e.live = len(e.procs)
 	for _, p := range e.procs {
@@ -88,7 +90,7 @@ func (e *Engine) Run(body func(p *Proc)) error {
 				if r := recover(); r != nil {
 					e.mu.Lock()
 					if e.err == nil {
-						e.err = fmt.Errorf("sim: processor %d panicked: %v", p.ID, r)
+						e.err = fmt.Errorf("sim: processor %d panicked: %v", p.id, r)
 					}
 					p.state = stateDone
 					e.live--
@@ -138,7 +140,7 @@ func (e *Engine) scheduleNextLocked() {
 		if q.state != stateRunnable {
 			continue
 		}
-		if next == nil || q.clock < next.clock || (q.clock == next.clock && q.ID < next.ID) {
+		if next == nil || q.clock < next.clock || (q.clock == next.clock && q.id < next.id) {
 			next = q
 		}
 	}
@@ -162,12 +164,15 @@ func (e *Engine) blockReportLocked() string {
 	var parts []string
 	for _, q := range e.procs {
 		if q.state == stateBlocked {
-			parts = append(parts, fmt.Sprintf("p%d@%v(%s)", q.ID, q.clock, q.reason))
+			parts = append(parts, fmt.Sprintf("p%d@%v(%s)", q.id, q.clock, q.reason))
 		}
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, ", ")
 }
+
+// ID returns the processor number, 0..N-1.
+func (p *Proc) ID() int { return p.id }
 
 // Now returns the processor's current virtual time.
 func (p *Proc) Now() time.Duration { return p.clock }
@@ -219,12 +224,13 @@ func (p *Proc) Block(reason string) {
 // to at if at is later than the processor's clock. Wake must be called by
 // the currently running processor. Waking a non-blocked processor panics:
 // wakes are direct handoffs, never broadcasts.
-func (p *Proc) Wake(q *Proc, at time.Duration) {
+func (p *Proc) Wake(target host.Proc, at time.Duration) {
+	q := target.(*Proc)
 	e := p.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if q.state != stateBlocked {
-		panic(fmt.Sprintf("sim: Wake on non-blocked processor %d", q.ID))
+		panic(fmt.Sprintf("sim: Wake on non-blocked processor %d", q.id))
 	}
 	if at > q.clock {
 		q.clock = at
@@ -240,3 +246,19 @@ func (p *Proc) SetClock(at time.Duration) {
 		p.clock = at
 	}
 }
+
+// Begin is a no-op: the engine already admits one processor at a time, so
+// every instant is a protocol section.
+func (p *Proc) Begin() {}
+
+// End is a no-op (see Begin).
+func (p *Proc) End() {}
+
+// BeginCompute is a no-op (see Begin).
+func (p *Proc) BeginCompute() {}
+
+// EndCompute is a no-op (see Begin).
+func (p *Proc) EndCompute() {}
+
+// Hold runs fn directly: no processor computes while another runs.
+func (p *Proc) Hold(q host.Proc, fn func()) { fn() }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sdsm/internal/host"
+
 	"sync/atomic"
 	"testing"
 	"time"
@@ -9,7 +11,7 @@ import (
 func TestSingleProcAdvance(t *testing.T) {
 	e := NewEngine(1)
 	var end time.Duration
-	err := e.Run(func(p *Proc) {
+	err := e.Run(func(p host.Proc) {
 		p.Advance(5 * time.Microsecond)
 		p.Advance(7 * time.Microsecond)
 		end = p.Now()
@@ -27,8 +29,8 @@ func TestMinClockOrdering(t *testing.T) {
 	// The order of observed steps must interleave by virtual time.
 	e := NewEngine(2)
 	var order []int64
-	err := e.Run(func(p *Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			p.Advance(100 * time.Microsecond)
 			order = append(order, 1000+int64(p.Now()/time.Microsecond))
 		} else {
@@ -55,8 +57,8 @@ func TestMinClockOrdering(t *testing.T) {
 func TestBlockWake(t *testing.T) {
 	e := NewEngine(2)
 	var wakeTime time.Duration
-	err := e.Run(func(p *Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			p.Block("waiting for p1")
 			wakeTime = p.Now()
 		} else {
@@ -75,8 +77,8 @@ func TestBlockWake(t *testing.T) {
 func TestWakeDoesNotRewindClock(t *testing.T) {
 	e := NewEngine(2)
 	var wakeTime time.Duration
-	err := e.Run(func(p *Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			p.Advance(100 * time.Microsecond)
 			p.Block("wait")
 			wakeTime = p.Now()
@@ -95,7 +97,7 @@ func TestWakeDoesNotRewindClock(t *testing.T) {
 
 func TestDeadlockDetection(t *testing.T) {
 	e := NewEngine(2)
-	err := e.Run(func(p *Proc) {
+	err := e.Run(func(p host.Proc) {
 		p.Block("forever")
 	})
 	if err == nil {
@@ -106,8 +108,8 @@ func TestDeadlockDetection(t *testing.T) {
 func TestChargeAccumulates(t *testing.T) {
 	e := NewEngine(2)
 	var end time.Duration
-	err := e.Run(func(p *Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			p.Advance(10 * time.Microsecond)
 			p.Charge(3 * time.Microsecond)
 			p.Advance(1 * time.Microsecond)
@@ -128,10 +130,10 @@ func TestDeterminism(t *testing.T) {
 	run := func() []int {
 		e := NewEngine(4)
 		var seq []int
-		err := e.Run(func(p *Proc) {
+		err := e.Run(func(p host.Proc) {
 			for i := 0; i < 3; i++ {
-				p.Advance(time.Duration(1+p.ID) * time.Microsecond)
-				seq = append(seq, p.ID)
+				p.Advance(time.Duration(1+p.ID()) * time.Microsecond)
+				seq = append(seq, p.ID())
 			}
 		})
 		if err != nil {
@@ -152,8 +154,8 @@ func TestDeterminism(t *testing.T) {
 
 func TestPanicPropagates(t *testing.T) {
 	e := NewEngine(2)
-	err := e.Run(func(p *Proc) {
-		if p.ID == 1 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 1 {
 			panic("boom")
 		}
 		p.Advance(time.Microsecond)
@@ -167,7 +169,7 @@ func TestManyProcsAllFinish(t *testing.T) {
 	const n = 16
 	e := NewEngine(n)
 	var count int64
-	err := e.Run(func(p *Proc) {
+	err := e.Run(func(p host.Proc) {
 		for i := 0; i < 100; i++ {
 			p.Advance(time.Microsecond)
 		}
@@ -183,8 +185,8 @@ func TestManyProcsAllFinish(t *testing.T) {
 
 func TestWakeNonBlockedPanics(t *testing.T) {
 	e := NewEngine(2)
-	err := e.Run(func(p *Proc) {
-		if p.ID == 0 {
+	err := e.Run(func(p host.Proc) {
+		if p.ID() == 0 {
 			defer func() {
 				if recover() == nil {
 					t.Error("Wake on a runnable processor must panic")
@@ -199,7 +201,7 @@ func TestWakeNonBlockedPanics(t *testing.T) {
 
 func TestNegativeAdvancePanics(t *testing.T) {
 	e := NewEngine(1)
-	err := e.Run(func(p *Proc) {
+	err := e.Run(func(p host.Proc) {
 		defer func() { recover() }()
 		p.Advance(-time.Second)
 		t.Error("negative advance must panic")

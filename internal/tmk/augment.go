@@ -23,6 +23,8 @@ type wsyncRequest struct {
 // With async, the processor continues computing and the fetched data is
 // applied at the first access or the next synchronization point.
 func (nd *Node) Validate(at AccessType, regions []shm.Region, async bool) {
+	nd.p.Begin()
+	defer nd.p.End()
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.Stats.Validates++
@@ -93,6 +95,8 @@ func (nd *Node) Validate(at AccessType, regions []shm.Region, async bool) {
 // ValidateWSync registers a Validate whose data fetch is piggybacked on
 // the next synchronization operation (lock acquire or barrier).
 func (nd *Node) ValidateWSync(at AccessType, regions []shm.Region) {
+	nd.p.Begin()
+	defer nd.p.End()
 	pages := pagesOf(regions)
 	nd.p.Charge(time.Duration(len(pages)) * nd.sys.Costs.ValidatePerPage)
 	nd.Stats.Validates++
@@ -198,6 +202,8 @@ type pushChunk struct {
 // the write notices arriving at the next real barrier do not re-invalidate
 // them.
 func (nd *Node) Push(reads, writes [][]shm.Region) {
+	nd.p.Begin()
+	defer nd.p.End()
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()

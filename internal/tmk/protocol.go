@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"sdsm/internal/cluster"
-	"sdsm/internal/sim"
+	"sdsm/internal/host"
 	"sdsm/internal/vm"
 )
 
@@ -78,7 +77,7 @@ func (d *storedDiff) wireBytes() int { return 16 + vm.RunsBytes(d.runs) }
 // fetches outstanding diffs for this single page (one exchange per
 // responder, as TreadMarks does per fault), and finally arms write
 // detection for write faults.
-func (nd *Node) Fault(p *sim.Proc, page int, acc vm.Access) {
+func (nd *Node) Fault(p host.Proc, page int, acc vm.Access) {
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()
@@ -398,7 +397,7 @@ func (nd *Node) responderFor(page int) []int {
 
 // inflightFetch is a started but unapplied diff exchange.
 type inflightFetch struct {
-	comp  cluster.Completion
+	comp  host.Completion
 	pages []int
 	reply []*storedDiff
 }
@@ -429,8 +428,12 @@ func (nd *Node) fetchPages(pages []int, async bool) {
 		f := inflightFetch{pages: pgs}
 		resp := nd.sys.Nodes[r]
 		f.comp = nd.sys.NW.StartRPC(nd.p, r, 16+8*len(pgs), func() int {
-			reply, bytes := resp.serveDiffs(pgs, nd)
-			f.reply = reply
+			// The responder may be mid-computation on the real host; Hold
+			// serializes the diff creation against its compute section.
+			var bytes int
+			nd.p.Hold(resp.p, func() {
+				f.reply, bytes = resp.serveDiffs(pgs, nd)
+			})
 			return bytes
 		})
 		nd.inflight = append(nd.inflight, f)
@@ -449,7 +452,7 @@ func (nd *Node) completeInflight() {
 	for len(nd.inflight) > 0 {
 		fetches := nd.inflight
 		nd.inflight = nil
-		comps := make([]cluster.Completion, len(fetches))
+		comps := make([]host.Completion, len(fetches))
 		for i := range fetches {
 			comps[i] = fetches[i].comp
 		}
@@ -491,7 +494,9 @@ func (nd *Node) completeInflight() {
 				var reply []*storedDiff
 				nd.sys.NW.RPC(nd.p, r, 16+8*len(pgs), func() int {
 					var bytes int
-					reply, bytes = resp.serveDiffs(pgs, nd)
+					nd.p.Hold(resp.p, func() {
+						reply, bytes = resp.serveDiffs(pgs, nd)
+					})
 					return bytes
 				})
 				nd.Stats.DiffFetches++

@@ -92,6 +92,8 @@ func (nd *Node) applyGrant(g *grant) {
 // Acquire obtains lock id, receiving the releaser's write notices
 // (invalidations happen here, per lazy release consistency).
 func (nd *Node) Acquire(id int) {
+	nd.p.Begin()
+	defer nd.p.End()
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()
@@ -108,13 +110,13 @@ func (nd *Node) Acquire(id int) {
 	if l.home != nd.ID {
 		t = s.NW.Message(nd.ID, l.home, t, 0)
 	}
-	s.E.Proc(l.home).Charge(c.LockMgmt)
+	s.H.Proc(l.home).Charge(c.LockMgmt)
 	t += c.LockMgmt
 
 	if l.holder != -1 {
 		if l.holder != l.home {
 			t = s.NW.Message(l.home, l.holder, t, 0)
-			s.E.Proc(l.holder).Charge(c.LockMgmt)
+			s.H.Proc(l.holder).Charge(c.LockMgmt)
 			t += c.LockMgmt
 		}
 		l.queue = append(l.queue, &lockWaiter{nd: nd, tAtHolder: t})
@@ -138,11 +140,15 @@ func (nd *Node) Acquire(id int) {
 	}
 	if r != l.home {
 		t = s.NW.Message(l.home, r, t, 0)
-		s.E.Proc(r).Charge(c.LockMgmt)
+		s.H.Proc(r).Charge(c.LockMgmt)
 		t += c.LockMgmt
 	}
-	g := s.Nodes[r].buildGrant(nd)
-	s.E.Proc(r).Charge(c.LockMgmt)
+	// The last releaser may be mid-computation on the real host; Hold
+	// serializes the grant construction (which may flush its diffs)
+	// against its compute section.
+	var g *grant
+	nd.p.Hold(s.Nodes[r].p, func() { g = s.Nodes[r].buildGrant(nd) })
+	s.H.Proc(r).Charge(c.LockMgmt)
 	t += c.LockMgmt
 	t = s.NW.Message(r, nd.ID, t, g.bytes)
 	nd.p.SetClock(t)
@@ -152,6 +158,8 @@ func (nd *Node) Acquire(id int) {
 // Release ends the critical section: the open interval closes (a release
 // point) and a queued waiter, if any, is granted the lock directly.
 func (nd *Node) Release(id int) {
+	nd.p.Begin()
+	defer nd.p.End()
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()
@@ -229,6 +237,8 @@ func (s *System) barrier(id int) *barrier {
 // departure (Section 3.2.1), with broadcast when a responder sends the
 // same data to everyone.
 func (nd *Node) Barrier(id int) {
+	nd.p.Begin()
+	defer nd.p.End()
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()

@@ -28,10 +28,9 @@ import (
 	"sort"
 	"time"
 
-	"sdsm/internal/cluster"
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
-	"sdsm/internal/sim"
 	"sdsm/internal/vm"
 )
 
@@ -88,11 +87,13 @@ type ProtocolStats struct {
 	Invalidations int64
 }
 
-// System is one DSM machine: N nodes over a simulated network sharing a
-// page-based address space.
+// System is one DSM machine: N nodes over a network sharing a page-based
+// address space. The host backend decides how the nodes execute: the
+// deterministic sim engine for the paper's virtual-time numbers, or the
+// real-concurrency host for genuine hardware parallelism.
 type System struct {
-	E      *sim.Engine
-	NW     *cluster.Network
+	H      host.Host
+	NW     host.Transport
 	Costs  model.Costs
 	Layout *shm.Layout
 	Nodes  []*Node
@@ -101,20 +102,20 @@ type System struct {
 	barriers map[int]*barrier
 }
 
-// New builds a DSM system for every processor of e. All pages start
+// New builds a DSM system for every processor of h. All pages start
 // unmapped, as after TreadMarks initialization; the first touch of an
 // unwritten page faults once and validates it zero-filled locally,
 // without communication.
-func New(e *sim.Engine, nw *cluster.Network, layout *shm.Layout) *System {
+func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 	s := &System{
-		E:        e,
+		H:        h,
 		NW:       nw,
 		Costs:    nw.Costs(),
 		Layout:   layout,
 		locks:    map[int]*lock{},
 		barriers: map[int]*barrier{},
 	}
-	n := e.N()
+	n := h.N()
 	for i := 0; i < n; i++ {
 		nd := &Node{
 			ID:      i,
@@ -140,12 +141,12 @@ func New(e *sim.Engine, nw *cluster.Network, layout *shm.Layout) *System {
 }
 
 // N returns the number of nodes.
-func (s *System) N() int { return s.E.N() }
+func (s *System) N() int { return s.H.N() }
 
 // Run executes body once per node, binding each node to its processor.
 func (s *System) Run(body func(nd *Node)) error {
-	return s.E.Run(func(p *sim.Proc) {
-		nd := s.Nodes[p.ID]
+	return s.H.Run(func(p host.Proc) {
+		nd := s.Nodes[p.ID()]
 		nd.p = p
 		body(nd)
 	})
@@ -181,7 +182,7 @@ func (s *System) Stats() (vm.Counters, ProtocolStats) {
 func (s *System) MaxTime() time.Duration {
 	var t time.Duration
 	for i := 0; i < s.N(); i++ {
-		if c := s.E.Proc(i).Now(); c > t {
+		if c := s.H.Proc(i).Now(); c > t {
 			t = c
 		}
 	}
@@ -222,7 +223,7 @@ type Node struct {
 	ID  int
 	sys *System
 	Mem *vm.Mem
-	p   *sim.Proc
+	p   host.Proc
 
 	vc         []int32          // vc[o]: latest interval of owner o known here
 	know       [][]interval     // know[o][i]: interval i+1 of owner o
@@ -243,8 +244,8 @@ type Node struct {
 	Stats ProtocolStats
 }
 
-// Proc returns the simulated processor the node runs on.
-func (nd *Node) Proc() *sim.Proc { return nd.p }
+// Proc returns the processor the node runs on.
+func (nd *Node) Proc() host.Proc { return nd.p }
 
 // Time returns the node's current virtual time.
 func (nd *Node) Time() time.Duration { return nd.p.Now() }

@@ -3,15 +3,15 @@ package vm
 import (
 	"testing"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
-	"sdsm/internal/sim"
 )
 
 func TestProtBatchCoalescesRuns(t *testing.T) {
 	m := newMem(16 * shm.PageWords)
 	costs := model.SP2()
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.BeginProtBatch()
 		for pg := 0; pg < 8; pg++ {
 			m.SetProt(p, pg, ReadWrite) // one contiguous run
@@ -30,7 +30,7 @@ func TestProtBatchCoalescesRuns(t *testing.T) {
 
 func TestProtBatchSplitsOnProtChange(t *testing.T) {
 	m := newMem(8 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.BeginProtBatch()
 		m.SetProt(p, 0, ReadWrite)
 		m.SetProt(p, 1, ReadOnly) // adjacent but different protection
@@ -44,7 +44,7 @@ func TestProtBatchSplitsOnProtChange(t *testing.T) {
 
 func TestProtBatchCancelsChangeBack(t *testing.T) {
 	m := newMem(4 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.BeginProtBatch()
 		m.SetProt(p, 0, ReadWrite)
 		m.SetProt(p, 0, NoAccess) // back to the original: no syscall needed
@@ -58,7 +58,7 @@ func TestProtBatchCancelsChangeBack(t *testing.T) {
 
 func TestProtBatchReentrant(t *testing.T) {
 	m := newMem(4 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.BeginProtBatch()
 		m.BeginProtBatch()
 		m.SetProt(p, 0, ReadWrite)
@@ -76,7 +76,7 @@ func TestProtBatchReentrant(t *testing.T) {
 
 func TestProtBitsVisibleDuringBatch(t *testing.T) {
 	m := newMem(2 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.BeginProtBatch()
 		m.SetProt(p, 0, ReadWrite)
 		if m.Prot(0) != ReadWrite {

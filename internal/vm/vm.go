@@ -15,9 +15,9 @@ import (
 	"sort"
 	"time"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
-	"sdsm/internal/sim"
 )
 
 // Prot is a page protection state.
@@ -57,7 +57,7 @@ const (
 // FaultHandler receives protection faults. The handler must leave the page
 // with sufficient protection for the faulting access, or the access panics.
 type FaultHandler interface {
-	Fault(p *sim.Proc, page int, acc Access)
+	Fault(p host.Proc, page int, acc Access)
 }
 
 // Run is a contiguous span of modified words within a page, the unit a
@@ -154,7 +154,7 @@ func (m *Mem) Prot(page int) Prot { return m.prot[page] }
 // is coalesced per contiguous same-protection run, the way the augmented
 // run-time's section primitives (Write_enable(Section) and friends,
 // Figure 4 of the paper) issue one mprotect per address range.
-func (m *Mem) SetProt(p *sim.Proc, page int, prot Prot) {
+func (m *Mem) SetProt(p host.Proc, page int, prot Prot) {
 	if m.prot[page] == prot {
 		return
 	}
@@ -180,7 +180,7 @@ func (m *Mem) BeginProtBatch() {
 
 // FlushProtBatch closes the batch, charging one protection operation per
 // contiguous run of pages with the same final protection.
-func (m *Mem) FlushProtBatch(p *sim.Proc) {
+func (m *Mem) FlushProtBatch(p host.Proc) {
 	m.batchDepth--
 	if m.batchDepth > 0 {
 		return
@@ -211,8 +211,12 @@ func (m *Mem) FlushProtBatch(p *sim.Proc) {
 func (m *Mem) SetProtInit(page int, prot Prot) { m.prot[page] = prot }
 
 // EnsureRead establishes read access to every page overlapping r,
-// delivering faults to the handler as needed.
-func (m *Mem) EnsureRead(p *sim.Proc, r shm.Region) {
+// delivering faults to the handler as needed. Ensure calls are run-time
+// entry points: they bracket a protocol section for the fault path, so
+// application code may call them directly on any host backend.
+func (m *Mem) EnsureRead(p host.Proc, r shm.Region) {
+	p.Begin()
+	defer p.End()
 	p0, p1 := r.Pages()
 	for pg := p0; pg < p1; pg++ {
 		if m.prot[pg] == NoAccess {
@@ -222,7 +226,9 @@ func (m *Mem) EnsureRead(p *sim.Proc, r shm.Region) {
 }
 
 // EnsureWrite establishes write access to every page overlapping r.
-func (m *Mem) EnsureWrite(p *sim.Proc, r shm.Region) {
+func (m *Mem) EnsureWrite(p host.Proc, r shm.Region) {
+	p.Begin()
+	defer p.End()
 	p0, p1 := r.Pages()
 	for pg := p0; pg < p1; pg++ {
 		if m.prot[pg] != ReadWrite {
@@ -231,7 +237,7 @@ func (m *Mem) EnsureWrite(p *sim.Proc, r shm.Region) {
 	}
 }
 
-func (m *Mem) fault(p *sim.Proc, page int, acc Access) {
+func (m *Mem) fault(p host.Proc, page int, acc Access) {
 	if acc == Read {
 		m.Counters.ReadFaults++
 	} else {
@@ -251,7 +257,7 @@ func (m *Mem) HasTwin(page int) bool {
 }
 
 // MakeTwin snapshots page for later diffing, charging the copy cost.
-func (m *Mem) MakeTwin(p *sim.Proc, page int) {
+func (m *Mem) MakeTwin(p host.Proc, page int) {
 	if _, ok := m.twins[page]; ok {
 		panic(fmt.Sprintf("vm: page %d already has a twin", page))
 	}
@@ -267,7 +273,7 @@ func (m *Mem) DropTwin(page int) { delete(m.twins, page) }
 
 // DiffAgainstTwin compares page to its twin and returns the modified word
 // runs, charging the scan cost. The twin is consumed.
-func (m *Mem) DiffAgainstTwin(p *sim.Proc, page int) []Run {
+func (m *Mem) DiffAgainstTwin(p host.Proc, page int) []Run {
 	tw, ok := m.twins[page]
 	if !ok {
 		panic(fmt.Sprintf("vm: page %d has no twin to diff against", page))
@@ -297,7 +303,7 @@ func (m *Mem) DiffAgainstTwin(p *sim.Proc, page int) []Run {
 // WholePageRuns returns the full contents of page as a single run, used
 // when modifications must be shipped but no twin exists (WRITE_ALL pages).
 // It is a memcpy, not a compare, so it costs the twin rate per word.
-func (m *Mem) WholePageRuns(p *sim.Proc, page int) []Run {
+func (m *Mem) WholePageRuns(p host.Proc, page int) []Run {
 	vals := append([]float64(nil), m.PageData(page)...)
 	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
 	return []Run{{Off: 0, Vals: vals}}
@@ -305,7 +311,7 @@ func (m *Mem) WholePageRuns(p *sim.Proc, page int) []Run {
 
 // ApplyRuns merges received modification runs into page, charging the
 // apply cost.
-func (m *Mem) ApplyRuns(p *sim.Proc, page int, runs []Run) {
+func (m *Mem) ApplyRuns(p host.Proc, page int, runs []Run) {
 	dst := m.PageData(page)
 	words := 0
 	for _, r := range runs {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
 	"sdsm/internal/sim"
@@ -13,7 +14,7 @@ import (
 // grantAll upgrades any faulting page to the access requested.
 type grantAll struct{ m *Mem }
 
-func (h *grantAll) Fault(p *sim.Proc, page int, acc Access) {
+func (h *grantAll) Fault(p host.Proc, page int, acc Access) {
 	if acc == Read {
 		h.m.SetProt(p, page, ReadOnly)
 	} else {
@@ -22,7 +23,7 @@ func (h *grantAll) Fault(p *sim.Proc, page int, acc Access) {
 }
 
 // runOne executes body on a single simulated processor.
-func runOne(t *testing.T, body func(p *sim.Proc)) {
+func runOne(t *testing.T, body func(p host.Proc)) {
 	t.Helper()
 	e := sim.NewEngine(1)
 	if err := e.Run(body); err != nil {
@@ -38,7 +39,7 @@ func newMem(words int) *Mem {
 
 func TestEnsureReadFaultsOncePerPage(t *testing.T) {
 	m := newMem(4 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.EnsureRead(p, shm.Region{Lo: 0, Hi: 3 * shm.PageWords})
 		if m.Counters.ReadFaults != 3 {
 			t.Errorf("read faults = %d, want 3", m.Counters.ReadFaults)
@@ -52,7 +53,7 @@ func TestEnsureReadFaultsOncePerPage(t *testing.T) {
 
 func TestWriteFaultOnReadOnly(t *testing.T) {
 	m := newMem(2 * shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.EnsureRead(p, shm.Region{Lo: 0, Hi: 10})
 		m.EnsureWrite(p, shm.Region{Lo: 0, Hi: 10})
 		if m.Counters.WriteFaults != 1 {
@@ -67,7 +68,7 @@ func TestWriteFaultOnReadOnly(t *testing.T) {
 func TestProtOpChargesTime(t *testing.T) {
 	m := newMem(2 * shm.PageWords)
 	costs := model.SP2()
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		before := p.Now()
 		m.SetProt(p, 0, ReadWrite)
 		elapsed := p.Now() - before
@@ -99,7 +100,7 @@ func TestProtOpCostSaturates(t *testing.T) {
 
 func TestTwinAndDiff(t *testing.T) {
 	m := newMem(shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		d := m.Data()
 		d[3], d[4], d[10] = 1, 2, 3
 		m.MakeTwin(p, 0)
@@ -125,7 +126,7 @@ func TestApplyRunsUpdatesTwin(t *testing.T) {
 	// Applying a remote diff to a page we are also writing must update the
 	// twin too, so our own later diff does not re-ship the remote's words.
 	m := newMem(shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.MakeTwin(p, 0)
 		m.ApplyRuns(p, 0, []Run{{Off: 7, Vals: []float64{42}}})
 		m.Data()[100] = 1 // our own write
@@ -146,7 +147,7 @@ func TestDiffRoundTripProperty(t *testing.T) {
 		m := newMem(shm.PageWords)
 		ok := true
 		e := sim.NewEngine(1)
-		err := e.Run(func(p *sim.Proc) {
+		err := e.Run(func(p host.Proc) {
 			orig := make([]float64, shm.PageWords)
 			for i := range orig {
 				orig[i] = float64(i)
@@ -189,7 +190,7 @@ func TestRunsBytes(t *testing.T) {
 
 func TestWholePageRuns(t *testing.T) {
 	m := newMem(shm.PageWords)
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		m.Data()[0] = 7
 		runs := m.WholePageRuns(p, 0)
 		if len(runs) != 1 || len(runs[0].Vals) != shm.PageWords || runs[0].Vals[0] != 7 {
@@ -201,7 +202,7 @@ func TestWholePageRuns(t *testing.T) {
 func TestFaultChargesBaseCost(t *testing.T) {
 	m := newMem(shm.PageWords)
 	costs := model.SP2()
-	runOne(t, func(p *sim.Proc) {
+	runOne(t, func(p host.Proc) {
 		before := p.Now()
 		m.EnsureRead(p, shm.Region{Lo: 0, Hi: 1})
 		got := p.Now() - before
