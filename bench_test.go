@@ -9,6 +9,12 @@
 // EXPERIMENTS.md records a reference run next to the paper's numbers.
 // The sweep benchmarks fan their independent runs across all cores via the
 // harness's experiment scheduler; virtual-time metrics are unaffected.
+//
+// The BenchmarkWire* benchmarks pin the wall-clock cost of the wire
+// codec's hot paths (diff payload encode/decode, full run sweeps); the
+// protocol-side hot paths (diff apply, serve, write-notice encode) are
+// benchmarked in internal/tmk. Together they are the baseline for later
+// performance PRs against the net backend.
 package sdsm_test
 
 import (
@@ -19,7 +25,84 @@ import (
 	"sdsm/internal/apps"
 	"sdsm/internal/harness"
 	"sdsm/internal/model"
+	"sdsm/internal/wire"
 )
+
+// benchDiffReply builds a diff-reply frame like the ones the net backend
+// ships on every fault: two page diffs of short runs, ~1.5 KB of payload.
+func benchDiffReply() *wire.Frame {
+	mk := func(page, creator int32) wire.Diff {
+		d := wire.Diff{
+			Page: page, Creator: creator, From: 4, To: 5,
+			Covers: []int32{5, 3, 7, 1, 0, 2, 4, 9},
+		}
+		for off := int32(0); off < 512; off += 8 {
+			d.Runs = append(d.Runs, wire.Run{Off: off, Vals: []float64{1, 2, 3, 4}})
+		}
+		return d
+	}
+	return &wire.Frame{
+		Kind: wire.FReply, From: 1, To: 0, Tag: 9, Bytes: 1552, Time: 123456,
+		Payload: wire.DiffReply{Diffs: []wire.Diff{mk(3, 1), mk(4, 1)}},
+	}
+}
+
+// BenchmarkWireEncodeDiffReply measures encoding the dominant net-backend
+// payload (a diff fetch reply).
+func BenchmarkWireEncodeDiffReply(b *testing.B) {
+	f := benchDiffReply()
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendFrame(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkWireDecodeDiffReply measures the matching decode.
+func BenchmarkWireDecodeDiffReply(b *testing.B) {
+	buf, err := wire.AppendFrame(nil, benchDiffReply())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.ParseFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireGrantRoundTrip measures encode+decode of a lock grant with
+// write notices, the per-synchronization payload of the wire backend.
+func BenchmarkWireGrantRoundTrip(b *testing.B) {
+	g := wire.Grant{Bytes: 440}
+	for idx := int32(1); idx <= 10; idx++ {
+		g.Intervals = append(g.Intervals, wire.OwnedInterval{
+			Owner: idx % 8, Idx: idx,
+			IV: wire.Interval{
+				Pages: []wire.PageRef{{Page: idx}, {Page: idx + 1, Whole: idx%3 == 0}},
+				VC:    []int32{1, 2, 3, 4, 5, 6, 7, 8},
+			},
+		})
+	}
+	f := &wire.Frame{Kind: wire.FHand, From: 2, To: 5, Tag: 1, Payload: g}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := wire.AppendFrame(nil, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.ParseFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkMicro measures the Section 5 primitives (365 µs roundtrip,
 // 427 µs lock acquire, 893 µs barrier).

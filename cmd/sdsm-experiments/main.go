@@ -4,10 +4,15 @@
 //	sdsm-experiments -all
 //	sdsm-experiments -table1 -fig5 -procs 8
 //	sdsm-experiments -all -parallel 8
+//	sdsm-experiments -fig7 -backend net
 //
 // Every experiment is a self-contained simulation, so -parallel N fans
 // independent runs across N workers: virtual-time numbers are unchanged,
 // only wall-clock time drops (see EXPERIMENTS.md for a reference run).
+// -backend real/net runs the underlying machines on the concurrent
+// backends instead; results stay verified but times become
+// scheduling-dependent, so the deterministic tables require the default
+// sim backend.
 //
 // The output prints measured values next to the paper's where applicable;
 // EXPERIMENTS.md discusses the comparisons.
@@ -20,24 +25,38 @@ import (
 	"runtime"
 
 	"sdsm/internal/harness"
+	"sdsm/internal/mpnet"
 )
 
 func main() {
+	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		table1 = flag.Bool("table1", false, "uniprocessor execution times")
-		table2 = flag.Bool("table2", false, "reduction in page faults, messages, data")
-		fig5   = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
-		fig6   = flag.Bool("fig6", false, "speedups under optimization levels")
-		fig7   = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
-		micro  = flag.Bool("micro", false, "Section 5 primitive costs")
-		procs  = flag.Int("procs", harness.DefaultProcs, "processor count")
-		par    = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
+		all     = flag.Bool("all", false, "run every experiment")
+		table1  = flag.Bool("table1", false, "uniprocessor execution times")
+		table2  = flag.Bool("table2", false, "reduction in page faults, messages, data")
+		fig5    = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
+		fig6    = flag.Bool("fig6", false, "speedups under optimization levels")
+		fig7    = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
+		micro   = flag.Bool("micro", false, "Section 5 primitive costs")
+		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
+		par     = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
+		backend = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
 	)
 	flag.Parse()
 	workers := *par
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	switch harness.Backend(*backend) {
+	case harness.BackendSim, harness.BackendReal, harness.BackendNet:
+		harness.DefaultBackend = harness.Backend(*backend)
+	default:
+		fmt.Fprintf(os.Stderr, "sdsm-experiments: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	if harness.DefaultBackend != harness.BackendSim {
+		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
+			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
 	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *micro) {
 		flag.Usage()

@@ -1,0 +1,39 @@
+// Command sdsm-node is the worker process of the distributed
+// message-passing deployment: one OS process per rank, connected to a
+// coordinator's switch over a loopback socket, exchanging wire-format
+// frames (see internal/mpnet).
+//
+// It is normally spawned by the coordinator (sdsm-run -system pvme
+// -backend net -node-bin sdsm-node) with its configuration in the
+// SDSM_MP_WORKER environment variable, but can also be pointed at a
+// coordinator explicitly:
+//
+//	sdsm-node -network unix -addr /tmp/sdsm123/mp.sock -rank 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdsm/internal/mpnet"
+)
+
+func main() {
+	mpnet.MaybeWorker() // coordinator-spawned path; does not return if set
+
+	var (
+		network = flag.String("network", "unix", "coordinator socket network: unix, tcp")
+		addr    = flag.String("addr", "", "coordinator socket address")
+		rank    = flag.Int("rank", -1, "this worker's rank")
+	)
+	flag.Parse()
+	if *addr == "" || *rank < 0 {
+		fmt.Fprintln(os.Stderr, "sdsm-node: -addr and -rank are required (or spawn via the coordinator)")
+		os.Exit(2)
+	}
+	if err := mpnet.RunWorker(*network, *addr, *rank); err != nil {
+		fmt.Fprintf(os.Stderr, "sdsm-node: rank %d: %v\n", *rank, err)
+		os.Exit(1)
+	}
+}

@@ -4,10 +4,15 @@
 //	sdsm-run -app jacobi -system opt-tmk -set large -procs 8
 //	sdsm-run -app is -system tmk -set small -procs 4 -verify
 //	sdsm-run -app fft -backend real -verify
+//	sdsm-run -app gauss -backend net -procs 5 -verify
+//	sdsm-run -app is -system pvme -backend net -verify
 //
 // -backend real runs the DSM nodes as goroutines genuinely in parallel
 // (results are identical to the deterministic sim backend; virtual times
-// become scheduling-dependent).
+// become scheduling-dependent). -backend net additionally carries every
+// protocol payload over loopback sockets in the wire format; for the
+// message-passing systems (pvme, xhpf) it spawns one OS process per rank
+// (the sdsm-node worker, or a re-exec of this binary).
 package main
 
 import (
@@ -18,9 +23,11 @@ import (
 	"sdsm/internal/apps"
 	"sdsm/internal/harness"
 	"sdsm/internal/model"
+	"sdsm/internal/mpnet"
 )
 
 func main() {
+	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
 		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs")
 		system  = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
@@ -28,9 +35,11 @@ func main() {
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
 		verify  = flag.Bool("verify", false, "verify the result against the sequential reference")
 		sync    = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
-		backend = flag.String("backend", "sim", "host backend for DSM systems: sim (deterministic), real (goroutine per node)")
+		backend = flag.String("backend", "sim", "host backend: sim (deterministic), real (goroutine per node), net (wire transport over loopback sockets; process per rank for pvme/xhpf)")
+		nodeBin = flag.String("node-bin", "", "worker binary for -backend net message-passing runs (default: re-exec this binary)")
 	)
 	flag.Parse()
+	harness.NodeBin = *nodeBin
 
 	a, err := apps.ByName(*app)
 	if err != nil {
@@ -61,8 +70,12 @@ func main() {
 
 	fmt.Printf("application:   %s (%s set)\n", a.Name, ds)
 	shownBackend := *backend
-	if harness.SystemKind(*system) == harness.PVMe || harness.SystemKind(*system) == harness.XHPF {
-		shownBackend = string(harness.BackendSim) // message passing always runs on sim
+	mpSystem := harness.SystemKind(*system) == harness.PVMe || harness.SystemKind(*system) == harness.XHPF
+	if mpSystem && harness.Backend(*backend) != harness.BackendNet {
+		shownBackend = string(harness.BackendSim) // in-process message passing runs on sim
+	}
+	if mpSystem && harness.Backend(*backend) == harness.BackendNet {
+		shownBackend = "net (process per rank)"
 	}
 	fmt.Printf("system:        %s on %d processors (%s backend)\n", *system, *procs, shownBackend)
 	fmt.Printf("time:          %v (uniprocessor %v, speedup %.2f)\n", res.Time, uni, harness.Speedup(uni, res.Time))

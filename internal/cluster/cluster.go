@@ -38,8 +38,8 @@ type NodeStats = host.NodeStats
 // ("msg" and "data" in Table 2) are derived from these counters.
 type Stats = host.Stats
 
-// Completion describes an in-flight RPC reply for asynchronous fetching.
-type Completion = host.Completion
+// Pending is an in-flight request/reply exchange.
+type Pending = host.Pending
 
 type waiter struct {
 	p    host.Proc
@@ -47,16 +47,23 @@ type waiter struct {
 	tag  Tag
 }
 
+type handKey struct {
+	to   int
+	slot Tag
+}
+
 // Network implements host.Transport over any host backend: the mailbox and
 // RPC state is shared, so all methods must be called inside a protocol
 // section (the sim host makes every instant one; the real host's run-time
 // layers bracket their entry points).
 type Network struct {
-	h     host.Host
-	costs model.Costs
-	boxes [][]Msg // pending messages per destination
-	waits []*waiter
-	stats Stats
+	h      host.Host
+	costs  model.Costs
+	boxes  [][]Msg // pending messages per destination
+	waits  []*waiter
+	hands  map[handKey]any // staged protocol payloads (grants, departures)
+	server host.Server
+	stats  Stats
 }
 
 // New creates a network for every processor of h.
@@ -67,6 +74,7 @@ func New(h host.Host, costs model.Costs) *Network {
 		costs: costs,
 		boxes: make([][]Msg, n),
 		waits: make([]*waiter, n),
+		hands: map[handKey]any{},
 		stats: Stats{Node: make([]NodeStats, n)},
 	}
 }
@@ -86,14 +94,7 @@ func (nw *Network) ResetStats() {
 	nw.stats = Stats{Node: make([]NodeStats, nw.h.N())}
 }
 
-func (nw *Network) account(from, to, bytes int) {
-	nw.stats.Msgs++
-	nw.stats.Bytes += int64(bytes)
-	nw.stats.Node[from].MsgsSent++
-	nw.stats.Node[from].BytesSent += int64(bytes)
-	nw.stats.Node[to].MsgsRecv++
-	nw.stats.Node[to].BytesRecv += int64(bytes)
-}
+func (nw *Network) account(from, to, bytes int) { nw.stats.Account(from, to, bytes) }
 
 // Send transmits payload from p to node `to`. The sender is charged send
 // overhead; the message arrives after wire latency plus bandwidth time.
@@ -148,22 +149,9 @@ func (nw *Network) Recv(p host.Proc, from int, tag Tag) Msg {
 
 // take removes the earliest matching message from to's mailbox.
 func (nw *Network) take(to, from int, tag Tag) (Msg, bool) {
-	box := nw.boxes[to]
-	best := -1
-	for i, m := range box {
-		if m.Tag != tag || (from != AnySender && m.From != from) {
-			continue
-		}
-		if best == -1 || m.Arrival < box[best].Arrival {
-			best = i
-		}
-	}
-	if best == -1 {
-		return Msg{}, false
-	}
-	m := box[best]
-	nw.boxes[to] = append(box[:best], box[best+1:]...)
-	return m, true
+	m, rest, ok := host.TakeMatch(nw.boxes[to], from, tag)
+	nw.boxes[to] = rest
+	return m, ok
 }
 
 // Message accounts for a protocol message from node `from` departing at
@@ -182,24 +170,26 @@ func (nw *Network) Message(from, to int, depart time.Duration, bytes int) time.D
 	return depart + nw.costs.SendOverhead + nw.costs.OneWay(bytes) + nw.costs.RecvOverhead
 }
 
-// RPC performs a synchronous request/reply with node `to`. The handler is
-// invoked once to produce the reply size; any CPU time the handler charges
-// to the target processor (for example creating diffs) extends the reply's
-// arrival. The target is additionally charged interrupt, service, and
-// reply-injection overheads, and the requester's clock moves to the
-// reply's arrival.
-func (nw *Network) RPC(p host.Proc, to int, reqBytes int, handler func() (respBytes int)) {
-	c := nw.StartRPC(p, to, reqBytes, handler)
-	nw.Await(p, c)
+// Serve registers the request handler invoked at the target of
+// StartRequest exchanges.
+func (nw *Network) Serve(fn host.Server) {
+	if nw.server != nil {
+		panic("cluster: server already registered")
+	}
+	nw.server = fn
 }
 
-// StartRPC issues the request and returns a Completion without waiting.
-// The handler still runs immediately (the protocol state transition is
-// deterministic); only the requester's time accounting is deferred, which
-// models asynchronous data fetching (Section 3.2.3 of the paper).
-func (nw *Network) StartRPC(p host.Proc, to int, reqBytes int, handler func() (respBytes int)) Completion {
+// StartRequest issues a request/reply exchange and returns without
+// waiting. The server still runs immediately against the target's current
+// state (the protocol state transition is deterministic; see DESIGN.md
+// S3); only the requester's time accounting is deferred, which models
+// asynchronous data fetching (Section 3.2.3 of the paper). Any CPU time
+// the server charges to the target (for example creating diffs) extends
+// the reply's arrival; the target is additionally charged interrupt,
+// service, and reply-injection overheads.
+func (nw *Network) StartRequest(p host.Proc, to int, req any, reqBytes int) *Pending {
 	if to == p.ID() {
-		panic("cluster: RPC to self")
+		panic("cluster: request to self")
 	}
 	p.Charge(nw.costs.SendOverhead)
 	reqArrival := p.Now() + nw.costs.OneWay(reqBytes)
@@ -207,13 +197,16 @@ func (nw *Network) StartRPC(p host.Proc, to int, reqBytes int, handler func() (r
 
 	target := nw.h.Proc(to)
 	before := target.Now()
-	respBytes := handler() // handler charges the target for its own work
+	resp, respBytes := nw.server(p, to, req)
 	target.Charge(nw.costs.RecvOverhead + nw.costs.RequestService + nw.costs.SendOverhead)
 	service := target.Now() - before
 	nw.account(to, p.ID(), respBytes)
 
-	respArrival := reqArrival + service + nw.costs.OneWay(respBytes)
-	return Completion{Arrival: respArrival, Bytes: respBytes}
+	return &Pending{
+		Reply:   resp,
+		Arrival: reqArrival + service + nw.costs.OneWay(respBytes),
+		Bytes:   respBytes,
+	}
 }
 
 // SendShared transmits the same payload from p to several recipients,
@@ -244,25 +237,41 @@ func (nw *Network) SendShared(p host.Proc, tos []int, tag Tag, payload any, byte
 	}
 }
 
-// Await advances p to the completion of one in-flight RPC and charges the
-// receive overhead.
-func (nw *Network) Await(p host.Proc, c Completion) {
-	p.SetClock(c.Arrival)
+// Await advances p to the completion of one in-flight exchange and charges
+// the receive overhead.
+func (nw *Network) Await(p host.Proc, pd *Pending) {
+	pd.Resolve(p)
+	p.SetClock(pd.Arrival)
 	p.Charge(nw.costs.RecvOverhead)
 }
 
-// AwaitAll completes a set of in-flight RPCs, processing replies in arrival
-// order (the receive overheads serialize at the requester).
-func (nw *Network) AwaitAll(p host.Proc, cs []Completion) {
-	rest := append([]Completion(nil), cs...)
-	for len(rest) > 0 {
-		best := 0
-		for i := range rest {
-			if rest[i].Arrival < rest[best].Arrival {
-				best = i
-			}
-		}
-		nw.Await(p, rest[best])
-		rest = append(rest[:best], rest[best+1:]...)
+// AwaitAll completes a set of in-flight exchanges, processing replies in
+// arrival order (the receive overheads serialize at the requester).
+func (nw *Network) AwaitAll(p host.Proc, pds []*Pending) {
+	host.AwaitInArrivalOrder(p, pds, nw.Await)
+}
+
+// Hand stages a protocol payload for node to (lock grants, barrier
+// departures); the recipient consumes it with TakeHand after being woken.
+// Delivery is immediate in-process; cost accounting is the caller's
+// affair, via Message.
+func (nw *Network) Hand(p host.Proc, to int, slot Tag, payload any) {
+	k := handKey{to: to, slot: slot}
+	if _, dup := nw.hands[k]; dup {
+		panic(fmt.Sprintf("cluster: hand slot %d for node %d already staged", slot, to))
 	}
+	nw.hands[k] = payload
+}
+
+// TakeHand retrieves the payload staged for the caller in slot. The
+// protocol stages hands before waking their consumers, so in-process the
+// payload is always present.
+func (nw *Network) TakeHand(p host.Proc, slot Tag) any {
+	k := handKey{to: p.ID(), slot: slot}
+	payload, ok := nw.hands[k]
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d took empty hand slot %d", p.ID(), slot))
+	}
+	delete(nw.hands, k)
+	return payload
 }

@@ -130,17 +130,19 @@ func TestStatsCount(t *testing.T) {
 	}
 }
 
-func TestRPCChargesBothSides(t *testing.T) {
+func TestRequestChargesBothSides(t *testing.T) {
 	e := sim.NewEngine(2)
 	costs := model.SP2()
 	nw := New(e, costs)
+	nw.Serve(func(p host.Proc, at int, req any) (any, int) {
+		e.Proc(at).Charge(5 * time.Microsecond)
+		return req, 64
+	})
 	var reqDone, targetClock time.Duration
 	err := e.Run(func(p host.Proc) {
 		if p.ID() == 0 {
-			nw.RPC(p, 1, 16, func() int {
-				e.Proc(1).Charge(5 * time.Microsecond)
-				return 64
-			})
+			pd := nw.StartRequest(p, 1, nil, 16)
+			nw.Await(p, pd)
 			reqDone = p.Now()
 		} else {
 			p.Advance(50 * time.Millisecond) // busy computing
@@ -164,13 +166,14 @@ func TestAwaitAllSerializesReceives(t *testing.T) {
 	e := sim.NewEngine(3)
 	costs := model.SP2()
 	nw := New(e, costs)
+	nw.Serve(func(p host.Proc, at int, req any) (any, int) { return nil, 0 })
 	var done time.Duration
 	err := e.Run(func(p host.Proc) {
 		switch p.ID() {
 		case 0:
-			c1 := nw.StartRPC(p, 1, 0, func() int { return 0 })
-			c2 := nw.StartRPC(p, 2, 0, func() int { return 0 })
-			nw.AwaitAll(p, []Completion{c1, c2})
+			c1 := nw.StartRequest(p, 1, nil, 0)
+			c2 := nw.StartRequest(p, 2, nil, 0)
+			nw.AwaitAll(p, []*Pending{c1, c2})
 			done = p.Now()
 		default:
 			p.Advance(time.Millisecond)
@@ -200,15 +203,17 @@ func TestAsyncOverlapsComputation(t *testing.T) {
 	run := func(async bool) time.Duration {
 		e := sim.NewEngine(2)
 		nw := New(e, costs)
+		nw.Serve(func(p host.Proc, at int, req any) (any, int) { return nil, 4096 })
 		var done time.Duration
 		err := e.Run(func(p host.Proc) {
 			if p.ID() == 0 {
 				if async {
-					c := nw.StartRPC(p, 1, 0, func() int { return 4096 })
+					c := nw.StartRequest(p, 1, nil, 0)
 					p.Advance(300 * time.Microsecond) // overlapped compute
 					nw.Await(p, c)
 				} else {
-					nw.RPC(p, 1, 0, func() int { return 4096 })
+					c := nw.StartRequest(p, 1, nil, 0)
+					nw.Await(p, c)
 					p.Advance(300 * time.Microsecond)
 				}
 				done = p.Now()

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+// goldenTables are the sdsm-experiments outputs, one golden file per
+// generator. The fast ones run in -short mode; the full evaluation runs
+// otherwise. slow marks the generators skipped under -short.
+var goldenTables = []struct {
+	name string
+	slow bool
+	gen  func(workers int) (string, error)
+}{
+	{"micro", false, func(int) (string, error) {
+		m, err := Micro()
+		if err != nil {
+			return "", err
+		}
+		return FormatMicro(m), nil
+	}},
+	{"table1", false, func(workers int) (string, error) {
+		rows, err := Table1(workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatTable1(rows), nil
+	}},
+	{"table2", true, func(workers int) (string, error) {
+		rows, err := Table2(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatTable2(rows), nil
+	}},
+	{"fig5", true, func(workers int) (string, error) {
+		rows, err := Fig5(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig5(rows, DefaultProcs), nil
+	}},
+	{"fig6", true, func(workers int) (string, error) {
+		rows, err := Fig6(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig6(rows, DefaultProcs), nil
+	}},
+	{"fig7", true, func(workers int) (string, error) {
+		rows, err := Fig7(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig7(rows, DefaultProcs), nil
+	}},
+}
+
+// TestGoldenTables pins the deterministic sim-backend experiment output —
+// the paper's virtual-time numbers — byte for byte against checked-in
+// snapshots. Any refactor of the engine, protocol, transport, or cost
+// model that moves a number fails here; an intentional recalibration
+// regenerates the snapshots with
+//
+//	go test ./internal/harness -run TestGoldenTables -update
+//
+// This replaces the manual "diff sdsm-experiments output before and after"
+// ritual the repo used through PR 1.
+func TestGoldenTables(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, g := range goldenTables {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			if g.slow && testing.Short() {
+				t.Skip("full evaluation table; run without -short")
+			}
+			got, err := g.gen(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", g.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output differs from %s byte-for-byte.\n--- got ---\n%s\n--- want ---\n%s",
+					g.name, path, got, want)
+			}
+		})
+	}
+}

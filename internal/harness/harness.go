@@ -17,6 +17,7 @@ import (
 	"sdsm/internal/interp"
 	"sdsm/internal/model"
 	"sdsm/internal/mp"
+	"sdsm/internal/mpnet"
 	"sdsm/internal/rsd"
 	"sdsm/internal/shm"
 	"sdsm/internal/sim"
@@ -40,14 +41,23 @@ const (
 // Backend selects the execution backend for DSM runs.
 type Backend string
 
-// The two host backends (see internal/host). The sim backend reproduces
+// The three host backends (see internal/host). The sim backend reproduces
 // the paper's virtual-time numbers deterministically; the real backend
-// runs the nodes as goroutines genuinely in parallel, with identical
-// application results but scheduling-dependent virtual times.
+// runs the nodes as goroutines genuinely in parallel; the net backend
+// additionally carries every protocol payload over loopback sockets in
+// the wire format (and, for message-passing systems, runs one OS process
+// per rank). Application results are identical on all three; virtual
+// times are scheduling-dependent off the sim backend.
 const (
 	BackendSim  Backend = "sim"
 	BackendReal Backend = "real"
+	BackendNet  Backend = "net"
 )
+
+// DefaultBackend is the backend Run uses when Config.Backend is empty
+// (cmd/sdsm-experiments sets it from its -backend flag; the table
+// generators inherit it).
+var DefaultBackend = BackendSim
 
 // Config selects one run.
 type Config struct {
@@ -57,10 +67,13 @@ type Config struct {
 	Procs  int
 	Costs  model.Costs
 	Verify bool
-	// Backend picks the host backend for DSM systems; empty means
-	// BackendSim. Message-passing systems always use the sim backend
-	// (their receive-any and reduction orders are only deterministic
-	// there).
+	// Backend picks the host backend; empty means DefaultBackend.
+	// Message-passing systems run on the sim backend (their receive-any
+	// and reduction orders are only deterministic there) except under
+	// BackendNet, which runs them as one OS process per rank via
+	// internal/mpnet (approximate verification: real arrival order makes
+	// reduction order, and therefore the last float ulps, scheduling-
+	// dependent).
 	Backend Backend
 	// Level overrides the per-app best compiler options (for the Figure 6
 	// sweep); nil means BestOptions for Opt.
@@ -86,8 +99,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Costs == (model.Costs{}) {
 		cfg.Costs = model.SP2()
 	}
+	if cfg.Backend == "" {
+		cfg.Backend = DefaultBackend
+	}
 	switch cfg.Backend {
-	case "", BackendSim, BackendReal:
+	case BackendSim, BackendReal, BackendNet:
 	default:
 		return nil, fmt.Errorf("harness: unknown backend %q", cfg.Backend)
 	}
@@ -126,12 +142,22 @@ func runDSM(cfg Config) (*Result, error) {
 
 	layout := compiler.BuildLayout(prog, params)
 	var h host.Host
-	if cfg.Backend == BackendReal {
+	var nw host.Transport
+	switch cfg.Backend {
+	case BackendReal:
 		h = host.NewReal(cfg.Procs)
-	} else {
+		nw = cluster.New(h, cfg.Costs)
+	case BackendNet:
+		n, err := host.NewNet(cfg.Procs, cfg.Costs)
+		if err != nil {
+			return nil, fmt.Errorf("harness: net backend: %w", err)
+		}
+		defer n.Close()
+		h, nw = n, n
+	default:
 		h = sim.NewEngine(cfg.Procs)
+		nw = cluster.New(h, cfg.Costs)
 	}
-	nw := cluster.New(h, cfg.Costs)
 	sys := tmk.New(h, nw, layout)
 
 	var checksum float64
@@ -170,7 +196,25 @@ func runDSM(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// NodeBin names the worker binary used for the process-per-rank
+// message-passing deployment (Backend net on PVMe/XHPF systems); empty
+// re-executes the current binary, which must call mpnet.MaybeWorker first
+// thing in main (the sdsm commands do).
+var NodeBin = ""
+
 func runMP(cfg Config, overhead time.Duration) (*Result, error) {
+	if cfg.Backend == BackendNet {
+		res, err := mpnet.Run(cfg.App, cfg.Set, cfg.Procs, overhead, cfg.Verify, NodeBin, cfg.Costs)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s/%s: %w", cfg.App.Name, cfg.Set, cfg.System, err)
+		}
+		return &Result{
+			Time:     res.Time,
+			Checksum: res.Checksum,
+			Msgs:     res.Stats.Msgs,
+			Bytes:    res.Stats.Bytes,
+		}, nil
+	}
 	w := mp.NewWorld(cfg.Procs, cfg.Costs)
 	var checksum float64
 	err := w.Run(func(r *mp.Rank) {

@@ -128,10 +128,82 @@ type Msg struct {
 	Arrival  time.Duration
 }
 
-// Completion describes an in-flight RPC reply for asynchronous fetching.
-type Completion struct {
+// Server handles request/reply exchanges at a target node: it receives
+// the destination node id and the decoded request payload (a wire value,
+// never a pointer into the requester's state) and returns the reply
+// payload with its accounted size. The DSM run-time registers exactly one
+// server per transport (tmk's diff server). p is a processor handle the
+// server may use for Hold; on in-process transports it is the requesting
+// processor, on socket transports the target's own (whose compute
+// exclusion the service loop already holds).
+type Server func(p Proc, at int, req any) (resp any, respBytes int)
+
+// Pending is an in-flight request/reply exchange. Reply, Arrival, and
+// Bytes are valid after Await/AwaitAll returns it.
+type Pending struct {
+	// Reply is the decoded reply payload.
+	Reply any
+	// Arrival is the virtual time the reply reaches the requester.
 	Arrival time.Duration
-	Bytes   int
+	// Bytes is the accounted reply size.
+	Bytes int
+	// resolve, when non-nil, blocks until the reply is available and
+	// fills the fields above (socket transports; nil when the exchange
+	// completed at StartRequest).
+	resolve func(p Proc)
+}
+
+// Resolve waits until the exchange has completed (no-op on transports
+// that complete requests synchronously). Await calls it; transports set it
+// via SetResolver.
+func (pd *Pending) Resolve(p Proc) {
+	if pd.resolve != nil {
+		pd.resolve(p)
+		pd.resolve = nil
+	}
+}
+
+// SetResolver installs the completion wait hook (transport internal).
+func (pd *Pending) SetResolver(fn func(p Proc)) { pd.resolve = fn }
+
+// TakeMatch removes the earliest-arriving message matching (from, tag)
+// from box, returning the message and the shortened box. It is the one
+// mailbox-matching rule every transport shares — selective receive by
+// sender and tag, ties broken by buffer order — so receive-any semantics
+// cannot drift between backends.
+func TakeMatch(box []Msg, from int, tag Tag) (Msg, []Msg, bool) {
+	best := -1
+	for i, m := range box {
+		if m.Tag != tag || (from != AnySender && m.From != from) {
+			continue
+		}
+		if best == -1 || m.Arrival < box[best].Arrival {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Msg{}, box, false
+	}
+	m := box[best]
+	return m, append(box[:best], box[best+1:]...), true
+}
+
+// AwaitInArrivalOrder completes a set of pending exchanges in ascending
+// virtual-arrival order via await (the receive overheads serialize at
+// the requester). Exchanges must already be resolved where resolution is
+// asynchronous.
+func AwaitInArrivalOrder(p Proc, pds []*Pending, await func(Proc, *Pending)) {
+	rest := append([]*Pending(nil), pds...)
+	for len(rest) > 0 {
+		best := 0
+		for i := range rest {
+			if rest[i].Arrival < rest[best].Arrival {
+				best = i
+			}
+		}
+		await(p, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
 }
 
 // NodeStats counts traffic at one node.
@@ -148,9 +220,25 @@ type Stats struct {
 	Node  []NodeStats
 }
 
+// Account tallies one message from node from to node to. It is the one
+// accounting rule every transport shares, so the backends' traffic
+// numbers cannot drift apart; callers synchronize where counters are
+// shared between goroutines.
+func (s *Stats) Account(from, to, bytes int) {
+	s.Msgs++
+	s.Bytes += int64(bytes)
+	s.Node[from].MsgsSent++
+	s.Node[from].BytesSent += int64(bytes)
+	s.Node[to].MsgsRecv++
+	s.Node[to].BytesRecv += int64(bytes)
+}
+
 // Transport is the interconnect seam: everything the DSM run-time and the
-// message-passing layer need from the wire. Package cluster implements it
-// over any Host; a future TCP or shared-memory transport slots in here.
+// message-passing layer need from the wire. Every payload that crosses it
+// must be a wire value (package wire) or a plain data slice — never a
+// pointer into another node's protocol state — so that socket transports
+// can encode it. Package cluster implements the seam in-process over any
+// Host; NewNet implements it over loopback sockets.
 //
 // Transport methods must be called inside a protocol section.
 type Transport interface {
@@ -177,14 +265,27 @@ type Transport interface {
 	// both differ from the caller (multi-hop exchanges such as lock
 	// forwarding) and returns the time the receiver has fielded it.
 	Message(from, to int, depart time.Duration, bytes int) time.Duration
-	// RPC performs a synchronous request/reply; the handler runs once at
-	// the target to produce the reply size.
-	RPC(p Proc, to int, reqBytes int, handler func() (respBytes int))
-	// StartRPC issues the request and returns a Completion without
-	// waiting (asynchronous data fetching).
-	StartRPC(p Proc, to int, reqBytes int, handler func() (respBytes int)) Completion
-	// Await advances p to the completion of one in-flight RPC.
-	Await(p Proc, c Completion)
-	// AwaitAll completes a set of in-flight RPCs in arrival order.
-	AwaitAll(p Proc, cs []Completion)
+
+	// Serve registers the request handler invoked at the target of
+	// Request exchanges. Must be called once, before the host runs.
+	Serve(fn Server)
+	// StartRequest issues a request/reply exchange to node to and returns
+	// without waiting for the requester's side of the reply (asynchronous
+	// data fetching). The request payload must be a wire value.
+	StartRequest(p Proc, to int, req any, reqBytes int) *Pending
+	// Await advances p to the completion of one in-flight exchange; the
+	// Pending's reply fields are valid afterwards.
+	Await(p Proc, pd *Pending)
+	// AwaitAll completes a set of in-flight exchanges in arrival order.
+	AwaitAll(p Proc, pds []*Pending)
+
+	// Hand stages a protocol payload for node to, out of band of the
+	// mailbox: lock grants and barrier departures are constructed by the
+	// protocol (which accounts their cost via Message) and consumed by the
+	// recipient after it is woken. On socket transports the payload
+	// crosses the wire encoded.
+	Hand(p Proc, to int, slot Tag, payload any)
+	// TakeHand retrieves the payload staged for the caller in slot,
+	// waiting for it to arrive where delivery is asynchronous.
+	TakeHand(p Proc, slot Tag) any
 }

@@ -1,0 +1,632 @@
+package host
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sdsm/internal/model"
+	"sdsm/internal/wire"
+)
+
+// Net is the wire backend: a Real host whose Transport carries every
+// payload over OS sockets on loopback in the versioned wire format
+// (package wire). Each node owns one connection to a central switch; a
+// mailbox send, a diff request/reply, a lock grant, or a barrier
+// departure is encoded, written to the node's socket, routed by the
+// switch, and decoded by the destination's delivery loop before the
+// protocol sees it — the deployment shape of a process-per-node DSM,
+// with the node bodies still hosted in-process (see DESIGN.md §3 for the
+// contract and cmd/sdsm-node for the genuinely multi-process
+// message-passing deployment).
+//
+// Concurrency structure, per node i:
+//
+//   - The app/protocol goroutine (a Real processor) encodes and writes
+//     outbound frames, and blocks — releasing the protocol token — when
+//     it needs an inbound one (Recv, TakeHand, Await).
+//   - A delivery goroutine reads node i's connection, decodes frames, and
+//     files them (mailbox, hand slots, reply table) under the transport
+//     mutex, waking the blocked processor when a frame matches its wait.
+//     It never takes the protocol token, so delivery cannot deadlock
+//     against a section in progress.
+//   - A service goroutine fields incoming requests (diff fetches): it
+//     enters the protocol token, holds node i's compute lock (the Hold
+//     exclusion of the in-process backends), runs the registered server,
+//     and writes the reply frame. Requests queue unboundedly so delivery
+//     never stalls.
+//
+// Failure contract: if any link drops before Close (a peer vanishing), the
+// host aborts — every blocked processor unwinds and Run returns the link
+// error, mirroring a process-per-node machine losing a member.
+//
+// Virtual times are scheduling-dependent exactly as on the Real host;
+// application results are bit-identical to the sim backend for the
+// data-race-free programs the protocol serves (TestBackendEquivalence).
+type Net struct {
+	*Real
+	costs model.Costs
+
+	ln  net.Listener
+	dir string // temp dir holding the unix socket, "" for TCP
+
+	conns  []net.Conn   // client side, per node
+	cwmu   []sync.Mutex // write lock per client conn
+	sconns []net.Conn   // switch side, per node
+	swmu   []sync.Mutex // write lock per switch conn
+
+	nmu    sync.Mutex // guards boxes, hands, waits, reqs, stats
+	boxes  [][]Msg
+	hands  []map[Tag]any
+	waits  []*netWait
+	reqs   []map[int32]*reqState // per requester node: id -> state
+	nextID []int32
+	server Server
+	stats  Stats
+
+	svcMu   sync.Mutex
+	svcCond []*sync.Cond
+	svcQ    [][]*wire.Frame
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// netWait is what a node's blocked protocol goroutine is waiting for.
+type netWait struct {
+	p    Proc
+	kind byte // 'm' mailbox, 'h' hand, 'r' reply
+	from int
+	tag  Tag
+	slot Tag
+	rs   *reqState
+}
+
+// reqState tracks one in-flight request at the requester.
+type reqState struct {
+	done      bool
+	reply     any
+	respBytes int
+	service   time.Duration
+}
+
+// ListenLoopback opens the loopback listener the socket deployments
+// share: a Unix socket in a private temp directory, falling back to TCP
+// on 127.0.0.1. The returned dir (when non-empty) holds the socket file
+// and is the caller's to remove.
+func ListenLoopback() (net.Listener, string, error) {
+	if dir, err := os.MkdirTemp("", "sdsm"); err == nil {
+		if ln, err := net.Listen("unix", filepath.Join(dir, "switch.sock")); err == nil {
+			return ln, dir, nil
+		}
+		os.RemoveAll(dir)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, "", nil
+}
+
+// NewNet creates a wire-backend machine of n nodes: a loopback switch (a
+// Unix socket, falling back to TCP on 127.0.0.1) with every node
+// connected. Close must be called when done.
+func NewNet(n int, costs model.Costs) (*Net, error) {
+	nw := &Net{
+		Real:   NewReal(n),
+		costs:  costs,
+		boxes:  make([][]Msg, n),
+		hands:  make([]map[Tag]any, n),
+		waits:  make([]*netWait, n),
+		reqs:   make([]map[int32]*reqState, n),
+		nextID: make([]int32, n),
+		conns:  make([]net.Conn, n),
+		cwmu:   make([]sync.Mutex, n),
+		sconns: make([]net.Conn, n),
+		swmu:   make([]sync.Mutex, n),
+		svcQ:   make([][]*wire.Frame, n),
+		stats:  Stats{Node: make([]NodeStats, n)},
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		nw.hands[i] = map[Tag]any{}
+		nw.reqs[i] = map[int32]*reqState{}
+		nw.svcCond = append(nw.svcCond, sync.NewCond(&nw.svcMu))
+	}
+
+	ln, dir, err := ListenLoopback()
+	if err != nil {
+		return nil, fmt.Errorf("host: net backend cannot listen: %w", err)
+	}
+	nw.ln, nw.dir = ln, dir
+
+	// Dial every node and pair the accepted connections by hello frame.
+	accepted := make(chan error, 1)
+	go func() {
+		for range nw.conns {
+			c, err := nw.ln.Accept()
+			if err != nil {
+				accepted <- err
+				return
+			}
+			f, err := wire.ReadFrame(c)
+			if err != nil || f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= n {
+				c.Close()
+				accepted <- fmt.Errorf("host: bad hello from node connection: %v", err)
+				return
+			}
+			nw.sconns[f.From] = c
+		}
+		accepted <- nil
+	}()
+	// On failure the accept goroutine must be joined (via the accepted
+	// channel) before Close touches sconns, which it writes.
+	abort := func(err error) (*Net, error) {
+		nw.ln.Close()
+		<-accepted
+		nw.Close()
+		return nil, err
+	}
+	for i := range nw.conns {
+		c, err := net.Dial(nw.ln.Addr().Network(), nw.ln.Addr().String())
+		if err != nil {
+			return abort(fmt.Errorf("host: net backend dial: %w", err))
+		}
+		nw.conns[i] = c
+		if err := wire.WriteFrame(c, &wire.Frame{Kind: wire.FHello, From: int32(i)}); err != nil {
+			return abort(fmt.Errorf("host: net backend hello: %w", err))
+		}
+	}
+	if err := <-accepted; err != nil {
+		nw.Close()
+		return nil, err
+	}
+
+	for i := range nw.conns {
+		i := i
+		nw.wg.Add(3)
+		go nw.switchLoop(i)
+		go nw.deliveryLoop(i)
+		go nw.serviceLoop(i)
+	}
+	return nw, nil
+}
+
+// Close shuts the switch down: sockets close, loops exit, the socket file
+// is removed. Safe to call more than once.
+func (nw *Net) Close() {
+	nw.closeMu.Lock()
+	select {
+	case <-nw.closed:
+	default:
+		close(nw.closed)
+	}
+	nw.closeMu.Unlock()
+	nw.ln.Close()
+	for _, c := range nw.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range nw.sconns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	nw.svcMu.Lock()
+	for _, cond := range nw.svcCond {
+		cond.Broadcast()
+	}
+	nw.svcMu.Unlock()
+	nw.wg.Wait()
+	if nw.dir != "" {
+		os.RemoveAll(nw.dir)
+	}
+}
+
+// closing reports whether Close has begun (link errors after that are
+// expected teardown, not peer failures).
+func (nw *Net) closing() bool {
+	select {
+	case <-nw.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// linkDown handles a link error: expected during Close, a peer failure
+// otherwise — the host aborts so every blocked processor unwinds and Run
+// reports the loss.
+func (nw *Net) linkDown(node int, err error) {
+	if nw.closing() {
+		return
+	}
+	nw.fail(fmt.Errorf("host: node %d link lost: %v", node, err))
+}
+
+// switchLoop routes raw frames arriving from node i to their destination
+// connection without decoding payloads.
+func (nw *Net) switchLoop(i int) {
+	defer nw.wg.Done()
+	for {
+		raw, err := wire.ReadRawFrame(nw.sconns[i])
+		if err != nil {
+			nw.linkDown(i, err)
+			return
+		}
+		_, _, to, _, err := wire.RawFields(raw)
+		if err != nil || int(to) < 0 || int(to) >= nw.N() {
+			nw.linkDown(i, fmt.Errorf("unroutable frame: to=%d err=%v", to, err))
+			return
+		}
+		nw.swmu[to].Lock()
+		_, err = nw.sconns[to].Write(raw)
+		nw.swmu[to].Unlock()
+		if err != nil {
+			nw.linkDown(int(to), err)
+			return
+		}
+	}
+}
+
+// deliveryLoop decodes frames arriving at node i and files them, waking
+// the node's blocked processor when a frame matches its wait. It never
+// enters a protocol section.
+func (nw *Net) deliveryLoop(i int) {
+	defer nw.wg.Done()
+	for {
+		f, err := wire.ReadFrame(nw.conns[i])
+		if err != nil {
+			nw.linkDown(i, err)
+			return
+		}
+		switch f.Kind {
+		case wire.FMsg:
+			payload := f.Payload
+			if fs, ok := payload.(wire.Float64s); ok {
+				payload = []float64(fs) // mp's native payload type
+			}
+			m := Msg{
+				From: int(f.From), To: i, Tag: Tag(f.Tag),
+				Payload: payload, Bytes: int(f.Bytes), Arrival: time.Duration(f.Time),
+			}
+			nw.nmu.Lock()
+			nw.boxes[i] = append(nw.boxes[i], m)
+			if w := nw.waits[i]; w != nil && w.kind == 'm' && (w.from == AnySender || w.from == m.From) && w.tag == m.Tag {
+				nw.waits[i] = nil
+				nw.wake(w.p, m.Arrival)
+			}
+			nw.nmu.Unlock()
+		case wire.FHand:
+			nw.nmu.Lock()
+			nw.hands[i][Tag(f.Tag)] = f.Payload
+			if w := nw.waits[i]; w != nil && w.kind == 'h' && w.slot == Tag(f.Tag) {
+				nw.waits[i] = nil
+				nw.wake(w.p, 0)
+			}
+			nw.nmu.Unlock()
+		case wire.FReq:
+			nw.svcMu.Lock()
+			nw.svcQ[i] = append(nw.svcQ[i], f)
+			nw.svcCond[i].Signal()
+			nw.svcMu.Unlock()
+		case wire.FReply:
+			nw.nmu.Lock()
+			rs := nw.reqs[i][f.Tag]
+			if rs == nil {
+				nw.nmu.Unlock()
+				nw.linkDown(i, fmt.Errorf("reply for unknown request %d", f.Tag))
+				return
+			}
+			delete(nw.reqs[i], f.Tag)
+			rs.done = true
+			rs.reply = f.Payload
+			rs.respBytes = int(f.Bytes)
+			rs.service = time.Duration(f.Time)
+			nw.account(int(f.From), i, rs.respBytes)
+			if w := nw.waits[i]; w != nil && w.kind == 'r' && w.rs == rs {
+				nw.waits[i] = nil
+				nw.wake(w.p, 0)
+			}
+			nw.nmu.Unlock()
+		default:
+			nw.linkDown(i, fmt.Errorf("unexpected frame kind %d", f.Kind))
+			return
+		}
+	}
+}
+
+// serviceLoop fields requests addressed to node i: it takes the protocol
+// token and node i's compute lock (re-establishing exactly the exclusion
+// the in-process backends get from Begin + Hold), runs the registered
+// server, and ships the reply back through the switch.
+func (nw *Net) serviceLoop(i int) {
+	defer nw.wg.Done()
+	rp := nw.Real.procs[i]
+	for {
+		nw.svcMu.Lock()
+		for len(nw.svcQ[i]) == 0 && !nw.closing() {
+			nw.svcCond[i].Wait()
+		}
+		if nw.closing() && len(nw.svcQ[i]) == 0 {
+			nw.svcMu.Unlock()
+			return
+		}
+		f := nw.svcQ[i][0]
+		nw.svcQ[i] = nw.svcQ[i][1:]
+		nw.svcMu.Unlock()
+
+		nw.Real.mu.Lock() // the protocol-section token
+		rp.compMu.Lock()  // the Hold exclusion against i's compute
+		before := rp.Now()
+		resp, respBytes := nw.server(rp, i, f.Payload)
+		rp.Charge(nw.costs.RecvOverhead + nw.costs.RequestService + nw.costs.SendOverhead)
+		service := rp.Now() - before
+		rp.compMu.Unlock()
+		nw.Real.mu.Unlock()
+
+		err := nw.write(i, &wire.Frame{
+			Kind: wire.FReply, From: int32(i), To: f.From, Tag: f.Tag,
+			Bytes: int32(respBytes), Time: int64(service), Payload: resp,
+		})
+		if err != nil {
+			nw.linkDown(i, err)
+			return
+		}
+	}
+}
+
+// wake makes a blocked processor runnable (delivery-side; any Real proc
+// handle works as the Wake receiver).
+func (nw *Net) wake(p Proc, at time.Duration) {
+	rp := p.(*RealProc)
+	rp.Wake(rp, at)
+}
+
+// write encodes f and writes it on node i's connection.
+func (nw *Net) write(i int, f *wire.Frame) error {
+	raw, err := wire.AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	nw.cwmu[i].Lock()
+	defer nw.cwmu[i].Unlock()
+	_, err = nw.conns[i].Write(raw)
+	return err
+}
+
+// mustWrite is write for protocol-goroutine callers: a link failure
+// panics (unwinding the processor), matching the failure contract.
+func (nw *Net) mustWrite(i int, f *wire.Frame) {
+	if err := nw.write(i, f); err != nil {
+		nw.linkDown(i, err)
+		panic(errAborted)
+	}
+}
+
+// account tallies one message (caller holds nmu).
+func (nw *Net) account(from, to, bytes int) { nw.stats.Account(from, to, bytes) }
+
+// ---- Transport implementation ----
+
+// Costs returns the cost model in force.
+func (nw *Net) Costs() model.Costs { return nw.costs }
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Net) Stats() Stats {
+	nw.nmu.Lock()
+	defer nw.nmu.Unlock()
+	s := nw.stats
+	s.Node = append([]NodeStats(nil), nw.stats.Node...)
+	return s
+}
+
+// ResetStats zeroes all counters.
+func (nw *Net) ResetStats() {
+	nw.nmu.Lock()
+	defer nw.nmu.Unlock()
+	nw.stats = Stats{Node: make([]NodeStats, nw.N())}
+}
+
+// Serve registers the request handler run by the service loops.
+func (nw *Net) Serve(fn Server) {
+	if nw.server != nil {
+		panic("host: net server already registered")
+	}
+	nw.server = fn
+}
+
+// Send transmits payload to node to over the wire; the sender pays send
+// overhead and the message arrives after wire latency plus bandwidth time.
+func (nw *Net) Send(p Proc, to int, tag Tag, payload any, bytes int) {
+	if to == p.ID() {
+		panic("host: net send to self")
+	}
+	p.Charge(nw.costs.SendOverhead)
+	arrival := p.Now() + nw.costs.OneWay(bytes)
+	nw.nmu.Lock()
+	nw.account(p.ID(), to, bytes)
+	nw.nmu.Unlock()
+	nw.mustWrite(p.ID(), &wire.Frame{
+		Kind: wire.FMsg, From: int32(p.ID()), To: int32(to), Tag: int32(tag),
+		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
+	})
+}
+
+// SendShared transmits one payload to several recipients charging the
+// sender's injection overhead once (switch-assisted broadcast). The
+// payload is encoded once; only the destination field of the fixed frame
+// header is patched per recipient.
+func (nw *Net) SendShared(p Proc, tos []int, tag Tag, payload any, bytes int) {
+	p.Charge(nw.costs.SendOverhead)
+	arrival := p.Now() + nw.costs.OneWay(bytes)
+	raw, err := wire.AppendFrame(nil, &wire.Frame{
+		Kind: wire.FMsg, From: int32(p.ID()), Tag: int32(tag),
+		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("host: net send shared: %v", err))
+	}
+	nw.nmu.Lock()
+	for _, to := range tos {
+		if to == p.ID() {
+			nw.nmu.Unlock()
+			panic("host: net send to self")
+		}
+		nw.account(p.ID(), to, bytes)
+	}
+	nw.nmu.Unlock()
+	for _, to := range tos {
+		wire.PatchRawTo(raw, int32(to))
+		nw.cwmu[p.ID()].Lock()
+		_, err := nw.conns[p.ID()].Write(raw)
+		nw.cwmu[p.ID()].Unlock()
+		if err != nil {
+			nw.linkDown(p.ID(), err)
+			panic(errAborted)
+		}
+	}
+}
+
+// Broadcast sends payload to every other node, serializing the
+// per-message send overhead at the sender.
+func (nw *Net) Broadcast(p Proc, tag Tag, payload any, bytes int) {
+	for to := 0; to < nw.N(); to++ {
+		if to != p.ID() {
+			nw.Send(p, to, tag, payload, bytes)
+		}
+	}
+}
+
+// Recv blocks until a matching message has been delivered off the wire,
+// then delivers the earliest-arriving match.
+func (nw *Net) Recv(p Proc, from int, tag Tag) Msg {
+	for {
+		nw.nmu.Lock()
+		if m, ok := nw.take(p.ID(), from, tag); ok {
+			nw.nmu.Unlock()
+			p.SetClock(m.Arrival)
+			p.Charge(nw.costs.RecvOverhead)
+			return m
+		}
+		if nw.waits[p.ID()] != nil {
+			panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
+		}
+		nw.waits[p.ID()] = &netWait{p: p, kind: 'm', from: from, tag: tag}
+		nw.nmu.Unlock()
+		p.Block(fmt.Sprintf("net recv tag=%d from=%d", tag, from))
+	}
+}
+
+// take removes the earliest matching message from to's mailbox (caller
+// holds nmu).
+func (nw *Net) take(to, from int, tag Tag) (Msg, bool) {
+	m, rest, ok := TakeMatch(nw.boxes[to], from, tag)
+	nw.boxes[to] = rest
+	return m, ok
+}
+
+// Message accounts for a protocol control message between two nodes (lock
+// forwarding legs); nothing crosses the wire — the exchanges that carry
+// data do so via Send, Hand, and StartRequest.
+func (nw *Net) Message(from, to int, depart time.Duration, bytes int) time.Duration {
+	if from == to {
+		panic("host: net message to self")
+	}
+	nw.Proc(from).Charge(nw.costs.SendOverhead)
+	nw.Proc(to).Charge(nw.costs.RecvOverhead)
+	nw.nmu.Lock()
+	nw.account(from, to, bytes)
+	nw.nmu.Unlock()
+	return depart + nw.costs.SendOverhead + nw.costs.OneWay(bytes) + nw.costs.RecvOverhead
+}
+
+// StartRequest ships the encoded request to the target's service loop and
+// returns a Pending whose resolver waits for the reply frame.
+func (nw *Net) StartRequest(p Proc, to int, req any, reqBytes int) *Pending {
+	if to == p.ID() {
+		panic("host: net request to self")
+	}
+	p.Charge(nw.costs.SendOverhead)
+	reqArrival := p.Now() + nw.costs.OneWay(reqBytes)
+
+	rs := &reqState{}
+	nw.nmu.Lock()
+	nw.account(p.ID(), to, reqBytes)
+	nw.nextID[p.ID()]++
+	id := nw.nextID[p.ID()]
+	nw.reqs[p.ID()][id] = rs
+	nw.nmu.Unlock()
+	nw.mustWrite(p.ID(), &wire.Frame{
+		Kind: wire.FReq, From: int32(p.ID()), To: int32(to), Tag: id,
+		Bytes: int32(reqBytes), Payload: req,
+	})
+
+	pd := &Pending{}
+	pd.SetResolver(func(p Proc) {
+		nw.nmu.Lock()
+		for !rs.done {
+			if nw.waits[p.ID()] != nil {
+				panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
+			}
+			nw.waits[p.ID()] = &netWait{p: p, kind: 'r', rs: rs}
+			nw.nmu.Unlock()
+			p.Block("net rpc reply")
+			nw.nmu.Lock()
+		}
+		nw.nmu.Unlock()
+		pd.Reply = rs.reply
+		pd.Bytes = rs.respBytes
+		pd.Arrival = reqArrival + rs.service + nw.costs.OneWay(rs.respBytes)
+	})
+	return pd
+}
+
+// Await resolves one exchange and advances p to the reply's arrival.
+func (nw *Net) Await(p Proc, pd *Pending) {
+	pd.Resolve(p)
+	p.SetClock(pd.Arrival)
+	p.Charge(nw.costs.RecvOverhead)
+}
+
+// AwaitAll resolves a set of exchanges and charges their receive
+// overheads in (virtual) arrival order.
+func (nw *Net) AwaitAll(p Proc, pds []*Pending) {
+	for _, pd := range pds {
+		pd.Resolve(p)
+	}
+	AwaitInArrivalOrder(p, pds, nw.Await)
+}
+
+// Hand ships a staged protocol payload (lock grant, barrier departure) to
+// node to over the wire.
+func (nw *Net) Hand(p Proc, to int, slot Tag, payload any) {
+	nw.mustWrite(p.ID(), &wire.Frame{
+		Kind: wire.FHand, From: int32(p.ID()), To: int32(to), Tag: int32(slot),
+		Payload: payload,
+	})
+}
+
+// TakeHand retrieves the payload staged for the caller in slot, waiting
+// for the frame if it is still in flight.
+func (nw *Net) TakeHand(p Proc, slot Tag) any {
+	for {
+		nw.nmu.Lock()
+		if payload, ok := nw.hands[p.ID()][slot]; ok {
+			delete(nw.hands[p.ID()], slot)
+			nw.nmu.Unlock()
+			return payload
+		}
+		if nw.waits[p.ID()] != nil {
+			panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
+		}
+		nw.waits[p.ID()] = &netWait{p: p, kind: 'h', slot: slot}
+		nw.nmu.Unlock()
+		p.Block(fmt.Sprintf("net hand slot=%d", slot))
+	}
+}

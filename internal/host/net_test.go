@@ -1,0 +1,157 @@
+package host
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdsm/internal/model"
+	"sdsm/internal/wire"
+)
+
+func newTestNet(t *testing.T, n int) *Net {
+	t.Helper()
+	nw, err := NewNet(n, model.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	return nw
+}
+
+// TestNetMailbox sends typed payloads through the socket switch and
+// checks delivery, selective receive, and accounting.
+func TestNetMailbox(t *testing.T) {
+	nw := newTestNet(t, 3)
+	costs := nw.Costs()
+	err := nw.Run(func(p Proc) {
+		switch p.ID() {
+		case 0:
+			p.Begin()
+			nw.Send(p, 2, 7, []float64{1.5, 2.5}, 16)
+			nw.Send(p, 2, 8, nil, 0)
+			p.End()
+		case 1:
+			p.Begin()
+			nw.Send(p, 2, 7, []float64{9}, 8)
+			p.End()
+		case 2:
+			p.Begin()
+			// Selective receive: tag 8 first, then per-sender tag 7s.
+			nw.Recv(p, 0, 8)
+			m0 := nw.Recv(p, 0, 7)
+			m1 := nw.Recv(p, 1, 7)
+			p.End()
+			if vals := m0.Payload.([]float64); len(vals) != 2 || vals[1] != 2.5 {
+				t.Errorf("node 2 got payload %v from 0", m0.Payload)
+			}
+			if vals := m1.Payload.([]float64); len(vals) != 1 || vals[0] != 9 {
+				t.Errorf("node 2 got payload %v from 1", m1.Payload)
+			}
+			if m0.Arrival <= 0 || m0.Arrival != costs.SendOverhead+costs.OneWay(16) {
+				t.Errorf("arrival %v, want %v", m0.Arrival, costs.SendOverhead+costs.OneWay(16))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.Msgs != 3 || s.Bytes != 24 {
+		t.Errorf("stats = %d msgs %d bytes, want 3/24", s.Msgs, s.Bytes)
+	}
+	if s.Node[2].MsgsRecv != 3 || s.Node[0].MsgsSent != 2 {
+		t.Errorf("per-node stats wrong: %+v", s.Node)
+	}
+}
+
+// TestNetRequestReply runs request/reply exchanges through the service
+// loops: the server executes at the target, sees the request payload, and
+// its reply (plus service charges) reaches the requester.
+func TestNetRequestReply(t *testing.T) {
+	nw := newTestNet(t, 2)
+	nw.Serve(func(p Proc, at int, req any) (any, int) {
+		r := req.(wire.DiffRequest)
+		if at != 1 || r.Req != 0 {
+			t.Errorf("server saw at=%d req=%d", at, r.Req)
+		}
+		p.Charge(5 * time.Microsecond)
+		return wire.DiffReply{Diffs: []wire.Diff{{Page: r.Pages[0], Creator: 1, To: 3}}}, 64
+	})
+	err := nw.Run(func(p Proc) {
+		if p.ID() != 0 {
+			// The target computes while the request is served: the service
+			// loop must synchronize with the compute section, not with this
+			// body's progress.
+			p.BeginCompute()
+			p.EndCompute()
+			return
+		}
+		p.Begin()
+		pd := nw.StartRequest(p, 1, wire.DiffRequest{Req: 0, Pages: []int32{4}, Applied: [][]int32{{0, 0}}}, 16)
+		nw.Await(p, pd)
+		p.End()
+		reply := pd.Reply.(wire.DiffReply)
+		if len(reply.Diffs) != 1 || reply.Diffs[0].Page != 4 || reply.Diffs[0].Creator != 1 {
+			t.Errorf("bad reply %+v", reply)
+		}
+		if pd.Bytes != 64 {
+			t.Errorf("reply bytes %d, want 64", pd.Bytes)
+		}
+		if pd.Arrival <= 0 {
+			t.Error("no arrival time on reply")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Proc(1).Now(); got < 5*time.Microsecond {
+		t.Errorf("target clock %v missing service charges", got)
+	}
+}
+
+// TestNetHand stages payloads out of band and takes them after a wake,
+// including the stage-to-self case the barrier master uses.
+func TestNetHand(t *testing.T) {
+	nw := newTestNet(t, 2)
+	err := nw.Run(func(p Proc) {
+		if p.ID() == 0 {
+			p.Begin()
+			nw.Hand(p, 1, 3, wire.Grant{Bytes: 12})
+			nw.Hand(p, 0, 3, wire.Grant{Bytes: 99})
+			g := nw.TakeHand(p, 3).(wire.Grant)
+			p.End()
+			if g.Bytes != 99 {
+				t.Errorf("self hand = %+v", g)
+			}
+		} else {
+			p.Begin()
+			g := nw.TakeHand(p, 3).(wire.Grant)
+			p.End()
+			if g.Bytes != 12 {
+				t.Errorf("hand = %+v", g)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetPeerFailure checks the failure contract: a node panicking aborts
+// the machine and unwinds peers blocked on the wire.
+func TestNetPeerFailure(t *testing.T) {
+	nw := newTestNet(t, 2)
+	err := nw.Run(func(p Proc) {
+		if p.ID() == 0 {
+			p.Begin()
+			nw.Recv(p, 1, 1) // never arrives
+			p.End()
+			return
+		}
+		panic("node 1 dies")
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 1 dies") {
+		t.Fatalf("Run error = %v, want the peer panic", err)
+	}
+}

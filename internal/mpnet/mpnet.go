@@ -1,0 +1,317 @@
+// Package mpnet runs the message-passing layer (package mp) as a real
+// distributed system: one OS process per rank, spawned by a coordinator
+// and connected to its switch over loopback sockets, exchanging frames in
+// the wire format (package wire).
+//
+// This is the deployment shape of the paper's PVMe programs — genuinely
+// share-nothing processes communicating only by messages — and the proof
+// that the mp programming layer has no hidden in-memory couplings: the
+// same application code runs unmodified against a socket-backed transport
+// in another process.
+//
+// The coordinator listens, spawns workers (the sdsm-node binary, or a
+// re-exec of the current executable), routes frames between them by
+// destination rank, accounts traffic, and collects each worker's final
+// virtual clock and checksum contribution. A worker process dials in,
+// identifies itself (hello), receives its run configuration (start),
+// re-derives the problem parameters deterministically from it, runs the
+// application's MP function against a proxy Host/Transport whose
+// communication methods speak frames, and reports its result (done).
+//
+// Timing note: virtual clocks are maintained per worker with the same
+// cost model as in-process runs, but receive-any matching follows real
+// frame arrival order, so reported times (and floating-point reduction
+// orders) are scheduling-dependent. Verification therefore uses the
+// approximate checksum comparison, and the deterministic tables always
+// use the sim backend.
+package mpnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/host"
+	"sdsm/internal/model"
+	"sdsm/internal/mp"
+	"sdsm/internal/wire"
+)
+
+// WorkerEnv is the environment variable carrying a spawned worker's
+// connection target and rank: "network;address;rank".
+const WorkerEnv = "SDSM_MP_WORKER"
+
+// MaybeWorker turns the current process into a worker when WorkerEnv is
+// set, never returning in that case. Binaries that spawn workers by
+// re-executing themselves must call it first thing in main.
+func MaybeWorker() {
+	spec := os.Getenv(WorkerEnv)
+	if spec == "" {
+		return
+	}
+	parts := strings.SplitN(spec, ";", 3)
+	if len(parts) != 3 {
+		fmt.Fprintf(os.Stderr, "sdsm worker: malformed %s=%q\n", WorkerEnv, spec)
+		os.Exit(2)
+	}
+	rank, err := strconv.Atoi(parts[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdsm worker: bad rank in %s=%q\n", WorkerEnv, spec)
+		os.Exit(2)
+	}
+	if err := RunWorker(parts[0], parts[1], rank); err != nil {
+		fmt.Fprintf(os.Stderr, "sdsm worker rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Result is the outcome of a distributed mp run.
+type Result struct {
+	Time     time.Duration
+	Checksum float64
+	Stats    host.Stats
+}
+
+// Run executes one mp application with one OS process per rank. nodeBin
+// names the worker binary; empty means re-exec the current executable
+// (which must call MaybeWorker). overhead is the per-iteration
+// distribution overhead of the XHPF stand-in, zero for PVMe.
+//
+// Workers derive their entire configuration — cost model included — from
+// the start frame; the frame does not carry cost constants, so only the
+// SP/2 model the workers assume is accepted (a non-SP2 model would
+// silently misprice every worker clock otherwise).
+func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, verify bool, nodeBin string, costs model.Costs) (*Result, error) {
+	if costs != model.SP2() {
+		return nil, fmt.Errorf("mpnet: the process-per-rank deployment supports the SP2 cost model only")
+	}
+	if nodeBin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("mpnet: cannot locate own executable: %w", err)
+		}
+		nodeBin = exe
+	}
+
+	ln, dir, err := host.ListenLoopback()
+	if err != nil {
+		return nil, fmt.Errorf("mpnet: cannot listen: %w", err)
+	}
+	defer ln.Close()
+	if dir != "" {
+		defer os.RemoveAll(dir)
+	}
+
+	// Spawn the workers.
+	var procsRunning []*exec.Cmd
+	killAll := func() {
+		for _, c := range procsRunning {
+			if c.Process != nil {
+				c.Process.Kill()
+			}
+		}
+		for _, c := range procsRunning {
+			c.Wait()
+		}
+	}
+	for r := 0; r < procs; r++ {
+		cmd := exec.Command(nodeBin)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s;%s;%d", WorkerEnv, ln.Addr().Network(), ln.Addr().String(), r))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			killAll()
+			return nil, fmt.Errorf("mpnet: spawning worker %d: %w", r, err)
+		}
+		procsRunning = append(procsRunning, cmd)
+	}
+
+	// Accept and pair connections by hello. A worker binary that does not
+	// call MaybeWorker never dials in; the deadline turns that into a
+	// diagnosable error instead of a hang.
+	conns := make([]net.Conn, procs)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < procs; i++ {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			killAll()
+			return nil, fmt.Errorf("mpnet: worker handshake (does the worker binary call mpnet.MaybeWorker?): %w", err)
+		}
+		f, err := wire.ReadFrame(c)
+		if err != nil || f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= procs || conns[f.From] != nil {
+			c.Close()
+			killAll()
+			return nil, fmt.Errorf("mpnet: bad hello: %v", err)
+		}
+		conns[f.From] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		killAll()
+	}()
+
+	// Configure every worker.
+	start := wire.Start{App: app.Name, Set: string(set), N: int32(procs), Overhead: int64(overhead), Verify: verify}
+	for r := 0; r < procs; r++ {
+		if err := wire.WriteFrame(conns[r], &wire.Frame{Kind: wire.FStart, To: int32(r), Payload: start}); err != nil {
+			return nil, fmt.Errorf("mpnet: configuring worker %d: %w", r, err)
+		}
+	}
+
+	// Route frames until every worker reports done. Writes to one
+	// destination are serialized explicitly: two source routers forwarding
+	// to the same rank must not rely on the net package's internal
+	// per-fd write serialization.
+	res := &Result{Stats: host.Stats{Node: make([]host.NodeStats, procs)}}
+	var statsMu sync.Mutex
+	wmu := make([]sync.Mutex, procs)
+	type doneMsg struct {
+		rank  int
+		clock time.Duration
+		sum   float64
+		err   error
+	}
+	doneCh := make(chan doneMsg, procs)
+	for r := 0; r < procs; r++ {
+		r := r
+		go func() {
+			for {
+				raw, err := wire.ReadRawFrame(conns[r])
+				if err != nil {
+					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d link lost: %w", r, err)}
+					return
+				}
+				kind, _, to, bytes, err := wire.RawFields(raw)
+				if err != nil {
+					doneCh <- doneMsg{rank: r, err: err}
+					return
+				}
+				if kind == wire.FDone {
+					f, _, err := wire.ParseFrame(raw)
+					if err != nil {
+						doneCh <- doneMsg{rank: r, err: err}
+						return
+					}
+					d := f.Payload.(wire.Done)
+					if d.Err != "" {
+						doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d failed: %s", r, d.Err)}
+						return
+					}
+					doneCh <- doneMsg{rank: r, clock: time.Duration(f.Time), sum: d.Checksum}
+					return
+				}
+				if int(to) < 0 || int(to) >= procs {
+					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d sent unroutable frame", r)}
+					return
+				}
+				if kind == wire.FMsg {
+					// Accounted from the raw header — the payload is
+					// forwarded verbatim, never decoded here. One router
+					// goroutine runs per sending rank, so the shared
+					// counters need the lock.
+					statsMu.Lock()
+					res.Stats.Account(r, int(to), int(bytes))
+					statsMu.Unlock()
+				}
+				wmu[to].Lock()
+				_, err = conns[to].Write(raw)
+				wmu[to].Unlock()
+				if err != nil {
+					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: routing to rank %d: %w", to, err)}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < procs; i++ {
+		d := <-doneCh
+		if d.err != nil {
+			return nil, d.err
+		}
+		if d.clock > res.Time {
+			res.Time = d.clock
+		}
+		if d.rank == 0 {
+			res.Checksum = d.sum
+		}
+	}
+	return res, nil
+}
+
+// RunWorker dials the coordinator and runs one rank to completion: the
+// body of a worker process.
+func RunWorker(network, addr string, rank int) error {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return fmt.Errorf("dialing coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, &wire.Frame{Kind: wire.FHello, From: int32(rank)}); err != nil {
+		return err
+	}
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("reading start frame: %w", err)
+	}
+	start, ok := f.Payload.(wire.Start)
+	if !ok || f.Kind != wire.FStart {
+		return fmt.Errorf("expected start frame, got kind %d", f.Kind)
+	}
+	app, err := apps.ByName(start.App)
+	if err != nil {
+		return err
+	}
+	set := apps.DataSet(start.Set)
+	if _, ok := app.Sets[set]; !ok {
+		return fmt.Errorf("unknown data set %q", start.Set)
+	}
+
+	// Re-derive the problem parameters exactly as the in-process harness
+	// does; they are a pure function of (app, set, n).
+	n := int(start.N)
+	prog := app.Build(n)
+	params := prog.Prepare(app.Sets[set], n)
+
+	w := newWorkerWorld(conn, rank, n, model.SP2())
+	var sum float64
+	var runErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("rank %d panicked: %v", rank, r)
+			}
+		}()
+		runErr = w.world.Run(func(r *mp.Rank) {
+			if cs, ok := params["cscale"]; ok {
+				r.SetCostScale(cs)
+			}
+			sum = app.MP(r, params, time.Duration(start.Overhead), start.Verify)
+		})
+	}()
+	done := wire.Done{Checksum: sum}
+	if runErr != nil {
+		done.Err = runErr.Error()
+	}
+	// The done report rides the same outbound queue as the data frames so
+	// it cannot overtake them, then the queue is drained to the socket.
+	raw, err := wire.AppendFrame(nil, &wire.Frame{
+		Kind: wire.FDone, From: int32(rank), Time: int64(w.proc.clock), Payload: done,
+	})
+	if err != nil {
+		return err
+	}
+	w.tr.enqueue(raw)
+	return w.tr.flush()
+}

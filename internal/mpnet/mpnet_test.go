@@ -1,0 +1,76 @@
+package mpnet_test
+
+import (
+	"os"
+	"testing"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/harness"
+	"sdsm/internal/model"
+	"sdsm/internal/mpnet"
+)
+
+// TestMain installs the worker hook: the coordinator spawns THIS test
+// binary as its rank processes.
+func TestMain(m *testing.M) {
+	mpnet.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestDistributedMP runs message-passing applications with one OS process
+// per rank and verifies the checksum against the sequential reference.
+// Reduction order follows real frame arrival, so comparison is the
+// approximate one (apps.Close), as documented.
+func TestDistributedMP(t *testing.T) {
+	cases := []struct {
+		app   string
+		procs int
+	}{
+		{"is", 2},
+		{"jacobi", 3},
+		{"mgs", 5},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.app, func(t *testing.T) {
+			a, err := apps.ByName(c.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := mpnet.Run(a, apps.Small, c.procs, 0, true, "", model.SP2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := harness.SeqChecksum(a, apps.Small)
+			if !apps.Close(res.Checksum, seq) {
+				t.Errorf("%s/p%d: distributed checksum %v != sequential %v", c.app, c.procs, res.Checksum, seq)
+			}
+			if res.Stats.Msgs == 0 || res.Time == 0 {
+				t.Errorf("%s/p%d: missing accounting: %d msgs, time %v", c.app, c.procs, res.Stats.Msgs, res.Time)
+			}
+		})
+	}
+}
+
+// TestHarnessNetMP exercises the harness plumbing: a PVMe run on the net
+// backend spawns worker processes through harness.Run.
+func TestHarnessNetMP(t *testing.T) {
+	a, err := apps.ByName("shallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(harness.Config{
+		App: a, Set: apps.Small, System: harness.PVMe, Procs: 2,
+		Verify: true, Backend: harness.BackendNet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := harness.SeqChecksum(a, apps.Small)
+	if !apps.Close(res.Checksum, seq) {
+		t.Errorf("checksum %v != sequential %v", res.Checksum, seq)
+	}
+}

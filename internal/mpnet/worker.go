@@ -1,0 +1,277 @@
+package mpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sdsm/internal/host"
+	"sdsm/internal/model"
+	"sdsm/internal/mp"
+	"sdsm/internal/wire"
+)
+
+// workerWorld is the worker-process side of the distributed mp machine: a
+// single-processor Host whose processor carries the rank's virtual clock,
+// and a Transport whose communication methods speak wire frames over the
+// coordinator connection. Everything else a Transport can do (requests,
+// hands, multi-hop accounting) belongs to the DSM layer and panics here:
+// the mp layer is share-nothing by construction and uses only mailboxes.
+type workerWorld struct {
+	world *mp.World
+	proc  *workerProc
+	tr    *workerTransport
+}
+
+func newWorkerWorld(conn net.Conn, rank, n int, costs model.Costs) *workerWorld {
+	w := &workerWorld{proc: &workerProc{id: rank}}
+	h := &workerHost{proc: w.proc, n: n}
+	w.tr = newWorkerTransport(conn, costs, rank, n)
+	w.world = &mp.World{H: h, NW: w.tr}
+	return w
+}
+
+// workerProc is the rank's processor: a local virtual clock. The blocking
+// primitives are never reached — the transport blocks on socket reads.
+type workerProc struct {
+	id    int
+	clock time.Duration
+}
+
+func (p *workerProc) ID() int             { return p.id }
+func (p *workerProc) Now() time.Duration  { return p.clock }
+func (p *workerProc) Yield()              {}
+func (p *workerProc) Begin()              {}
+func (p *workerProc) End()                {}
+func (p *workerProc) BeginCompute()       {}
+func (p *workerProc) EndCompute()         {}
+func (p *workerProc) Block(reason string) { panic("mpnet: worker proc cannot block: " + reason) }
+func (p *workerProc) Wake(q host.Proc, at time.Duration) {
+	panic("mpnet: worker proc cannot wake peers")
+}
+func (p *workerProc) Hold(q host.Proc, fn func()) { panic("mpnet: worker proc cannot hold peers") }
+
+func (p *workerProc) Advance(d time.Duration) {
+	if d < 0 {
+		panic("mpnet: negative advance")
+	}
+	p.clock += d
+}
+
+func (p *workerProc) Charge(d time.Duration) {
+	if d < 0 {
+		panic("mpnet: negative charge")
+	}
+	p.clock += d
+}
+
+func (p *workerProc) SetClock(at time.Duration) {
+	if at > p.clock {
+		p.clock = at
+	}
+}
+
+// workerHost is a single-processor view of an n-rank machine.
+type workerHost struct {
+	proc *workerProc
+	n    int
+}
+
+func (h *workerHost) N() int { return h.n }
+
+func (h *workerHost) Proc(i int) host.Proc {
+	if i != h.proc.id {
+		panic(fmt.Sprintf("mpnet: rank %d has no local processor %d", h.proc.id, i))
+	}
+	return h.proc
+}
+
+func (h *workerHost) Run(body func(p host.Proc)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mpnet: rank %d panicked: %v", h.proc.id, r)
+		}
+	}()
+	body(h.proc)
+	return nil
+}
+
+// workerTransport speaks frames over the coordinator connection. Inbound
+// frames are buffered in a local mailbox so selective receives (by sender
+// and tag) work exactly as in-process. Outbound frames go through an
+// unbounded queue drained by a writer goroutine: the rank's goroutine
+// never blocks on a full socket buffer, so a pairwise exchange of large
+// payloads cannot wedge two workers (and their coordinator routers) in
+// simultaneous writes — the worker always progresses to its Recv, which
+// drains its connection and unblocks the routers.
+type workerTransport struct {
+	conn  net.Conn
+	costs model.Costs
+	rank  int
+	n     int
+	box   []host.Msg
+
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	wqueue  [][]byte
+	pending int
+	werr    error
+}
+
+func newWorkerTransport(conn net.Conn, costs model.Costs, rank, n int) *workerTransport {
+	t := &workerTransport{conn: conn, costs: costs, rank: rank, n: n}
+	t.wcond = sync.NewCond(&t.wmu)
+	go t.writerLoop()
+	return t
+}
+
+// writerLoop drains the outbound queue to the socket.
+func (t *workerTransport) writerLoop() {
+	for {
+		t.wmu.Lock()
+		for len(t.wqueue) == 0 {
+			t.wcond.Wait()
+		}
+		raw := t.wqueue[0]
+		t.wqueue = t.wqueue[1:]
+		t.wmu.Unlock()
+		_, err := t.conn.Write(raw)
+		t.wmu.Lock()
+		t.pending--
+		if err != nil && t.werr == nil {
+			t.werr = err
+		}
+		t.wcond.Broadcast()
+		failed := t.werr != nil
+		t.wmu.Unlock()
+		if failed {
+			return
+		}
+	}
+}
+
+// enqueue hands an encoded frame to the writer goroutine.
+func (t *workerTransport) enqueue(raw []byte) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if t.werr != nil {
+		panic(fmt.Sprintf("mpnet: rank %d link lost: %v", t.rank, t.werr))
+	}
+	t.wqueue = append(t.wqueue, raw)
+	t.pending++
+	t.wcond.Signal()
+}
+
+// flush waits until every enqueued frame has reached the socket.
+func (t *workerTransport) flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	for t.pending > 0 && t.werr == nil {
+		t.wcond.Wait()
+	}
+	return t.werr
+}
+
+func (t *workerTransport) Costs() model.Costs { return t.costs }
+
+// Stats are accounted at the coordinator, which sees every frame.
+func (t *workerTransport) Stats() host.Stats { return host.Stats{Node: make([]host.NodeStats, t.n)} }
+func (t *workerTransport) ResetStats()       {}
+
+func (t *workerTransport) send(p host.Proc, to int, tag host.Tag, payload any, bytes int, arrival time.Duration) {
+	if to == t.rank {
+		panic("mpnet: send to self")
+	}
+	raw, err := wire.AppendFrame(nil, &wire.Frame{
+		Kind: wire.FMsg, From: int32(t.rank), To: int32(to), Tag: int32(tag),
+		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mpnet: rank %d unencodable payload: %v", t.rank, err))
+	}
+	t.enqueue(raw)
+}
+
+// Send transmits payload to rank to over the coordinator switch.
+func (t *workerTransport) Send(p host.Proc, to int, tag host.Tag, payload any, bytes int) {
+	p.Charge(t.costs.SendOverhead)
+	t.send(p, to, tag, payload, bytes, p.Now()+t.costs.OneWay(bytes))
+}
+
+// SendShared transmits one payload to several recipients, charging the
+// sender's injection overhead once.
+func (t *workerTransport) SendShared(p host.Proc, tos []int, tag host.Tag, payload any, bytes int) {
+	p.Charge(t.costs.SendOverhead)
+	arrival := p.Now() + t.costs.OneWay(bytes)
+	for _, to := range tos {
+		t.send(p, to, tag, payload, bytes, arrival)
+	}
+}
+
+// Broadcast sends payload to every other rank.
+func (t *workerTransport) Broadcast(p host.Proc, tag host.Tag, payload any, bytes int) {
+	for to := 0; to < t.n; to++ {
+		if to != t.rank {
+			t.Send(p, to, tag, payload, bytes)
+		}
+	}
+}
+
+// Recv blocks until a matching message is available, reading frames off
+// the socket and buffering non-matching ones.
+func (t *workerTransport) Recv(p host.Proc, from int, tag host.Tag) host.Msg {
+	for {
+		if m, ok := t.take(from, tag); ok {
+			p.SetClock(m.Arrival)
+			p.Charge(t.costs.RecvOverhead)
+			return m
+		}
+		f, err := wire.ReadFrame(t.conn)
+		if err != nil {
+			panic(fmt.Sprintf("mpnet: rank %d link lost: %v", t.rank, err))
+		}
+		if f.Kind != wire.FMsg {
+			panic(fmt.Sprintf("mpnet: rank %d received unexpected frame kind %d", t.rank, f.Kind))
+		}
+		payload := f.Payload
+		if fs, ok := payload.(wire.Float64s); ok {
+			payload = []float64(fs)
+		}
+		t.box = append(t.box, host.Msg{
+			From: int(f.From), To: t.rank, Tag: host.Tag(f.Tag),
+			Payload: payload, Bytes: int(f.Bytes), Arrival: time.Duration(f.Time),
+		})
+	}
+}
+
+// take removes the earliest-arriving matching message from the mailbox.
+func (t *workerTransport) take(from int, tag host.Tag) (host.Msg, bool) {
+	m, rest, ok := host.TakeMatch(t.box, from, tag)
+	t.box = rest
+	return m, ok
+}
+
+// The DSM-layer transport surface is unreachable from the mp layer.
+
+func (t *workerTransport) Message(from, to int, depart time.Duration, bytes int) time.Duration {
+	panic("mpnet: Message unsupported on the worker transport")
+}
+func (t *workerTransport) Serve(fn host.Server) {
+	panic("mpnet: Serve unsupported on the worker transport")
+}
+func (t *workerTransport) StartRequest(p host.Proc, to int, req any, reqBytes int) *host.Pending {
+	panic("mpnet: StartRequest unsupported on the worker transport")
+}
+func (t *workerTransport) Await(p host.Proc, pd *host.Pending) {
+	panic("mpnet: Await unsupported on the worker transport")
+}
+func (t *workerTransport) AwaitAll(p host.Proc, pds []*host.Pending) {
+	panic("mpnet: AwaitAll unsupported on the worker transport")
+}
+func (t *workerTransport) Hand(p host.Proc, to int, slot host.Tag, payload any) {
+	panic("mpnet: Hand unsupported on the worker transport")
+}
+func (t *workerTransport) TakeHand(p host.Proc, slot host.Tag) any {
+	panic("mpnet: TakeHand unsupported on the worker transport")
+}

@@ -5,6 +5,7 @@ import (
 
 	"sdsm/internal/shm"
 	"sdsm/internal/vm"
+	"sdsm/internal/wire"
 )
 
 // wsyncRequest is a registered Validate_w_sync awaiting the next
@@ -182,17 +183,6 @@ func (nd *Node) consumeWSync() {
 
 const tagPush = 101
 
-// pushPayload carries raw section data sent by Push, received in place.
-type pushPayload struct {
-	chunks []pushChunk
-	ivl    int32 // sender's newest closed interval
-}
-
-type pushChunk struct {
-	lo   int
-	vals []float64
-}
-
 // Push replaces a barrier with a point-to-point exchange (Section 3.1.2):
 // reads[i] and writes[i] are the regions processor i reads after,
 // respectively wrote before, the replaced barrier. Each processor sends
@@ -226,12 +216,12 @@ func (nd *Node) Push(reads, writes [][]shm.Region) {
 		if len(inter) == 0 {
 			continue
 		}
-		pl := pushPayload{ivl: myIvl}
+		pl := wire.Push{Ivl: myIvl}
 		bytes := 16
 		words := 0
 		for _, r := range inter {
 			vals := append([]float64(nil), nd.Mem.Data()[r.Lo:r.Hi]...)
-			pl.chunks = append(pl.chunks, pushChunk{lo: r.Lo, vals: vals})
+			pl.Chunks = append(pl.Chunks, wire.Chunk{Lo: int32(r.Lo), Vals: vals})
 			bytes += 16 + r.Bytes()
 			words += r.Words()
 		}
@@ -249,9 +239,9 @@ func (nd *Node) Push(reads, writes [][]shm.Region) {
 			continue
 		}
 		m := s.NW.Recv(nd.p, i, tagPush)
-		pl := m.Payload.(pushPayload)
-		for _, ch := range pl.chunks {
-			nd.applyPushChunk(i, pl.ivl, ch)
+		pl := m.Payload.(wire.Push)
+		for _, ch := range pl.Chunks {
+			nd.applyPushChunk(i, pl.Ivl, ch)
 		}
 	}
 	nd.consumeWSync()
@@ -260,9 +250,9 @@ func (nd *Node) Push(reads, writes [][]shm.Region) {
 // applyPushChunk writes received data in place, page by page, marking the
 // sender's interval applied so later write notices do not invalidate the
 // pushed data.
-func (nd *Node) applyPushChunk(sender int, ivl int32, ch pushChunk) {
-	lo := ch.lo
-	hi := ch.lo + len(ch.vals)
+func (nd *Node) applyPushChunk(sender int, ivl int32, ch wire.Chunk) {
+	lo := int(ch.Lo)
+	hi := int(ch.Lo) + len(ch.Vals)
 	for lo < hi {
 		pg := lo / shm.PageWords
 		pageEnd := (pg + 1) * shm.PageWords
@@ -270,7 +260,7 @@ func (nd *Node) applyPushChunk(sender int, ivl int32, ch pushChunk) {
 		if pageEnd < end {
 			end = pageEnd
 		}
-		nd.Mem.ApplyRuns(nd.p, pg, []vm.Run{{Off: lo - pg*shm.PageWords, Vals: ch.vals[lo-ch.lo : end-ch.lo]}})
+		nd.Mem.ApplyRuns(nd.p, pg, []vm.Run{{Off: lo - pg*shm.PageWords, Vals: ch.Vals[lo-int(ch.Lo) : end-int(ch.Lo)]}})
 		// A page only counts as applied when the chunk delivers all of it;
 		// partially pushed pages keep their obligations (the paper: Push
 		// guarantees consistency only for the received sections).

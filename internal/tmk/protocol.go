@@ -6,39 +6,45 @@ import (
 
 	"sdsm/internal/host"
 	"sdsm/internal/vm"
+	"sdsm/internal/wire"
 )
 
 // storedDiff is a unit of modification data held in a node's diff cache:
 // either a twin-based diff covering the creator's intervals (from, to], or
-// a whole-page snapshot (WRITE_ALL pages have no twins) whose content
-// subsumes every interval in covers.
+// a whole-page snapshot (WRITE_ALL pages have no twins).
+//
+// covers is the creator's per-owner applied timestamps for the page at
+// creation time, with its own entry raised to `to`. It is the diff's
+// ordering timestamp: diffs from different creators may overlap (migratory
+// data under locks), and if creator B wrote after creator A under the
+// synchronization chain, B fetched and applied A's modifications before
+// writing (the LRC fault path), so covers(B) >= covers(A) pointwise and
+// B's content supersedes A's. Ascending coverage sums are therefore a
+// valid linear extension of content supersession — and unlike the closing
+// interval's vector time, the coverage is honest even for a diff flushed
+// long after its writes (a lazy flush can span epochs, giving it a closing
+// time that postdates a fresher concurrent diff).
 type storedDiff struct {
 	page    int
 	creator int
 	from    int32 // exclusive
 	to      int32 // inclusive
 	whole   bool
-	covers  []int32 // per-owner coverage; set for whole snapshots
-	// vc is the creator's vector time when the diff was created. Diffs
-	// from different creators may overlap (migratory data under locks);
-	// they are applied in a linear extension of vector-time order, as in
-	// TreadMarks.
-	vc   []int32
-	runs []vm.Run
+	covers  []int32
+	runs    []vm.Run
 
-	vcSum int64 // cached ordering key: sum of vc
+	coverSum int64 // cached ordering key: sum of covers
 }
 
-// orderKey returns the scalar used to linearize vector-time order: if d1's
-// interval happened before d2's, vc(d1) <= vc(d2) pointwise, hence
-// sum(vc(d1)) <= sum(vc(d2)); ascending sums are a valid linear extension.
+// orderKey returns the scalar used to linearize coverage order (see the
+// type comment).
 func (d *storedDiff) orderKey() int64 {
-	if d.vcSum == 0 {
-		for _, x := range d.vc {
-			d.vcSum += int64(x)
+	if d.coverSum == 0 {
+		for _, x := range d.covers {
+			d.coverSum += int64(x)
 		}
 	}
-	return d.vcSum
+	return d.coverSum
 }
 
 // helps reports whether applying d would advance the given per-owner
@@ -71,6 +77,52 @@ func (d *storedDiff) maxCover() int32 {
 
 // wireBytes is the transfer size of the diff.
 func (d *storedDiff) wireBytes() int { return 16 + vm.RunsBytes(d.runs) }
+
+// toWire converts a cached diff to its wire value. Every slice is copied:
+// a diff sent to two requesters yields two independent values, and no
+// receiver ever holds a pointer into the creator's cache (the wire
+// contract that makes socket transports possible).
+func (d *storedDiff) toWire() wire.Diff {
+	w := wire.Diff{
+		Page: int32(d.page), Creator: int32(d.creator),
+		From: d.from, To: d.to, Whole: d.whole,
+		Covers: append([]int32(nil), d.covers...),
+		Runs:   make([]wire.Run, len(d.runs)),
+	}
+	for i, r := range d.runs {
+		w.Runs[i] = wire.Run{Off: int32(r.Off), Vals: append([]float64(nil), r.Vals...)}
+	}
+	return w
+}
+
+// diffFromWire converts a received diff into a fresh cache entry.
+func diffFromWire(w wire.Diff) *storedDiff {
+	d := &storedDiff{
+		page: int(w.Page), creator: int(w.Creator),
+		from: w.From, to: w.To, whole: w.Whole,
+		covers: w.Covers,
+		runs:   make([]vm.Run, len(w.Runs)),
+	}
+	for i, r := range w.Runs {
+		d.runs[i] = vm.Run{Off: int(r.Off), Vals: r.Vals}
+	}
+	return d
+}
+
+// diffKey identifies a diff by content — (creator, page, coverage) is
+// unique because a creator diffs each page range exactly once. It replaces
+// the pointer identity the protocol historically relied on (the same
+// cached diff forwarded to several nodes) now that diffs cross the
+// transport as values.
+type diffKey struct {
+	creator, page int32
+	from, to      int32
+	whole         bool
+}
+
+func keyOf(d wire.Diff) diffKey {
+	return diffKey{creator: d.Creator, page: d.Page, from: d.From, to: d.To, whole: d.Whole}
+}
 
 // Fault implements vm.FaultHandler: the base TreadMarks access-miss path.
 // A fault first drains any asynchronous fetches covering the page, then
@@ -179,7 +231,6 @@ func (nd *Node) snapshotWholePage(pg int) {
 		page: pg, creator: nd.ID,
 		from: nd.lastDiffed[pg], to: nd.vc[nd.ID],
 		whole: true, covers: covers,
-		vc:   diffVC(nd, nd.vc[nd.ID]),
 		runs: nd.Mem.WholePageRuns(nd.p, pg),
 	}
 	nd.storeDiff(d)
@@ -298,7 +349,6 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 			page: page, creator: nd.ID,
 			from: nd.lastDiffed[page], to: to,
 			whole: true, covers: covers,
-			vc:   diffVC(nd, to),
 			runs: nd.Mem.WholePageRuns(nd.p, page),
 		})
 		nd.lastDiffed[page] = to
@@ -315,11 +365,14 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 			to = nd.splitInterval(page, false)
 		}
 		if len(runs) > 0 || nd.lastDiffed[page] < to {
+			covers := make([]int32, nd.sys.N())
+			copy(covers, nd.applied[page])
+			covers[nd.ID] = to
 			nd.storeDiff(&storedDiff{
 				page: page, creator: nd.ID,
 				from: nd.lastDiffed[page], to: to,
-				vc:   diffVC(nd, to),
-				runs: runs,
+				covers: covers,
+				runs:   runs,
 			})
 		}
 	}
@@ -335,26 +388,14 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 	nd.Mem.MakeTwin(nd.p, page) // re-arm detection against the served state
 }
 
+// SetDebugHook installs a protocol event observer (test diagnostics).
+func SetDebugHook(fn func(event string, args ...any)) { debugHook = fn }
+
 // debugHook, when set by a test, observes protocol events:
 // ("flush", node, page, to, disarm), ("apply", node, creator, page, to,
 // whole, words), ("notice", node, owner, page, idx), ("skip", node,
 // creator, page, to).
 var debugHook func(event string, args ...any)
-
-// diffVC returns the ordering timestamp of a diff covering the creator's
-// intervals up to `to`: the vector time at which interval `to` closed.
-func diffVC(nd *Node, to int32) []int32 {
-	if int(to) <= len(nd.know[nd.ID]) && to >= 1 {
-		return nd.know[nd.ID][to-1].vc
-	}
-	// No closed interval (initial state): the diff covers nothing newer
-	// than the creator's current knowledge.
-	vc := append([]int32(nil), nd.vc...)
-	if to > vc[nd.ID] {
-		vc[nd.ID] = to
-	}
-	return vc
-}
 
 // splitInterval closes a fresh interval containing just the given page
 // and returns its index.
@@ -397,9 +438,24 @@ func (nd *Node) responderFor(page int) []int {
 
 // inflightFetch is a started but unapplied diff exchange.
 type inflightFetch struct {
-	comp  host.Completion
+	pd    *host.Pending
 	pages []int
-	reply []*storedDiff
+}
+
+// diffRequest assembles the wire request for a set of pages: the
+// requester's applied timestamps travel with the pages, so the responder
+// needs nothing from the requester's memory.
+func (nd *Node) diffRequest(pages []int) wire.DiffRequest {
+	req := wire.DiffRequest{
+		Req:     int32(nd.ID),
+		Pages:   make([]int32, len(pages)),
+		Applied: make([][]int32, len(pages)),
+	}
+	for i, pg := range pages {
+		req.Pages[i] = int32(pg)
+		req.Applied[i] = append([]int32(nil), nd.applied[pg]...)
+	}
+	return req
 }
 
 // fetchPages retrieves outstanding modifications for the given pages,
@@ -425,18 +481,8 @@ func (nd *Node) fetchPages(pages []int, async bool) {
 	sort.Ints(responders)
 	for _, r := range responders {
 		pgs := reqs[r]
-		f := inflightFetch{pages: pgs}
-		resp := nd.sys.Nodes[r]
-		f.comp = nd.sys.NW.StartRPC(nd.p, r, 16+8*len(pgs), func() int {
-			// The responder may be mid-computation on the real host; Hold
-			// serializes the diff creation against its compute section.
-			var bytes int
-			nd.p.Hold(resp.p, func() {
-				f.reply, bytes = resp.serveDiffs(pgs, nd)
-			})
-			return bytes
-		})
-		nd.inflight = append(nd.inflight, f)
+		pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest(pgs), 16+8*len(pgs))
+		nd.inflight = append(nd.inflight, inflightFetch{pd: pd, pages: pgs})
 		nd.Stats.DiffFetches++
 	}
 	if !async {
@@ -452,17 +498,17 @@ func (nd *Node) completeInflight() {
 	for len(nd.inflight) > 0 {
 		fetches := nd.inflight
 		nd.inflight = nil
-		comps := make([]host.Completion, len(fetches))
+		pds := make([]*host.Pending, len(fetches))
 		for i := range fetches {
-			comps[i] = fetches[i].comp
+			pds[i] = fetches[i].pd
 		}
-		nd.sys.NW.AwaitAll(nd.p, comps)
+		nd.sys.NW.AwaitAll(nd.p, pds)
 		// Apply every reply of the round together: diffs from different
 		// responders may overlap (migratory and falsely shared pages), and
 		// only a global sort preserves vector-time order.
-		var all []*storedDiff
+		var all []wire.Diff
 		for _, f := range fetches {
-			all = append(all, f.reply...)
+			all = append(all, f.pd.Reply.(wire.DiffReply).Diffs...)
 		}
 		nd.applyDiffs(all)
 		retry := map[int]bool{}
@@ -487,20 +533,13 @@ func (nd *Node) completeInflight() {
 					reqs[n.owner] = append(reqs[n.owner], pg)
 				}
 			}
-			var round []*storedDiff
+			var round []wire.Diff
 			for _, r := range sortedKeys(reqs) {
 				pgs := dedupInts(reqs[r])
-				resp := nd.sys.Nodes[r]
-				var reply []*storedDiff
-				nd.sys.NW.RPC(nd.p, r, 16+8*len(pgs), func() int {
-					var bytes int
-					nd.p.Hold(resp.p, func() {
-						reply, bytes = resp.serveDiffs(pgs, nd)
-					})
-					return bytes
-				})
+				pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest(pgs), 16+8*len(pgs))
+				nd.sys.NW.Await(nd.p, pd)
 				nd.Stats.DiffFetches++
-				round = append(round, reply...)
+				round = append(round, pd.Reply.(wire.DiffReply).Diffs...)
 			}
 			nd.applyDiffs(round)
 			for _, pg := range pages {
@@ -513,26 +552,28 @@ func (nd *Node) completeInflight() {
 	}
 }
 
-// serveDiffs runs at the responder (inside an RPC handler): it flushes its
-// own outstanding modifications for the requested pages and returns every
-// cached diff the requester lacks, including diffs created by third
-// parties (the source of the diff accumulation the paper describes for
-// IS). The responder's CPU costs are charged by the vm operations.
-func (nd *Node) serveDiffs(pages []int, req *Node) ([]*storedDiff, int) {
-	var out []*storedDiff
+// serveDiffs runs at the responder (inside the transport's request
+// handler): it flushes its own outstanding modifications for the requested
+// pages and returns every cached diff the requester lacks, including diffs
+// created by third parties (the source of the diff accumulation the paper
+// describes for IS). The requester is described entirely by the request —
+// its id and per-page applied timestamps — and the reply is wire values.
+// The responder's CPU costs are charged by the vm operations.
+func (nd *Node) serveDiffs(reqID int, pages []int, reqApplied [][]int32) ([]wire.Diff, int) {
+	var out []wire.Diff
 	bytes := 16
-	for _, pg := range pages {
+	for i, pg := range pages {
 		if debugHook != nil {
-			debugHook("serve", nd.ID, req.ID, pg, nd.dirty[pg], int(nd.Mem.Prot(pg)), int(nd.lastDiffed[pg]), int(nd.vc[nd.ID]), nd.Mem.Data()[pg*512+88])
+			debugHook("serve", nd.ID, reqID, pg, nd.dirty[pg], int(nd.Mem.Prot(pg)), int(nd.lastDiffed[pg]), int(nd.vc[nd.ID]), nd.Mem.Data()[pg*512+88])
 		}
 		if nd.dirty[pg] {
 			nd.flushLocalDiff(pg, false)
 		}
-		applied := req.applied[pg]
+		applied := reqApplied[i]
 		var cand []*storedDiff
 		var best *storedDiff // newest whole snapshot, if any
 		for _, d := range nd.diffs[pg] {
-			if d.creator == req.ID || !d.helps(applied) {
+			if d.creator == reqID || !d.helps(applied) {
 				continue
 			}
 			cand = append(cand, d)
@@ -556,7 +597,7 @@ func (nd *Node) serveDiffs(pages []int, req *Node) ([]*storedDiff, int) {
 			}
 		}
 		for _, d := range cand {
-			out = append(out, d)
+			out = append(out, d.toWire())
 			bytes += d.wireBytes()
 		}
 	}
@@ -566,7 +607,13 @@ func (nd *Node) serveDiffs(pages []int, req *Node) ([]*storedDiff, int) {
 // applyDiffs merges received diffs, oldest coverage first, updating the
 // applied timestamps, pruning satisfied notices, caching the diffs for
 // later forwarding, and revalidating pages whose notices are all applied.
-func (nd *Node) applyDiffs(reply []*storedDiff) {
+// The wire values become fresh cache entries at this node: nothing is
+// shared with the sender.
+func (nd *Node) applyDiffs(in []wire.Diff) {
+	reply := make([]*storedDiff, len(in))
+	for i := range in {
+		reply[i] = diffFromWire(in[i])
+	}
 	sort.SliceStable(reply, func(i, j int) bool {
 		a, b := reply[i], reply[j]
 		if a.page != b.page {
@@ -592,7 +639,13 @@ func (nd *Node) applyDiffs(reply []*storedDiff) {
 		}
 		nd.Mem.ApplyRuns(nd.p, pg, d.runs)
 		if debugHook != nil {
-			debugHook("apply", nd.ID, d.creator, pg, int(d.to), d.whole, vm.RunsWords(d.runs))
+			sum := 0.0
+			for _, r := range d.runs {
+				for i, v := range r.Vals {
+					sum += v * float64(r.Off+i+1)
+				}
+			}
+			debugHook("apply", nd.ID, d.creator, pg, int(d.to), d.whole, vm.RunsWords(d.runs), int(d.from), sum)
 		}
 		nd.Stats.DiffsApplied++
 		nd.Stats.WordsApplied += int64(vm.RunsWords(d.runs))

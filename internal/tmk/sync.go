@@ -4,10 +4,23 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"sdsm/internal/host"
+	"sdsm/internal/wire"
 )
 
-// lock is the shared state of one TreadMarks lock: a static home node
-// forwards acquire requests to the last releaser.
+// Hand slots for out-of-band protocol payloads (see host.Transport.Hand):
+// lock grants and barrier departures are staged for their consumer before
+// it is woken, and cross the wire encoded on socket transports.
+const (
+	slotGrant host.Tag = 1 + iota
+	slotDepart
+)
+
+// lock is the control state of one TreadMarks lock: a static home node
+// forwards acquire requests to the last releaser. The control state lives
+// with the machine (under the protocol-section token); the grant payloads
+// are wire values.
 type lock struct {
 	id           int
 	home         int
@@ -16,8 +29,13 @@ type lock struct {
 	queue        []*lockWaiter
 }
 
+// lockWaiter is a queued acquire: the waiter's identity plus the
+// synchronization info it presented (vector time and Validate_w_sync
+// needs — a snapshot, valid because the waiter blocks until granted).
 type lockWaiter struct {
-	nd *Node
+	id   int
+	p    host.Proc
+	info wire.SyncInfo
 	// tAtHolder is when the forwarded request has been fielded by the
 	// holder.
 	tAtHolder time.Duration
@@ -33,46 +51,34 @@ func (s *System) lock(id int) *lock {
 	return l
 }
 
-// grant carries what a releaser hands to an acquirer: the write notices
-// the acquirer lacks, plus any diffs piggybacked for a pending
-// Validate_w_sync.
-type grant struct {
-	intervals []ownedInterval
-	served    []*storedDiff
-	bytes     int
-}
-
-type ownedInterval struct {
-	owner int
-	idx   int32
-	iv    interval
-}
-
-// buildGrant assembles the grant for req, including Validate_w_sync
-// piggybacked diffs ("in the case of a lock acquire, the requested data is
-// piggy-backed on the response"). Only diffs present locally are sent.
-func (nd *Node) buildGrant(req *Node) *grant {
-	g := &grant{}
+// buildGrant assembles the grant for the acquirer described by info: the
+// write notices it lacks, plus Validate_w_sync piggybacked diffs ("in the
+// case of a lock acquire, the requested data is piggy-backed on the
+// response"). Only diffs present locally are sent. The result is a wire
+// value sharing nothing with this node's cache.
+func (nd *Node) buildGrant(reqID int, info wire.SyncInfo) wire.Grant {
+	g := wire.Grant{}
 	for o := range nd.vc {
-		for idx := req.vc[o] + 1; idx <= nd.vc[o]; idx++ {
+		for idx := info.VC[o] + 1; idx <= nd.vc[o]; idx++ {
 			iv := nd.know[o][idx-1]
-			g.intervals = append(g.intervals, ownedInterval{owner: o, idx: idx, iv: iv})
-			g.bytes += iv.wireBytes()
+			g.Intervals = append(g.Intervals, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: iv.toWire()})
+			g.Bytes += int32(iv.wireBytes())
 		}
 	}
-	for _, ws := range req.wsync {
-		for _, pg := range ws.pages {
+	for _, need := range info.Needs {
+		for i, pg32 := range need.Pages {
+			pg := int(pg32)
 			nd.p.Charge(nd.sys.Costs.SectionScanPerPage)
 			if nd.dirty[pg] {
 				nd.flushLocalDiff(pg, false)
 			}
 			for _, d := range nd.diffs[pg] {
-				if d.creator == req.ID {
+				if d.creator == reqID {
 					continue
 				}
-				if d.helps(req.applied[pg]) {
-					g.served = append(g.served, d)
-					g.bytes += d.wireBytes()
+				if d.helps(need.Applied[i]) {
+					g.Served = append(g.Served, d.toWire())
+					g.Bytes += int32(d.wireBytes())
 				}
 			}
 		}
@@ -81,11 +87,11 @@ func (nd *Node) buildGrant(req *Node) *grant {
 }
 
 // applyGrant merges a grant at the acquirer.
-func (nd *Node) applyGrant(g *grant) {
-	for _, oi := range g.intervals {
-		nd.learnInterval(oi.owner, oi.idx, oi.iv)
+func (nd *Node) applyGrant(g wire.Grant) {
+	for _, oi := range g.Intervals {
+		nd.learnInterval(int(oi.Owner), oi.Idx, intervalFromWire(oi.IV))
 	}
-	nd.applyDiffs(g.served)
+	nd.applyDiffs(g.Served)
 	nd.consumeWSync()
 }
 
@@ -119,10 +125,9 @@ func (nd *Node) Acquire(id int) {
 			s.H.Proc(l.holder).Charge(c.LockMgmt)
 			t += c.LockMgmt
 		}
-		l.queue = append(l.queue, &lockWaiter{nd: nd, tAtHolder: t})
+		l.queue = append(l.queue, &lockWaiter{id: nd.ID, p: nd.p, info: nd.syncInfo(), tAtHolder: t})
 		nd.p.Block(fmt.Sprintf("lock %d", id))
-		g := nd.grantInbox
-		nd.grantInbox = nil
+		g := s.NW.TakeHand(nd.p, slotGrant).(wire.Grant)
 		nd.applyGrant(g)
 		return
 	}
@@ -145,18 +150,21 @@ func (nd *Node) Acquire(id int) {
 	}
 	// The last releaser may be mid-computation on the real host; Hold
 	// serializes the grant construction (which may flush its diffs)
-	// against its compute section.
-	var g *grant
-	nd.p.Hold(s.Nodes[r].p, func() { g = s.Nodes[r].buildGrant(nd) })
+	// against its compute section. The grant itself is a wire value built
+	// from the acquirer's presented info.
+	info := nd.syncInfo()
+	var g wire.Grant
+	nd.p.Hold(s.Nodes[r].p, func() { g = s.Nodes[r].buildGrant(nd.ID, info) })
 	s.H.Proc(r).Charge(c.LockMgmt)
 	t += c.LockMgmt
-	t = s.NW.Message(r, nd.ID, t, g.bytes)
+	t = s.NW.Message(r, nd.ID, t, int(g.Bytes))
 	nd.p.SetClock(t)
 	nd.applyGrant(g)
 }
 
 // Release ends the critical section: the open interval closes (a release
-// point) and a queued waiter, if any, is granted the lock directly.
+// point) and a queued waiter, if any, is granted the lock directly — the
+// grant is staged through the transport and the waiter woken.
 func (nd *Node) Release(id int) {
 	nd.p.Begin()
 	defer nd.p.End()
@@ -179,34 +187,32 @@ func (nd *Node) Release(id int) {
 	}
 	w := l.queue[0]
 	l.queue = l.queue[1:]
-	l.holder = w.nd.ID
-	g := nd.buildGrant(w.nd)
+	l.holder = w.id
+	g := nd.buildGrant(w.id, w.info)
 	t := nd.p.Now()
 	if w.tAtHolder > t {
 		t = w.tAtHolder
 	}
 	t += s.Costs.LockMgmt
-	t = s.NW.Message(nd.ID, w.nd.ID, t, g.bytes)
-	w.nd.grantInbox = g
-	nd.p.Wake(w.nd.p, t)
+	t = s.NW.Message(nd.ID, w.id, t, int(g.Bytes))
+	s.NW.Hand(nd.p, w.id, slotGrant, g)
+	nd.p.Wake(w.p, t)
 }
 
-// barrier is one episode of a named barrier.
+// barrier is one episode of a named barrier: the arrival messages received
+// so far.
 type barrier struct {
 	arrivals []*barrierArrival
 }
 
+// barrierArrival is one node's arrival: its identity, arrival time, and
+// arrival message (vector time, interval delta since its last departure,
+// Validate_w_sync needs).
 type barrierArrival struct {
-	nd *Node
-	at time.Duration
-	vc []int32 // the node's vector time at arrival
-}
-
-// departInfo is staged for each node by the barrier master logic.
-type departInfo struct {
-	at        time.Duration
-	intervals []ownedInterval
-	remoteWS  []remoteWSync
+	id  int
+	p   host.Proc
+	at  time.Duration
+	arr wire.Arrival
 }
 
 // remoteWSync is one node's Validate_w_sync registration together with the
@@ -214,9 +220,9 @@ type departInfo struct {
 // departure message ("the data can be broadcast to all other processors at
 // the time of the barrier").
 type remoteWSync struct {
-	req    *Node
+	req    int
 	pages  []int
-	served []*storedDiff
+	served []wire.Diff
 	bytes  int
 }
 
@@ -230,12 +236,11 @@ func (s *System) barrier(id int) *barrier {
 }
 
 // Barrier synchronizes all nodes. Arrival closes the open interval; the
-// master (node 0) gathers vector times and write notices from the arrival
-// messages and redistributes the missing notices on the departure
-// messages; departure applies the invalidations. Validate_w_sync requests
-// ride the arrival and departure messages and are answered right after
-// departure (Section 3.2.1), with broadcast when a responder sends the
-// same data to everyone.
+// master (node 0) merges the write notices from the arrival messages and
+// redistributes the missing notices on the departure messages; departure
+// applies the invalidations. Validate_w_sync requests ride the arrival and
+// departure messages and are answered right after departure (Section
+// 3.2.1), with broadcast when a responder sends the same data to everyone.
 func (nd *Node) Barrier(id int) {
 	nd.p.Begin()
 	defer nd.p.End()
@@ -250,7 +255,11 @@ func (nd *Node) Barrier(id int) {
 		return
 	}
 	b := s.barrier(id)
-	b.arrivals = append(b.arrivals, &barrierArrival{nd: nd, at: nd.p.Now(), vc: append([]int32(nil), nd.vc...)})
+	info := nd.syncInfo()
+	b.arrivals = append(b.arrivals, &barrierArrival{
+		id: nd.ID, p: nd.p, at: nd.p.Now(),
+		arr: wire.Arrival{VC: info.VC, Intervals: nd.intervalsSince(nd.lastBar), Needs: info.Needs},
+	})
 	if len(b.arrivals) < s.N() {
 		nd.p.Block(fmt.Sprintf("barrier %d", id))
 		nd.postBarrier()
@@ -261,40 +270,45 @@ func (nd *Node) Barrier(id int) {
 	nd.postBarrier()
 }
 
-// runBarrier executes the master logic in the last arriver's context.
+// runBarrier executes the master logic in the last arriver's context,
+// consuming only the arrival messages (never the arrived nodes' vector
+// state): notices the master lacks are learned from the arrival interval
+// deltas, departures are staged as wire values through the transport.
 func (s *System) runBarrier(b *barrier, executor *Node) {
 	c := s.Costs
 	master := s.Nodes[0]
 	n := s.N()
 
-	// Arrival messages, processed in arrival order; the master merges all
-	// write notices into its own state (charging its own processor for the
-	// invalidations it performs on itself).
+	// Arrival messages, processed in arrival order; the master merges the
+	// write notices it lacks into its own state (charging its own
+	// processor for the invalidations it performs on itself). The arrival
+	// carries every interval since the arriver's last departure; the
+	// master counts and learns only what lock transfers have not already
+	// taught it.
 	var tDep time.Duration
 	for _, a := range b.arrivals {
-		if a.nd == master {
+		if a.id == master.ID {
 			if a.at > tDep {
 				tDep = a.at
 			}
 			continue
 		}
 		bytes := 16
-		for o := range master.vc {
-			for idx := master.vc[o] + 1; idx <= a.nd.vc[o]; idx++ {
-				bytes += a.nd.know[o][idx-1].wireBytes()
+		for _, oi := range a.arr.Intervals {
+			if int(oi.Owner) == master.ID || oi.Idx <= master.vc[oi.Owner] {
+				continue
 			}
+			bytes += oi.IV.WireBytes()
 		}
-		h := s.NW.Message(a.nd.ID, master.ID, a.at, bytes)
+		h := s.NW.Message(a.id, master.ID, a.at, bytes)
 		if h > tDep {
 			tDep = h
 		}
-		for o := range master.vc {
-			if o == master.ID {
+		for _, oi := range a.arr.Intervals {
+			if int(oi.Owner) == master.ID || oi.Idx <= master.vc[oi.Owner] {
 				continue
 			}
-			for idx := master.vc[o] + 1; idx <= a.nd.vc[o]; idx++ {
-				master.learnInterval(o, idx, a.nd.know[o][idx-1])
-			}
+			master.learnInterval(int(oi.Owner), oi.Idx, intervalFromWire(oi.IV))
 		}
 	}
 	// The master fields n-1 arrival interrupts back to back.
@@ -303,25 +317,30 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 	// With all notices merged, resolve the Validate_w_sync requests: the
 	// responsible processors contribute their diffs now (every processor
 	// has arrived, so the requested data is final) and the payload rides
-	// the departure messages. Identical payloads to every requester count
+	// the departure messages. The requesters are described entirely by
+	// their arrival messages. Identical payloads to every requester count
 	// as a broadcast.
 	var allWS []remoteWSync
 	for _, a := range b.arrivals {
-		q := a.nd
-		pageSet := map[int]bool{}
-		for _, ws := range q.wsync {
-			for _, pg := range ws.pages {
-				pageSet[pg] = true
+		applied := map[int][]int32{}
+		for _, need := range a.arr.Needs {
+			for i, pg := range need.Pages {
+				applied[int(pg)] = need.Applied[i]
 			}
 		}
-		if len(pageSet) == 0 {
+		if len(applied) == 0 {
 			continue
 		}
-		rw := remoteWSync{req: q}
-		for _, pg := range sortedSet(pageSet) {
+		rw := remoteWSync{req: a.id}
+		pages := make([]int, 0, len(applied))
+		for pg := range applied {
+			pages = append(pages, pg)
+		}
+		sort.Ints(pages)
+		for _, pg := range pages {
 			rw.pages = append(rw.pages, pg)
-			for _, r := range master.wsyncResponder(q, pg) {
-				if r == q.ID {
+			for _, r := range master.wsyncResponder(a.id, applied[pg], pg) {
+				if r == a.id {
 					continue
 				}
 				resp := s.Nodes[r]
@@ -330,11 +349,11 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 					resp.flushLocalDiff(pg, false)
 				}
 				for _, d := range resp.diffs[pg] {
-					if d.creator == q.ID || (d.creator != r && !d.whole) {
+					if d.creator == a.id || (d.creator != r && !d.whole) {
 						continue
 					}
-					if d.helps(q.applied[pg]) {
-						rw.served = append(rw.served, d)
+					if d.helps(applied[pg]) {
+						rw.served = append(rw.served, d.toWire())
 						rw.bytes += d.wireBytes()
 						resp.Stats.WSyncServes++
 					}
@@ -344,88 +363,96 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 		allWS = append(allWS, rw)
 	}
 	// Broadcast accounting: a diff delivered to every other processor is a
-	// broadcast.
-	fanout := map[*storedDiff]int{}
+	// broadcast. Diffs are identified by content key now that they cross
+	// the transport as values.
+	fanout := map[diffKey]int{}
 	for _, rw := range allWS {
 		for _, d := range rw.served {
-			fanout[d]++
+			fanout[keyOf(d)]++
 		}
 	}
-	for d, k := range fanout {
-		if k == n-1 {
-			s.Nodes[d.creator].Stats.WSyncBcasts++
+	for k, cnt := range fanout {
+		if cnt == n-1 {
+			s.Nodes[k.creator].Stats.WSyncBcasts++
 		}
 	}
 
 	// Departure messages, serialized at the master; Validate_w_sync
-	// payloads ride along.
+	// payloads ride along. Each node's departure is staged through the
+	// transport before the node is woken.
+	servedFor := func(id int) ([]wire.Diff, int) {
+		for i := range allWS {
+			if allWS[i].req == id {
+				return allWS[i].served, allWS[i].bytes
+			}
+		}
+		return nil, 0
+	}
+	departAt := make([]time.Duration, n)
 	dep := tDep
 	for _, a := range b.arrivals {
-		if a.nd == master {
+		if a.id == master.ID {
 			continue
 		}
-		var ivs []ownedInterval
+		var ivs []wire.OwnedInterval
 		bytes := 16
 		for o := range master.vc {
-			for idx := a.vc[o] + 1; idx <= master.vc[o]; idx++ {
+			for idx := a.arr.VC[o] + 1; idx <= master.vc[o]; idx++ {
 				iv := master.know[o][idx-1]
-				ivs = append(ivs, ownedInterval{owner: o, idx: idx, iv: iv})
+				ivs = append(ivs, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: iv.toWire()})
 				bytes += iv.wireBytes()
 			}
 		}
-		for i := range allWS {
-			if allWS[i].req == a.nd {
-				bytes += allWS[i].bytes
-			}
-		}
-		h := s.NW.Message(master.ID, a.nd.ID, dep, bytes)
+		served, wsBytes := servedFor(a.id)
+		bytes += wsBytes
+		h := s.NW.Message(master.ID, a.id, dep, bytes)
 		dep += c.SendOverhead
-		a.nd.depart = &departInfo{at: h, intervals: ivs, remoteWS: allWS}
+		departAt[a.id] = h
+		s.NW.Hand(executor.p, a.id, slotDepart, wire.Depart{Time: int64(h), Intervals: ivs, Served: served})
 	}
-	master.depart = &departInfo{at: tDep + time.Duration(n-1)*c.SendOverhead, remoteWS: allWS}
+	mServed, _ := servedFor(master.ID)
+	departAt[master.ID] = tDep + time.Duration(n-1)*c.SendOverhead
+	s.NW.Hand(executor.p, master.ID, slotDepart, wire.Depart{Time: int64(departAt[master.ID]), Served: mServed})
 
 	for _, a := range b.arrivals {
-		if a.nd == executor {
+		if a.id == executor.ID {
 			continue
 		}
-		executor.p.Wake(a.nd.p, a.nd.depart.at)
+		executor.p.Wake(a.p, departAt[a.id])
 	}
-	executor.p.SetClock(executor.depart.at)
+	executor.p.SetClock(departAt[executor.ID])
 }
 
-// depart is staged by runBarrier; postBarrier consumes it.
+// postBarrier consumes the departure message staged by runBarrier:
+// departure time, missing write notices, and Validate_w_sync data.
 func (nd *Node) postBarrier() {
-	d := nd.depart
-	nd.depart = nil
-	if d == nil {
-		panic(fmt.Sprintf("tmk: node %d woke from barrier without departure info", nd.ID))
-	}
-	nd.p.SetClock(d.at)
-	for _, oi := range d.intervals {
-		if oi.owner == nd.ID {
+	d := nd.sys.NW.TakeHand(nd.p, slotDepart).(wire.Depart)
+	nd.p.SetClock(time.Duration(d.Time))
+	for _, oi := range d.Intervals {
+		if int(oi.Owner) == nd.ID {
 			continue
 		}
-		nd.learnInterval(oi.owner, oi.idx, oi.iv)
+		nd.learnInterval(int(oi.Owner), oi.Idx, intervalFromWire(oi.IV))
 	}
-	for i := range d.remoteWS {
-		if d.remoteWS[i].req == nd {
-			nd.applyDiffs(d.remoteWS[i].served)
-		}
-	}
+	nd.applyDiffs(d.Served)
 	nd.consumeWSync()
+	// After a departure every node holds the same merged vector time; the
+	// snapshot bounds the next arrival's interval delta.
+	copy(nd.lastBar, nd.vc)
 }
 
 // wsyncResponder determines, from post-barrier global knowledge, which
-// node answers requester q's Validate_w_sync for page pg. Every node
-// computes the same assignment independently.
-func (nd *Node) wsyncResponder(q *Node, pg int) []int {
+// node answers requester req's Validate_w_sync for page pg, given the
+// requester's applied timestamps for the page (from its arrival message).
+// Every node computes the same assignment independently.
+func (nd *Node) wsyncResponder(req int, appliedPg []int32, pg int) []int {
 	var latest notice
 	owners := map[int]bool{}
 	for o := range nd.vc {
-		if o == q.ID {
+		if o == req {
 			continue
 		}
-		for idx := q.applied[pg][o] + 1; idx <= nd.vc[o]; idx++ {
+		for idx := appliedPg[o] + 1; idx <= nd.vc[o]; idx++ {
 			ref, ok := nd.know[o][idx-1].find(pg)
 			if !ok {
 				continue
@@ -456,24 +483,4 @@ func (iv interval) find(pg int) (pageRef, bool) {
 		return iv.pages[i], true
 	}
 	return pageRef{}, false
-}
-
-const tagWSync = 100
-
-func containsInt(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
-}
-
-func sortedSet(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }

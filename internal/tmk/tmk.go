@@ -32,6 +32,7 @@ import (
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
 	"sdsm/internal/vm"
+	"sdsm/internal/wire"
 )
 
 // AccessType is the access pattern the compiler declares in a Validate
@@ -121,6 +122,7 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 			ID:      i,
 			sys:     s,
 			vc:      make([]int32, n),
+			lastBar: make([]int32, n),
 			know:    make([][]interval, n),
 			dirty:   map[int]bool{},
 			noTwin:  map[int]bool{},
@@ -128,6 +130,10 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 			diffs:   map[int][]*storedDiff{},
 			mode:    map[int]AccessType{},
 		}
+		// Bind the processor now, not at Run: protocol code may Hold or
+		// Wake a peer whose body has not started yet (a first acquire of a
+		// remotely homed lock on the concurrent backends).
+		nd.p = h.Proc(i)
 		nd.Mem = vm.New(i, layout.Words(), s.Costs, nd)
 		pages := nd.Mem.Pages()
 		nd.applied = make([][]int32, pages)
@@ -137,18 +143,43 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 		nd.lastDiffed = make([]int32, pages)
 		s.Nodes = append(s.Nodes, nd)
 	}
+	nw.Serve(s.serve)
 	return s
+}
+
+// serve is the transport's request handler: it runs at (or against, see
+// host.Server) the target node and answers diff requests from the
+// request's own wire payload — the requester's applied timestamps travel
+// in the message, never through shared memory. p provides the compute
+// exclusion for the in-process transports; socket transports hold the
+// target's compute lock in their service loop.
+func (s *System) serve(p host.Proc, at int, req any) (any, int) {
+	r, ok := req.(wire.DiffRequest)
+	if !ok {
+		panic(fmt.Sprintf("tmk: unexpected request payload %T", req))
+	}
+	nd := s.Nodes[at]
+	pages := make([]int, len(r.Pages))
+	for i, pg := range r.Pages {
+		pages[i] = int(pg)
+	}
+	var out []wire.Diff
+	var bytes int
+	p.Hold(nd.p, func() {
+		out, bytes = nd.serveDiffs(int(r.Req), pages, r.Applied)
+	})
+	return wire.DiffReply{Diffs: out}, bytes
 }
 
 // N returns the number of nodes.
 func (s *System) N() int { return s.H.N() }
 
-// Run executes body once per node, binding each node to its processor.
+// Run executes body once per node. Nodes were bound to their processors
+// at construction (New), so peers may Hold or Wake a node before its body
+// starts.
 func (s *System) Run(body func(nd *Node)) error {
 	return s.H.Run(func(p host.Proc) {
-		nd := s.Nodes[p.ID()]
-		nd.p = p
-		body(nd)
+		body(s.Nodes[p.ID()])
 	})
 }
 
@@ -216,7 +247,65 @@ type interval struct {
 }
 
 // wireBytes estimates the write-notice payload for an interval record.
-func (iv interval) wireBytes() int { return 8 + 4*len(iv.pages) }
+func (iv interval) wireBytes() int { return wire.NoticeBytes(len(iv.pages)) }
+
+// toWire converts an interval record to its wire value, copying every
+// slice: nothing handed to the transport aliases protocol state.
+func (iv interval) toWire() wire.Interval {
+	w := wire.Interval{
+		Pages: make([]wire.PageRef, len(iv.pages)),
+		VC:    append([]int32(nil), iv.vc...),
+	}
+	for i, pr := range iv.pages {
+		w.Pages[i] = wire.PageRef{Page: pr.page, Whole: pr.whole}
+	}
+	return w
+}
+
+// intervalFromWire converts a received interval record.
+func intervalFromWire(w wire.Interval) interval {
+	iv := interval{pages: make([]pageRef, len(w.Pages)), vc: w.VC}
+	for i, pr := range w.Pages {
+		iv.pages[i] = pageRef{page: pr.Page, whole: pr.Whole}
+	}
+	return iv
+}
+
+// intervalsSince collects, as write notices, every interval this node
+// knows beyond base, sorted by (owner, index) — what a barrier arrival
+// message carries (base = the vector time at the last barrier departure,
+// which every node shares, so the master deduplicates what lock transfers
+// already taught it).
+func (nd *Node) intervalsSince(base []int32) []wire.OwnedInterval {
+	var out []wire.OwnedInterval
+	for o := range nd.vc {
+		for idx := base[o] + 1; idx <= nd.vc[o]; idx++ {
+			out = append(out, wire.OwnedInterval{
+				Owner: int32(o), Idx: idx, IV: nd.know[o][idx-1].toWire(),
+			})
+		}
+	}
+	return out
+}
+
+// syncInfo snapshots what an acquirer presents at a synchronization
+// operation: its vector time and its pending Validate_w_sync needs, with
+// the per-page applied timestamps the responders filter against.
+func (nd *Node) syncInfo() wire.SyncInfo {
+	info := wire.SyncInfo{VC: append([]int32(nil), nd.vc...)}
+	for _, ws := range nd.wsync {
+		need := wire.WSyncNeed{
+			Pages:   make([]int32, len(ws.pages)),
+			Applied: make([][]int32, len(ws.pages)),
+		}
+		for i, pg := range ws.pages {
+			need.Pages[i] = int32(pg)
+			need.Applied[i] = append([]int32(nil), nd.applied[pg]...)
+		}
+		info.Needs = append(info.Needs, need)
+	}
+	return info
+}
 
 // Node is one processor's DSM runtime state.
 type Node struct {
@@ -226,6 +315,7 @@ type Node struct {
 	p   host.Proc
 
 	vc         []int32          // vc[o]: latest interval of owner o known here
+	lastBar    []int32          // vc at the last barrier departure (arrival deltas)
 	know       [][]interval     // know[o][i]: interval i+1 of owner o
 	applied    [][]int32        // applied[page][o]: o's latest interval reflected in the local copy
 	pending    map[int][]notice // unapplied write notices per page
@@ -237,9 +327,6 @@ type Node struct {
 	inflight []inflightFetch    // asynchronous fetches not yet completed
 	mode     map[int]AccessType // deferred consistency action for async Validate
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
-
-	grantInbox *grant      // lock grant stashed by a releaser before waking us
-	depart     *departInfo // barrier departure staged by the master logic
 
 	Stats ProtocolStats
 }

@@ -1,0 +1,497 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrTruncated reports input that ended inside a frame or field.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// enc is an append-based encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) bool(v bool)   { e.b = append(e.b, b2u(v)) }
+func (e *enc) i32(v int32)   { e.b = binary.LittleEndian.AppendUint32(e.b, uint32(v)) }
+func (e *enc) i64(v int64)   { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) count(n int)   { e.b = binary.AppendUvarint(e.b, uint64(n)) }
+
+func (e *enc) i32s(vs []int32) {
+	e.count(len(vs))
+	for _, v := range vs {
+		e.i32(v)
+	}
+}
+
+func (e *enc) f64s(vs []float64) {
+	e.count(len(vs))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *enc) rows(vs [][]int32) {
+	e.count(len(vs))
+	for _, row := range vs {
+		e.i32s(row)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.count(len(s))
+	e.b = append(e.b, s...)
+}
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// dec is a bounds-checked decoder over one frame body.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) u8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) i32() int32 {
+	if b := d.take(4); b != nil {
+		return int32(binary.LittleEndian.Uint32(b))
+	}
+	return 0
+}
+
+func (d *dec) i64() int64 {
+	if b := d.take(8); b != nil {
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (d *dec) f64() float64 {
+	if b := d.take(8); b != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+// count reads an element count and bounds it by the bytes remaining, given
+// each element occupies at least min bytes, so corrupt counts cannot force
+// huge allocations. The bound is computed by division: multiplying the
+// attacker-controlled count would overflow and defeat the guard.
+func (d *dec) count(min int) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.b = d.b[n:]
+	if v > uint64(len(d.b))/uint64(min) {
+		d.fail(fmt.Errorf("wire: count %d exceeds remaining input", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) i32s() []int32 {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.i32()
+	}
+	return out
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) rows() [][]int32 {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]int32, n)
+	for i := range out {
+		out[i] = d.i32s()
+	}
+	return out
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	if n == 0 {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// ---- payload codec ----
+
+func (e *enc) payload(p any) error {
+	switch v := p.(type) {
+	case nil:
+		e.u8(pNil)
+	case Float64s:
+		e.u8(pFloat64s)
+		e.f64s(v)
+	case []float64:
+		// The mp layer's native payload type; decodes as Float64s.
+		e.u8(pFloat64s)
+		e.f64s(v)
+	case DiffRequest:
+		e.u8(pDiffRequest)
+		e.i32(v.Req)
+		e.i32s(v.Pages)
+		e.rows(v.Applied)
+	case DiffReply:
+		e.u8(pDiffReply)
+		e.diffs(v.Diffs)
+	case Grant:
+		e.u8(pGrant)
+		e.intervals(v.Intervals)
+		e.diffs(v.Served)
+		e.i32(v.Bytes)
+	case Arrival:
+		e.u8(pArrival)
+		e.i32s(v.VC)
+		e.intervals(v.Intervals)
+		e.needs(v.Needs)
+	case Depart:
+		e.u8(pDepart)
+		e.i64(v.Time)
+		e.intervals(v.Intervals)
+		e.diffs(v.Served)
+	case Push:
+		e.u8(pPush)
+		e.i32(v.Ivl)
+		e.count(len(v.Chunks))
+		for _, ch := range v.Chunks {
+			e.i32(ch.Lo)
+			e.f64s(ch.Vals)
+		}
+	case SyncInfo:
+		e.u8(pSyncInfo)
+		e.i32s(v.VC)
+		e.needs(v.Needs)
+	case Start:
+		e.u8(pStart)
+		e.str(v.App)
+		e.str(v.Set)
+		e.i32(v.N)
+		e.i64(v.Overhead)
+		e.bool(v.Verify)
+	case Done:
+		e.u8(pDone)
+		e.f64(v.Checksum)
+		e.str(v.Err)
+	default:
+		return fmt.Errorf("wire: unencodable payload type %T", p)
+	}
+	return nil
+}
+
+func (e *enc) diffs(ds []Diff) {
+	e.count(len(ds))
+	for _, d := range ds {
+		e.i32(d.Page)
+		e.i32(d.Creator)
+		e.i32(d.From)
+		e.i32(d.To)
+		e.bool(d.Whole)
+		e.i32s(d.Covers)
+		e.count(len(d.Runs))
+		for _, r := range d.Runs {
+			e.i32(r.Off)
+			e.f64s(r.Vals)
+		}
+	}
+}
+
+func (e *enc) intervals(ivs []OwnedInterval) {
+	e.count(len(ivs))
+	for _, oi := range ivs {
+		e.i32(oi.Owner)
+		e.i32(oi.Idx)
+		e.count(len(oi.IV.Pages))
+		for _, pr := range oi.IV.Pages {
+			e.i32(pr.Page)
+			e.bool(pr.Whole)
+		}
+		e.i32s(oi.IV.VC)
+	}
+}
+
+func (e *enc) needs(ns []WSyncNeed) {
+	e.count(len(ns))
+	for _, n := range ns {
+		e.i32s(n.Pages)
+		e.rows(n.Applied)
+	}
+}
+
+func (d *dec) payload() any {
+	switch k := d.u8(); k {
+	case pNil:
+		return nil
+	case pFloat64s:
+		return Float64s(d.f64s())
+	case pDiffRequest:
+		return DiffRequest{Req: d.i32(), Pages: d.i32s(), Applied: d.rows()}
+	case pDiffReply:
+		return DiffReply{Diffs: d.diffs()}
+	case pGrant:
+		return Grant{Intervals: d.intervals(), Served: d.diffs(), Bytes: d.i32()}
+	case pArrival:
+		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs()}
+	case pDepart:
+		return Depart{Time: d.i64(), Intervals: d.intervals(), Served: d.diffs()}
+	case pPush:
+		p := Push{Ivl: d.i32()}
+		n := d.count(5)
+		for i := 0; i < n; i++ {
+			p.Chunks = append(p.Chunks, Chunk{Lo: d.i32(), Vals: d.f64s()})
+		}
+		return p
+	case pSyncInfo:
+		return SyncInfo{VC: d.i32s(), Needs: d.needs()}
+	case pStart:
+		return Start{App: d.str(), Set: d.str(), N: d.i32(), Overhead: d.i64(), Verify: d.bool()}
+	case pDone:
+		return Done{Checksum: d.f64(), Err: d.str()}
+	default:
+		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
+		return nil
+	}
+}
+
+func (d *dec) diffs() []Diff {
+	n := d.count(18)
+	var out []Diff
+	for i := 0; i < n; i++ {
+		df := Diff{
+			Page: d.i32(), Creator: d.i32(), From: d.i32(), To: d.i32(),
+			Whole: d.bool(), Covers: d.i32s(),
+		}
+		rn := d.count(5)
+		for j := 0; j < rn; j++ {
+			df.Runs = append(df.Runs, Run{Off: d.i32(), Vals: d.f64s()})
+		}
+		out = append(out, df)
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func (d *dec) intervals() []OwnedInterval {
+	n := d.count(10)
+	var out []OwnedInterval
+	for i := 0; i < n; i++ {
+		oi := OwnedInterval{Owner: d.i32(), Idx: d.i32()}
+		pn := d.count(5)
+		for j := 0; j < pn; j++ {
+			oi.IV.Pages = append(oi.IV.Pages, PageRef{Page: d.i32(), Whole: d.bool()})
+		}
+		oi.IV.VC = d.i32s()
+		out = append(out, oi)
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func (d *dec) needs() []WSyncNeed {
+	n := d.count(2)
+	var out []WSyncNeed
+	for i := 0; i < n; i++ {
+		out = append(out, WSyncNeed{Pages: d.i32s(), Applied: d.rows()})
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+// ---- framing ----
+
+// AppendFrame encodes f (length prefix included) onto dst and returns the
+// extended slice. It fails only on an unencodable payload type or an
+// oversized frame.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	e := &enc{b: dst}
+	start := len(e.b)
+	e.i32(0) // length, patched below
+	e.u8(Version)
+	e.u8(f.Kind)
+	e.i32(f.From)
+	e.i32(f.To)
+	e.i32(f.Tag)
+	e.i32(f.Bytes)
+	e.i64(f.Time)
+	if err := e.payload(f.Payload); err != nil {
+		return dst, err
+	}
+	body := len(e.b) - start - 4
+	if body > MaxFrame {
+		return dst, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", body)
+	}
+	binary.LittleEndian.PutUint32(e.b[start:], uint32(body))
+	return e.b, nil
+}
+
+// ParseFrame decodes one frame from b, returning the frame and the number
+// of bytes consumed.
+func ParseFrame(b []byte) (*Frame, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	body := binary.LittleEndian.Uint32(b)
+	if body > MaxFrame {
+		return nil, 0, fmt.Errorf("wire: frame length %d exceeds MaxFrame", body)
+	}
+	if uint64(len(b)-4) < uint64(body) {
+		return nil, 0, ErrTruncated
+	}
+	d := &dec{b: b[4 : 4+body]}
+	if v := d.u8(); d.err == nil && v != Version {
+		return nil, 0, fmt.Errorf("wire: version %d, want %d", v, Version)
+	}
+	f := &Frame{
+		Kind: d.u8(),
+		From: d.i32(), To: d.i32(),
+		Tag: d.i32(), Bytes: d.i32(), Time: d.i64(),
+	}
+	f.Payload = d.payload()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, 0, fmt.Errorf("wire: %d trailing bytes in frame", len(d.b))
+	}
+	switch f.Kind {
+	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone:
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	return f, 4 + int(body), nil
+}
+
+// ReadRawFrame reads one length-prefixed frame from r without decoding
+// it, returning the full encoded bytes (length prefix included). Switches
+// use it to route frames by destination without re-encoding payloads.
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	body := binary.LittleEndian.Uint32(hdr[:])
+	if body > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame", body)
+	}
+	buf := make([]byte, 4+body)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// RawFields returns the kind, source, destination, and accounted byte
+// count of a raw frame read by ReadRawFrame, without decoding the
+// payload (switches route and account from these alone).
+func RawFields(raw []byte) (kind byte, from, to, bytes int32, err error) {
+	// layout: len(4) version(1) kind(1) from(4) to(4) tag(4) bytes(4) ...
+	if len(raw) < 22 {
+		return 0, 0, 0, 0, ErrTruncated
+	}
+	if raw[4] != Version {
+		return 0, 0, 0, 0, fmt.Errorf("wire: version %d, want %d", raw[4], Version)
+	}
+	return raw[5],
+		int32(binary.LittleEndian.Uint32(raw[6:])),
+		int32(binary.LittleEndian.Uint32(raw[10:])),
+		int32(binary.LittleEndian.Uint32(raw[18:])),
+		nil
+}
+
+// PatchRawTo rewrites the destination field of an encoded frame in place
+// (broadcasts encode a shared payload once and retarget the header per
+// recipient).
+func PatchRawTo(raw []byte, to int32) {
+	binary.LittleEndian.PutUint32(raw[10:], uint32(to))
+}
+
+// WriteFrame encodes f and writes it to w in one call.
+func WriteFrame(w io.Writer, f *Frame) error {
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. On a cleanly closed stream it
+// returns io.EOF.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	raw, err := ReadRawFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	f, _, err := ParseFrame(raw)
+	return f, err
+}

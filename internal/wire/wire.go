@@ -1,0 +1,260 @@
+// Package wire defines the versioned wire format of the DSM machine: the
+// message vocabulary the protocol layers exchange (mp sends, lock grants
+// with write notices, barrier arrivals and departures with interval
+// metadata, diff requests and diff payloads, Push sections), and a binary
+// codec with length-prefixed framing for carrying them over a byte stream.
+//
+// The types here are pure values — plain structs of integers, flags, and
+// float slices, with no pointers into any node's protocol state. That is
+// the package's contract and the reason it exists: the in-process backends
+// historically passed Go pointers through the Transport seam (a diff
+// cached at one node was the same object at every node), which made a
+// process-per-node deployment impossible. Everything that crosses the seam
+// is now expressible as a wire value; the in-process transports pass the
+// values directly, the socket transports encode them.
+//
+// Encoding rules: frames are length-prefixed (u32 little-endian) and carry
+// a one-byte format version, a one-byte frame kind, fixed-width routing
+// fields, and a payload introduced by a one-byte payload kind. Counts are
+// unsigned varints, scalars are fixed-width little-endian. Decoding is
+// total: malformed input yields an error, never a panic, and allocations
+// are bounded by the input length (FuzzWireRoundTrip enforces both, plus
+// decode/encode/decode identity).
+package wire
+
+import "fmt"
+
+// Version is the wire-format version carried by every frame. Peers reject
+// frames with any other version (the format has no negotiation; both ends
+// of a machine are the same build).
+const Version = 1
+
+// MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
+// protecting the decoder from corrupt length prefixes.
+const MaxFrame = 64 << 20
+
+// Frame kinds: the transport-level envelope types.
+const (
+	// FHello identifies a node to the switch (From = node id).
+	FHello byte = 1 + iota
+	// FMsg is a mailbox message (host.Transport.Send/SendShared): Tag is
+	// the mailbox tag, Bytes the accounted size, Time the virtual arrival.
+	FMsg
+	// FHand is a staged protocol payload (lock grant, barrier departure)
+	// delivered out of band of the mailbox; Tag is the slot.
+	FHand
+	// FReq is a request/reply exchange's request; Tag is the request id,
+	// Bytes the accounted request size.
+	FReq
+	// FReply answers an FReq: Tag echoes the request id, Bytes is the
+	// accounted reply size, Time the service time charged at the target.
+	FReply
+	// FStart configures a spawned worker process (coordinator → worker).
+	FStart
+	// FDone reports a worker's final state (worker → coordinator): Time is
+	// the worker's virtual clock.
+	FDone
+)
+
+func frameKindName(k byte) string {
+	switch k {
+	case FHello:
+		return "hello"
+	case FMsg:
+		return "msg"
+	case FHand:
+		return "hand"
+	case FReq:
+		return "req"
+	case FReply:
+		return "reply"
+	case FStart:
+		return "start"
+	case FDone:
+		return "done"
+	}
+	return fmt.Sprintf("frame(%d)", k)
+}
+
+// Frame is one wire exchange: the envelope plus a decoded payload.
+type Frame struct {
+	Kind     byte
+	From, To int32
+	// Tag is the mailbox tag (FMsg), hand slot (FHand), or request id
+	// (FReq/FReply).
+	Tag int32
+	// Bytes is the accounted payload size in the cost model, not the
+	// encoded size (headers the paper's platform would send are accounted
+	// even though this codec does not materialize them).
+	Bytes int32
+	// Time carries virtual nanoseconds: arrival (FMsg), service (FReply),
+	// final clock (FDone).
+	Time int64
+	// Payload is one of the payload types below, or nil.
+	Payload any
+}
+
+// Payload kinds.
+const (
+	pNil byte = iota
+	pFloat64s
+	pDiffRequest
+	pDiffReply
+	pGrant
+	pArrival
+	pDepart
+	pPush
+	pSyncInfo
+	pStart
+	pDone
+)
+
+// Run is a contiguous span of modified words within a page, the unit a
+// diff is made of (the vm package's Run, expressed as a wire value).
+type Run struct {
+	Off  int32
+	Vals []float64
+}
+
+// Diff is one unit of modification data: a twin-based diff covering the
+// creator's intervals (From, To], or a whole-page snapshot (Whole).
+// Covers is the creator's per-owner applied timestamps for the page at
+// creation (own entry raised to To) — the ordering timestamp receivers
+// apply overlapping diffs by, and the subsumption set for whole snapshots.
+type Diff struct {
+	Page    int32
+	Creator int32
+	From    int32 // exclusive
+	To      int32 // inclusive
+	Whole   bool
+	Covers  []int32
+	Runs    []Run
+}
+
+// DiffRequest asks a responder for the outstanding modifications of a set
+// of pages. Req is the requesting node (its own diffs are never returned);
+// Applied[i] is the requester's per-owner applied timestamps for Pages[i]
+// — carried explicitly so the responder decides what the requester lacks
+// from the request alone, never from the requester's in-memory state.
+type DiffRequest struct {
+	Req     int32
+	Pages   []int32
+	Applied [][]int32
+}
+
+// DiffReply returns the diffs a responder served for a DiffRequest.
+type DiffReply struct {
+	Diffs []Diff
+}
+
+// PageRef names a page within an interval record; Whole marks pages the
+// interval overwrote entirely without twinning (WRITE_ALL).
+type PageRef struct {
+	Page  int32
+	Whole bool
+}
+
+// Interval records the pages one owner modified in one interval, plus the
+// owner's vector time when the interval closed.
+type Interval struct {
+	Pages []PageRef
+	VC    []int32
+}
+
+// NoticeBytes is the accounted size of a write notice covering n pages —
+// the single size formula every leg (grants, barrier arrivals and
+// departures) charges with.
+func NoticeBytes(n int) int { return 8 + 4*n }
+
+// WireBytes is the accounted size of the interval's write notice.
+func (iv Interval) WireBytes() int { return NoticeBytes(len(iv.Pages)) }
+
+// OwnedInterval is an interval tagged with its owner and index, the unit
+// of a write notice.
+type OwnedInterval struct {
+	Owner int32
+	Idx   int32
+	IV    Interval
+}
+
+// WSyncNeed is one registered Validate_w_sync carried on a synchronization
+// message: the pages whose data should piggyback on the response, with the
+// requester's applied timestamps per page.
+type WSyncNeed struct {
+	Pages   []int32
+	Applied [][]int32
+}
+
+// SyncInfo is what an acquirer presents at a lock acquire: its vector time
+// (so the releaser can compute the write notices it lacks) and its pending
+// Validate_w_sync registrations.
+type SyncInfo struct {
+	VC    []int32
+	Needs []WSyncNeed
+}
+
+// Grant carries what a releaser hands to an acquirer: the write notices
+// the acquirer lacks plus any diffs piggybacked for a Validate_w_sync.
+// Bytes is the accounted size of the grant message.
+type Grant struct {
+	Intervals []OwnedInterval
+	Served    []Diff
+	Bytes     int32
+}
+
+// Arrival is a barrier arrival message: the arriver's vector time and
+// every interval closed since its last barrier departure (the master
+// deduplicates against what it already learned through lock transfers),
+// plus its Validate_w_sync registrations.
+type Arrival struct {
+	VC        []int32
+	Intervals []OwnedInterval
+	Needs     []WSyncNeed
+}
+
+// Depart is a barrier departure message for one node: the common departure
+// time, the write notices the node lacks, and the diffs answering its
+// Validate_w_sync registrations.
+type Depart struct {
+	Time      int64
+	Intervals []OwnedInterval
+	Served    []Diff
+}
+
+// Chunk is a contiguous span of words sent by Push, received in place.
+type Chunk struct {
+	Lo   int32
+	Vals []float64
+}
+
+// Push is a point-to-point section exchange replacing a barrier: raw data
+// chunks plus the sender's newest closed interval (so receivers record the
+// sections as applied).
+type Push struct {
+	Ivl    int32
+	Chunks []Chunk
+}
+
+// Float64s is a message-passing data payload ([]float64 sends of the mp
+// layer).
+type Float64s []float64
+
+// Start configures a spawned worker process: which application to run on
+// which rank of how many, with the harness's distribution overhead and
+// verification switch. Workers re-derive problem parameters from
+// (App, Set, N) deterministically.
+type Start struct {
+	App      string
+	Set      string
+	N        int32
+	Overhead int64 // per-phase distribution overhead, nanoseconds
+	Verify   bool
+}
+
+// Done reports a worker's terminal state: its checksum contribution (rank
+// 0 only, when verifying) and an error description, empty on success. The
+// final virtual clock travels in the frame's Time field.
+type Done struct {
+	Checksum float64
+	Err      string
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// sampleFrames covers every frame kind and every payload type, including
+// empty and nil slices (which decode as nil — the canonical form).
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Kind: FHello, From: 3},
+		{Kind: FMsg, From: 1, To: 2, Tag: 7, Bytes: 128, Time: 123456, Payload: Float64s{1.5, -2.25, 0}},
+		{Kind: FMsg, From: 0, To: 4, Tag: 2, Bytes: 0, Time: 1},
+		{Kind: FMsg, From: 2, To: 0, Tag: 101, Bytes: 4112, Time: 99, Payload: Push{
+			Ivl:    9,
+			Chunks: []Chunk{{Lo: 512, Vals: []float64{3.5, 4.5}}, {Lo: 1024, Vals: []float64{-1}}},
+		}},
+		{Kind: FReq, From: 1, To: 0, Tag: 44, Bytes: 32, Payload: DiffRequest{
+			Req:     1,
+			Pages:   []int32{3, 9},
+			Applied: [][]int32{{1, 0, 2}, {0, 0, 5}},
+		}},
+		{Kind: FReply, From: 0, To: 1, Tag: 44, Bytes: 4128, Time: 5555, Payload: DiffReply{
+			Diffs: []Diff{
+				{Page: 3, Creator: 0, From: 1, To: 4, Covers: []int32{4, 0, 2},
+					Runs: []Run{{Off: 16, Vals: []float64{7, 8, 9}}}},
+				{Page: 9, Creator: 2, From: 0, To: 5, Whole: true, Covers: []int32{1, 0, 5},
+					Runs: []Run{{Off: 0, Vals: []float64{1, 2}}}},
+			},
+		}},
+		{Kind: FHand, From: 2, To: 1, Tag: 1, Payload: Grant{
+			Intervals: []OwnedInterval{{Owner: 2, Idx: 5, IV: Interval{
+				Pages: []PageRef{{Page: 3}, {Page: 4, Whole: true}},
+				VC:    []int32{1, 2, 5},
+			}}},
+			Served: []Diff{{Page: 4, Creator: 2, From: 4, To: 5, Covers: []int32{0, 0, 5}}},
+			Bytes:  60,
+		}},
+		{Kind: FHand, From: 0, To: 2, Tag: 2, Payload: Depart{
+			Time:      987654321,
+			Intervals: []OwnedInterval{{Owner: 1, Idx: 2, IV: Interval{VC: []int32{0, 2, 0}}}},
+		}},
+		{Kind: FMsg, From: 0, To: 1, Tag: 5, Payload: Arrival{
+			VC:        []int32{4, 5, 6},
+			Intervals: []OwnedInterval{{Owner: 0, Idx: 4, IV: Interval{Pages: []PageRef{{Page: 11}}, VC: []int32{4, 0, 0}}}},
+			Needs:     []WSyncNeed{{Pages: []int32{11}, Applied: [][]int32{{1, 2, 3}}}},
+		}},
+		{Kind: FMsg, From: 1, To: 0, Tag: 6, Payload: SyncInfo{VC: []int32{9, 9, 9}}},
+		{Kind: FStart, To: 3, Payload: Start{App: "jacobi", Set: "small", N: 8, Overhead: 1500, Verify: true}},
+		{Kind: FDone, From: 3, Time: 42424242, Payload: Done{Checksum: 40399.25, Err: ""}},
+		{Kind: FDone, From: 1, Payload: Done{Err: "rank 1 panicked: boom"}},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for i, f := range sampleFrames() {
+		b, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("frame %d: encode: %v", i, err)
+		}
+		got, n, err := ParseFrame(b)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("frame %d: consumed %d of %d bytes", i, n, len(b))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame %d: roundtrip mismatch:\n got %#v\nwant %#v", i, got, f)
+		}
+	}
+}
+
+func TestFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: stream mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF at stream end, got %v", err)
+	}
+}
+
+func TestRawRouting(t *testing.T) {
+	f := &Frame{Kind: FMsg, From: 5, To: 9, Tag: 1, Payload: Float64s{1}}
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadRawFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, b) {
+		t.Fatal("ReadRawFrame did not return the exact frame bytes")
+	}
+	kind, from, to, bytes, err := RawFields(raw)
+	if err != nil || kind != FMsg || from != 5 || to != 9 || bytes != 0 {
+		t.Fatalf("RawFields = (%d, %d, %d, %d, %v)", kind, from, to, bytes, err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, err := AppendFrame(nil, sampleFrames()[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  good[:3],
+		"truncated":     good[:len(good)-2],
+		"bad version":   append([]byte{good[0], good[1], good[2], good[3], 99}, good[5:]...),
+		"bad kind":      append([]byte{good[0], good[1], good[2], good[3], good[4], 200}, good[6:]...),
+		"huge length":   {0xff, 0xff, 0xff, 0xff},
+		"trailing junk": append(appendLen(good), 1, 2, 3),
+	}
+	for name, b := range cases {
+		if _, _, err := ParseFrame(b); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// appendLen rewrites the length prefix to claim three extra bytes exist
+// inside the frame body.
+func appendLen(good []byte) []byte {
+	b := append([]byte(nil), good...)
+	n := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	n += 3
+	b[0], b[1], b[2], b[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	return b
+}
+
+// TestCountOverflowRejected crafts a frame whose payload claims 2^61
+// float64s: the element-size bound must reject it by division — a
+// multiplied bound overflows and the decoder would panic in makeslice.
+func TestCountOverflowRejected(t *testing.T) {
+	e := &enc{}
+	e.i32(0) // length, patched below
+	e.u8(Version)
+	e.u8(FMsg)
+	e.i32(1) // from
+	e.i32(2) // to
+	e.i32(3) // tag
+	e.i32(4) // bytes
+	e.i64(5) // time
+	e.u8(pFloat64s)
+	e.b = append(e.b, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // uvarint 2^61
+	body := len(e.b) - 4
+	e.b[0], e.b[1], e.b[2], e.b[3] = byte(body), byte(body>>8), byte(body>>16), byte(body>>24)
+	if _, _, err := ParseFrame(e.b); err == nil {
+		t.Fatal("decoder accepted a 2^61-element count")
+	}
+}
+
+func TestUnencodablePayload(t *testing.T) {
+	if _, err := AppendFrame(nil, &Frame{Kind: FMsg, Payload: struct{ X int }{1}}); err == nil {
+		t.Fatal("encode accepted an unencodable payload")
+	}
+}
