@@ -37,7 +37,9 @@ func main() {
 		fig5    = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
 		fig6    = flag.Bool("fig6", false, "speedups under optimization levels")
 		fig7    = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
+		adaptT  = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
 		micro   = flag.Bool("micro", false, "Section 5 primitive costs")
+		bench   = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
 		par     = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
 		backend = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
@@ -58,7 +60,7 @@ func main() {
 		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
 			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
-	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *micro) {
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *bench != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,5 +110,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatFig7(rows, *procs))
+	}
+	if *all || *adaptT {
+		rows, err := harness.AdaptTable(*procs, workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatAdaptTable(rows, *procs))
+	}
+	if *bench != "" {
+		if err := harness.WriteBenchJSON(*bench, *procs, workers); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote benchmark report to %s\n", *bench)
 	}
 }

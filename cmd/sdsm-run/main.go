@@ -35,6 +35,8 @@ func main() {
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
 		verify  = flag.Bool("verify", false, "verify the result against the sequential reference")
 		sync    = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
+		adaptOn = flag.Bool("adapt", false, "enable the run-time adaptive update protocol (tmk/opt-tmk)")
+		adaptK  = flag.Int("adapt-k", 0, "adaptive promotion hysteresis in production cycles (0 = default)")
 		backend = flag.String("backend", "sim", "host backend: sim (deterministic), real (goroutine per node), net (wire transport over loopback sockets; process per rank for pvme/xhpf)")
 		nodeBin = flag.String("node-bin", "", "worker binary for -backend net message-passing runs (default: re-exec this binary)")
 	)
@@ -56,6 +58,7 @@ func main() {
 		App: a, Set: ds, System: harness.SystemKind(*system),
 		Procs: *procs, Verify: *verify, SyncFetch: *sync,
 		Backend: harness.Backend(*backend),
+		Adapt:   *adaptOn, AdaptK: *adaptK,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
@@ -87,6 +90,11 @@ func main() {
 			res.Protocol.LockAcquires, res.Protocol.Barriers, res.Protocol.Validates, res.Protocol.Pushes)
 		fmt.Printf("diff traffic:  %d fetch exchanges, %d diffs applied\n",
 			res.Protocol.DiffFetches, res.Protocol.DiffsApplied)
+		if *adaptOn {
+			fmt.Printf("adaptive:      %d promotions, %d decays, %d updates sent, %d page pushes\n",
+				res.Protocol.AdaptPromotions, res.Protocol.AdaptDecays,
+				res.Protocol.AdaptUpdates, res.Protocol.AdaptPagesPushed)
+		}
 	}
 	if *verify {
 		want := harness.SeqChecksum(a, ds)

@@ -1,0 +1,236 @@
+// Package adapt is the run-time access-pattern detector behind the DSM's
+// adaptive update protocol.
+//
+// The paper's compiler replaces invalidate-and-fault traffic with
+// aggregated pushes wherever regular-section analysis can prove who will
+// read what. When the compiler cannot summarize an access — irregular
+// indexing, data-dependent neighbors — the system falls back to the plain
+// invalidate protocol and loses the entire benefit. This package recovers
+// it at run time, in the spirit of Munin's multi-protocol runtime: the
+// run-time observes, per barrier epoch, which node writes each page and
+// which nodes demand-fetch it, infers stable producer→consumer relations,
+// and — once a pattern has held for K production cycles — switches those
+// pages from invalidate to update. The protocol layer (package tmk) then
+// piggybacks the producer's diffs to the bound consumers at barrier
+// departure instead of leaving them to fault, and decays straight back to
+// invalidate when the pattern breaks.
+//
+// The detector is deterministic and runs replicated: every node feeds the
+// same globally-relayed observations (write notices already travel with
+// barriers; fetch observations ride the new Arrival.Fetched /
+// Depart.Fetched wire fields) through the same transition function, so all
+// nodes agree on the bindings without any extra coordination — the same
+// idiom the barrier's Validate_w_sync responder assignment uses.
+//
+// A pattern is tracked per page as a production cycle: a cycle starts when
+// the page's single producer publishes a write and ends at its next write,
+// with every demand fetch observed in between attributed to the cycle.
+// This makes the detector phase-tolerant: the common "write phase, then
+// read phase" shape of barrier programs (Jacobi's copy/stencil, an
+// irregular stencil's update/relax) alternates writers and readers across
+// epochs, and per-epoch matching would never see them together.
+package adapt
+
+import "sort"
+
+// DefaultK is the default number of consecutive stable production cycles
+// before a page switches to update mode. Two cycles is the minimum that
+// distinguishes a repeating pattern from a one-shot handoff; the first
+// cycle of any run is further skewed by cold-start faults.
+const DefaultK = 3
+
+// Config tunes the detector.
+type Config struct {
+	// K is the hysteresis: a page switches to update mode after its
+	// producer→consumer pattern has held for K consecutive production
+	// cycles (0 means DefaultK).
+	K int
+}
+
+func (c Config) k() int {
+	if c.K <= 0 {
+		return DefaultK
+	}
+	return c.K
+}
+
+// Epoch is the globally shared observation for one barrier epoch: for each
+// page, the nodes that closed write intervals covering it, and the nodes
+// that demand-fetched remote data for it. Writers come from the write
+// notices every node learns at the barrier; Readers from the relayed
+// arrival fetch lists.
+type Epoch struct {
+	Writers map[int][]int
+	Readers map[int][]int
+}
+
+// Mode is a page's current protocol.
+type Mode uint8
+
+const (
+	// Invalidate is the base protocol: write notices invalidate the page
+	// and consumers fault and fetch.
+	Invalidate Mode = iota
+	// Update is the adaptive protocol: the producer pushes its diffs to
+	// the bound consumers at barrier departure.
+	Update
+)
+
+// pattern is the per-page detector state.
+type pattern struct {
+	producer  int   // last single writer; -1 before any write
+	consumers []int // sorted consumer set of the last completed cycle
+	cur       map[int]bool
+	streak    int // consecutive cycles with a stable producer+consumer set
+	mode      Mode
+	bound     []int // sorted consumer set pushed to while in Update mode
+}
+
+// Stats counts detector transitions.
+type Stats struct {
+	Promotions int64 // pages switched invalidate → update
+	Decays     int64 // pages switched update → invalidate
+}
+
+// Detector is the replicated pattern detector for one DSM machine. All
+// nodes construct it with the same Config and feed it the same Epochs, so
+// its bindings are identical everywhere.
+type Detector struct {
+	cfg   Config
+	pages map[int]*pattern
+	Stats Stats
+}
+
+// New creates a detector.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg, pages: map[int]*pattern{}}
+}
+
+// Advance feeds one epoch's observation through the detector. Reads are
+// attributed before writes: a fetch observed in the same epoch as the next
+// write belongs to the cycle that write closes (the fetch happened while
+// the previous production was current).
+func (d *Detector) Advance(ep Epoch) {
+	for pg, readers := range ep.Readers {
+		p := d.page(pg)
+		for _, r := range readers {
+			p.cur[r] = true
+		}
+	}
+	for pg, writers := range ep.Writers {
+		p := d.page(pg)
+		if len(writers) != 1 || (p.producer >= 0 && writers[0] != p.producer) {
+			// Multiple writers, or the producer changed hands: the pattern
+			// is broken. Restart tracking from this epoch's writer (if
+			// single), discarding the in-flight cycle's reads.
+			if p.mode == Update {
+				d.Stats.Decays++
+			}
+			p.mode = Invalidate
+			p.bound = nil
+			p.streak = 0
+			p.consumers = nil
+			p.producer = -1
+			if len(writers) == 1 {
+				p.producer = writers[0]
+			}
+			p.cur = map[int]bool{}
+			continue
+		}
+		p.producer = writers[0]
+		// A write with reads gathered since the previous write closes a
+		// production cycle with those reads as its consumers. A write with
+		// none merely extends the current production — the protocol layer
+		// closes write intervals for bookkeeping reasons too (a lazy diff
+		// flush while serving splits an interval), and a producer may write
+		// across several epochs before anyone reads.
+		cycle := setToSorted(p.cur)
+		p.cur = map[int]bool{}
+		if p.mode == Update {
+			// Pushed pages no longer fault, so an empty cycle means the
+			// pushes kept the consumers satisfied. Any reads that do appear
+			// are consumers the pushes missed — extend the binding.
+			if grown := union(p.bound, cycle); len(grown) != len(p.bound) {
+				p.bound = grown
+			}
+			continue
+		}
+		if len(cycle) == 0 {
+			continue
+		}
+		if !equalInts(cycle, p.consumers) {
+			p.consumers = cycle
+			p.streak = 1
+			continue
+		}
+		p.streak++
+		if p.streak >= d.cfg.k() {
+			p.mode = Update
+			p.bound = append([]int(nil), p.consumers...)
+			d.Stats.Promotions++
+		}
+	}
+}
+
+// Push reports whether page is bound to the update protocol, and if so to
+// which consumers (sorted; never including the producer). The caller pushes
+// only when it is the producer and actually wrote the page this epoch.
+func (d *Detector) Push(page int) (producer int, consumers []int, ok bool) {
+	p, present := d.pages[page]
+	if !present || p.mode != Update {
+		return 0, nil, false
+	}
+	return p.producer, p.bound, true
+}
+
+// Mode returns the page's current protocol.
+func (d *Detector) Mode(page int) Mode {
+	if p, ok := d.pages[page]; ok {
+		return p.mode
+	}
+	return Invalidate
+}
+
+func (d *Detector) page(pg int) *pattern {
+	p, ok := d.pages[pg]
+	if !ok {
+		p = &pattern{producer: -1, cur: map[int]bool{}}
+		d.pages[pg] = p
+	}
+	return p
+}
+
+func setToSorted(s map[int]bool) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func union(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	return setToSorted(seen)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -78,7 +78,8 @@ type App struct {
 	MP func(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float64
 }
 
-// Registry returns all six applications in the paper's order.
+// Registry returns the paper's six applications in the paper's order (the
+// suite every paper table and figure iterates).
 func Registry() []*App {
 	return []*App{
 		Jacobi(),
@@ -90,9 +91,22 @@ func Registry() []*App {
 	}
 }
 
+// Irregular returns the applications beyond the paper's evaluation:
+// workloads whose access patterns defeat compile-time regular-section
+// analysis, added for the run-time adaptive protocol.
+func Irregular() []*App {
+	return []*App{SpMV()}
+}
+
+// All returns every application: the paper suite plus the irregular
+// additions.
+func All() []*App {
+	return append(Registry(), Irregular()...)
+}
+
 // ByName finds an application.
 func ByName(name string) (*App, error) {
-	for _, a := range Registry() {
+	for _, a := range All() {
 		if a.Name == name {
 			return a, nil
 		}

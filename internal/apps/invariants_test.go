@@ -56,13 +56,19 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 // TestOddProcessorCounts: partitions that do not divide the problem size
-// evenly must still verify.
+// evenly must still verify. IS is included since the exact block
+// partitioning of keys and buckets (PR 3); spmv runs on the base system
+// (the compiler cannot analyze it).
 func TestOddProcessorCounts(t *testing.T) {
-	for _, name := range []string{"jacobi", "gauss", "mgs", "shallow"} {
+	for _, name := range []string{"jacobi", "gauss", "mgs", "shallow", "is", "spmv"} {
+		sys := harness.Opt
+		if name == "spmv" {
+			sys = harness.Base
+		}
 		for _, n := range []int{3, 5, 7} {
 			a := testApp(t, name)
 			want := harness.SeqChecksum(a, apps.Small)
-			res, err := harness.Run(harness.Config{App: a, Set: apps.Small, System: harness.Opt, Procs: n, Verify: true})
+			res, err := harness.Run(harness.Config{App: a, Set: apps.Small, System: sys, Procs: n, Verify: true})
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", name, n, err)
 			}
@@ -102,6 +108,14 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, err := apps.ByName("nope"); err == nil {
 		t.Error("ByName should reject unknown names")
+	}
+	// The irregular additions resolve by name and appear in All but stay
+	// out of the paper registry.
+	if _, err := apps.ByName("spmv"); err != nil {
+		t.Errorf("ByName(spmv): %v", err)
+	}
+	if got, want := len(apps.All()), len(apps.Registry())+len(apps.Irregular()); got != want {
+		t.Errorf("All() has %d apps, want %d", got, want)
 	}
 }
 

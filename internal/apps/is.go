@@ -18,7 +18,8 @@ const (
 )
 
 // isKey generates the deterministic key for global slot g (keys are in
-// [0, buckets)); slot g of the sequence belongs to processor g/keysPer.
+// [0, buckets)); slots are block-partitioned, so slot g belongs to the
+// processor whose [p·keys/n, (p+1)·keys/n) block contains it.
 func isKey(g, buckets int) int {
 	x := uint64(g)*2654435761 + 12345
 	x ^= x >> 13
@@ -34,6 +35,14 @@ func isKey(g, buckets int) int {
 // keeps XHPF from parallelizing it; the compiler still optimizes the lock
 // phases (READ&WRITE_ALL on the bucket sections) and the ranking read —
 // the paper's example of partial analysis being beneficial.
+//
+// Keys and bucket sections are block-partitioned with exact bounds
+// (p·m/n .. (p+1)·m/n), so processor counts that do not divide the key or
+// bucket count distribute the remainders instead of truncating them: the
+// parallel program computes the sequential problem at every processor
+// count, and results are comparable to the sequential reference — and
+// identical across backends — everywhere. At dividing counts the bounds
+// reduce to the historical m/n blocks, leaving the paper tables unchanged.
 func IS() *App {
 	return &App{
 		Name:  "is",
@@ -62,14 +71,14 @@ func isProg(nprocs int) *ir.Program {
 		Arrays: []ir.ArrayDecl{
 			{Name: "buckets", Dims: []rsd.Lin{v("buckets")}},
 			{Name: "priv", Dims: []rsd.Lin{v("buckets"), c(nprocs)}},
-			{Name: "ranks", Dims: []rsd.Lin{v("keysPer"), c(nprocs)}},
+			{Name: "ranks", Dims: []rsd.Lin{v("keys")}},
 		},
 		Params: []rsd.Sym{"keys", "buckets", "iters"},
-		Setup: func(params rsd.Env, n int) {
-			params["keysPer"] = params["keys"] / n
-		},
 		Derived: []ir.DerivedParam{
 			{Name: "pcol", Fn: func(e rsd.Env) int { return e["p"] + 1 }},
+			// Exact block bounds of the owned keys (1-based, inclusive).
+			{Name: "klo", Fn: func(e rsd.Env) int { return blockLow(e["keys"], e["p"], e["nprocs"]) }},
+			{Name: "khi", Fn: func(e rsd.Env) int { return blockHigh(e["keys"], e["p"], e["nprocs"]) }},
 		},
 	}
 
@@ -85,16 +94,16 @@ func isProg(nprocs int) *ir.Program {
 		}},
 		Run: func(ctx ir.KernelCtx) {
 			e := ctx.Env()
-			nb, kp, p := e["buckets"], e["keysPer"], e["p"]
+			nb, klo, khi, p := e["buckets"], e["klo"], e["khi"], e["p"]
 			lo := ctx.Addr("priv", 1, p+1)
 			data := ctx.WriteRegion(lo, lo+nb)
 			for t := lo; t < lo+nb; t++ {
 				data[t] = 0
 			}
-			for t := 0; t < kp; t++ {
-				data[lo+isKey(p*kp+t, nb)]++
+			for g := klo - 1; g <= khi-1; g++ {
+				data[lo+isKey(g, nb)]++
 			}
-			ctx.Charge(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost/4)
+			ctx.Charge(time.Duration(khi-klo+1)*isKeyCost + time.Duration(nb)*isBucketCost/4)
 		},
 	}
 
@@ -104,8 +113,8 @@ func isProg(nprocs int) *ir.Program {
 	// Each processor clears its own section of the shared buckets; the
 	// barrier that follows makes the staggered accumulation order-free.
 	zeroOwn := []ir.Stmt{
-		ir.Compute{Sym: "blo0", Fn: func(e rsd.Env) int { return e["p"]*(e["buckets"]/e["nprocs"]) + 1 }},
-		ir.Compute{Sym: "bhi0", Fn: func(e rsd.Env) int { return (e["p"] + 1) * (e["buckets"] / e["nprocs"]) }},
+		ir.Compute{Sym: "blo0", Fn: func(e rsd.Env) int { return blockLow(e["buckets"], e["p"], e["nprocs"]) }},
+		ir.Compute{Sym: "bhi0", Fn: func(e rsd.Env) int { return blockHigh(e["buckets"], e["p"], e["nprocs"]) }},
 		ir.LockAcquire{ID: v("p")},
 		ir.Loop{Var: "b", Lo: v("blo0"), Hi: v("bhi0"), Body: []ir.Stmt{
 			ir.Assign{LHS: ir.At("buckets", b), Fn: zeroFn, Cost: isBucketCost / 4},
@@ -118,8 +127,8 @@ func isProg(nprocs int) *ir.Program {
 	// the bucket data is migratory.
 	stagger := ir.Loop{Var: "s", Lo: c(0), Hi: v("nprocs").Plus(-1), Body: []ir.Stmt{
 		ir.Compute{Sym: "sec", Fn: func(e rsd.Env) int { return (e["p"] + e["s"]) % e["nprocs"] }},
-		ir.Compute{Sym: "blo", Fn: func(e rsd.Env) int { return e["sec"]*(e["buckets"]/e["nprocs"]) + 1 }},
-		ir.Compute{Sym: "bhi", Fn: func(e rsd.Env) int { return (e["sec"] + 1) * (e["buckets"] / e["nprocs"]) }},
+		ir.Compute{Sym: "blo", Fn: func(e rsd.Env) int { return blockLow(e["buckets"], e["sec"], e["nprocs"]) }},
+		ir.Compute{Sym: "bhi", Fn: func(e rsd.Env) int { return blockHigh(e["buckets"], e["sec"], e["nprocs"]) }},
 		ir.LockAcquire{ID: v("sec")},
 		ir.Loop{Var: "b", Lo: v("blo"), Hi: v("bhi"), Body: []ir.Stmt{
 			ir.Assign{LHS: ir.At("buckets", b), RHS: []ir.Ref{ir.At("buckets", b), ir.At("priv", b, v("pcol"))}, Fn: addFn, Cost: isBucketCost},
@@ -137,8 +146,7 @@ func isProg(nprocs int) *ir.Program {
 			},
 			{
 				Sec: rsd.Section{Array: "ranks", Dims: []rsd.Bound{
-					rsd.Dense(c(1), v("keysPer")),
-					rsd.Dense(v("pcol"), v("pcol")),
+					rsd.Dense(v("klo"), v("khi")),
 				}},
 				Tag:   rsd.Write | rsd.WriteFirst,
 				Exact: true,
@@ -146,7 +154,7 @@ func isProg(nprocs int) *ir.Program {
 		},
 		Run: func(ctx ir.KernelCtx) {
 			e := ctx.Env()
-			nb, kp, p := e["buckets"], e["keysPer"], e["p"]
+			nb, klo, khi := e["buckets"], e["klo"], e["khi"]
 			blo := ctx.Addr("buckets", 1)
 			bdata := ctx.ReadRegion(blo, blo+nb)
 			// Prefix sums: rank of a key k is the number of keys < k.
@@ -156,12 +164,12 @@ func isProg(nprocs int) *ir.Program {
 				prefix[t] = run
 				run += bdata[blo+t]
 			}
-			rlo := ctx.Addr("ranks", 1, p+1)
-			rdata := ctx.WriteRegion(rlo, rlo+kp)
-			for t := 0; t < kp; t++ {
-				rdata[rlo+t] = prefix[isKey(p*kp+t, nb)]
+			rlo := ctx.Addr("ranks", klo)
+			rdata := ctx.WriteRegion(rlo, rlo+khi-klo+1)
+			for g := klo - 1; g <= khi-1; g++ {
+				rdata[rlo+g-(klo-1)] = prefix[isKey(g, nb)]
 			}
-			ctx.Charge(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost)
+			ctx.Charge(time.Duration(khi-klo+1)*isKeyCost + time.Duration(nb)*isBucketCost)
 		},
 	}
 
@@ -184,8 +192,14 @@ func isProg(nprocs int) *ir.Program {
 // section is broadcast for ranking.
 func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float64 {
 	nb, keys, iters := params["buckets"], params["keys"], params["iters"]
-	kp := keys / r.N
-	secw := nb / r.N
+	// Exact block partitions (0-based, half-open) of keys and bucket
+	// sections; at dividing counts they reduce to the historical keys/N and
+	// buckets/N blocks.
+	klo := r.ID * keys / r.N
+	khi := (r.ID + 1) * keys / r.N
+	kp := khi - klo
+	secLo := func(s int) int { return s * nb / r.N }
+	secHi := func(s int) int { return (s + 1) * nb / r.N }
 	priv := make([]float64, nb)
 	all := make([]float64, nb)
 	ranks := make([]float64, kp)
@@ -197,8 +211,8 @@ func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float6
 		for t := range priv {
 			priv[t] = 0
 		}
-		for t := 0; t < kp; t++ {
-			priv[isKey(r.ID*kp+t, nb)]++
+		for g := klo; g < khi; g++ {
+			priv[isKey(g, nb)]++
 		}
 		r.Advance(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost/4)
 
@@ -208,27 +222,27 @@ func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float6
 		prev := (r.ID - 1 + r.N) % r.N
 		// Start own section.
 		sec := r.ID
-		cur := append([]float64(nil), priv[sec*secw:(sec+1)*secw]...)
+		cur := append([]float64(nil), priv[secLo(sec):secHi(sec)]...)
 		for hop := 0; hop < r.N-1; hop++ {
 			r.Send(next, cur)
 			in := r.Recv(prev)
 			sec = (sec - 1 + r.N) % r.N
 			cur = in
-			for t := 0; t < secw; t++ {
-				cur[t] += priv[sec*secw+t]
+			for t := secLo(sec); t < secHi(sec); t++ {
+				cur[t-secLo(sec)] += priv[t]
 			}
-			r.Advance(time.Duration(secw) * isBucketCost)
+			r.Advance(time.Duration(secHi(sec)-secLo(sec)) * isBucketCost)
 		}
 		// cur now holds the completed section `sec`; share all sections.
-		copy(all[sec*secw:(sec+1)*secw], cur)
+		copy(all[secLo(sec):secHi(sec)], cur)
 		for q := 0; q < r.N; q++ {
 			owner := (q + r.N - 1) % r.N // rank holding completed section q
 			if owner == r.ID {
-				blk := r.Bcast(owner, all[q*secw:(q+1)*secw])
-				copy(all[q*secw:(q+1)*secw], blk)
+				blk := r.Bcast(owner, all[secLo(q):secHi(q)])
+				copy(all[secLo(q):secHi(q)], blk)
 			} else {
 				blk := r.Bcast(owner, nil)
-				copy(all[q*secw:(q+1)*secw], blk)
+				copy(all[secLo(q):secHi(q)], blk)
 			}
 		}
 
@@ -238,8 +252,8 @@ func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float6
 			prefix[t] = run
 			run += all[t]
 		}
-		for t := 0; t < kp; t++ {
-			ranks[t] = prefix[isKey(r.ID*kp+t, nb)]
+		for g := klo; g < khi; g++ {
+			ranks[g-klo] = prefix[isKey(g, nb)]
 		}
 		r.Advance(time.Duration(kp)*isKeyCost + time.Duration(nb)*isBucketCost)
 	}
@@ -247,7 +261,7 @@ func isMP(r *mp.Rank, params rsd.Env, perIter time.Duration, verify bool) float6
 	if !verify {
 		return 0
 	}
-	sum := ChecksumSlice(ranks, r.ID*kp)
+	sum := ChecksumSlice(ranks, klo)
 	parts := r.Gather(0, []float64{sum})
 	if parts == nil {
 		return 0

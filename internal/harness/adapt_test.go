@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"sdsm/internal/apps"
+)
+
+// TestAdaptEquivalence asserts that the adaptive update protocol is purely
+// a traffic optimization: with -adapt on, every application computes a
+// checksum bit-identical to the adapt-off run and to the sequential
+// reference, on all three backends. The pushed diffs travel the normal
+// diff-application path (ordering, applied timestamps, notice pruning),
+// so the final memory image cannot differ; this test is the executable
+// form of that claim.
+//
+// spmv is the target workload (irregular accesses, stable run-time
+// pattern, heavy promotion); jacobi exercises adaptation next to false
+// sharing (two-owner boundary pages stay invalidate); is exercises the
+// decay/no-promotion path under migratory lock data.
+func TestAdaptEquivalence(t *testing.T) {
+	cases := []struct {
+		app   string
+		procs []int
+	}{
+		{"spmv", []int{2, 3, 5, 8}},
+		{"jacobi", []int{3, 4}},
+		{"is", []int{3, 4}},
+	}
+	for _, c := range cases {
+		a, err := apps.ByName(c.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := SeqChecksum(a, apps.Small)
+		for _, procs := range c.procs {
+			off, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true})
+			if err != nil {
+				t.Fatalf("%s/p%d: adapt off: %v", c.app, procs, err)
+			}
+			on, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Adapt: true})
+			if err != nil {
+				t.Fatalf("%s/p%d: adapt on: %v", c.app, procs, err)
+			}
+			if on.Checksum != off.Checksum {
+				t.Fatalf("%s/p%d: adapt-on checksum %v != adapt-off %v", c.app, procs, on.Checksum, off.Checksum)
+			}
+			if !apps.Close(on.Checksum, seq) {
+				t.Fatalf("%s/p%d: adapt-on checksum %v differs from sequential %v", c.app, procs, on.Checksum, seq)
+			}
+			for _, backend := range backendMatrix.backends {
+				backend, app, procs, want := backend, c.app, procs, on.Checksum
+				t.Run(fmt.Sprintf("%s/p%d/%s", app, procs, backend), func(t *testing.T) {
+					t.Parallel()
+					a, err := apps.ByName(app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Adapt: true, Backend: backend})
+					if err != nil {
+						t.Fatalf("%s backend: %v", backend, err)
+					}
+					if res.Checksum != want {
+						t.Errorf("%s backend adapt-on checksum %v != sim %v", backend, res.Checksum, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdaptReducesTraffic pins the point of the subsystem: for the
+// irregular app the compiler cannot analyze, adaptive mode must cut both
+// remote page faults and message count against the invalidate baseline
+// (the acceptance criterion of the adaptive-protocol experiment table).
+func TestAdaptReducesTraffic(t *testing.T) {
+	a, err := apps.ByName("spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: 8, Adapt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Protocol.AdaptPromotions == 0 {
+		t.Fatal("no pages were promoted to update mode")
+	}
+	if ad.Segv >= base.Segv {
+		t.Errorf("adaptive page faults %d not below baseline %d", ad.Segv, base.Segv)
+	}
+	if ad.Msgs >= base.Msgs {
+		t.Errorf("adaptive messages %d not below baseline %d", ad.Msgs, base.Msgs)
+	}
+	if ad.Time >= base.Time {
+		t.Errorf("adaptive virtual time %v not below baseline %v", ad.Time, base.Time)
+	}
+}

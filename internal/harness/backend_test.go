@@ -7,8 +7,8 @@ import (
 	"sdsm/internal/apps"
 )
 
-// backendMatrix is the cross-backend equivalence grid: every paper
-// application at even and odd node counts, on every backend.
+// backendMatrix is the cross-backend equivalence grid: every application
+// at even and odd node counts, on every backend.
 var backendMatrix = struct {
 	procs    []int
 	backends []Backend
@@ -17,31 +17,22 @@ var backendMatrix = struct {
 	backends: []Backend{BackendReal, BackendNet},
 }
 
-// seqComparable reports whether the parallel program at this processor
-// count computes the sequential reference's problem. IS partitions its
-// keys as keys/procs per processor, so counts that do not divide the key
-// count drop the remainder keys — the run is self-consistent across
-// backends but is a slightly smaller problem than the sequential one.
-func seqComparable(a *apps.App, set apps.DataSet, procs int) bool {
-	if a.Name != "is" {
-		return true
-	}
-	return a.Sets[set]["keys"]%procs == 0
-}
-
-// TestBackendEquivalence asserts that every paper application computes
-// bit-identical results on the deterministic sim backend, the
-// real-concurrency backend, and the wire (net) backend, across even and
-// odd node counts. The applications are data-race-free, so the DSM
-// protocol delivers the same final memory image regardless of scheduling
-// and of whether payloads travel by reference or over a socket; virtual
-// times differ (only the sim backend promises those), checksums must not.
+// TestBackendEquivalence asserts that every application — the paper's six
+// plus the irregular additions — computes bit-identical results on the
+// deterministic sim backend, the real-concurrency backend, and the wire
+// (net) backend, across even and odd node counts, and matches the
+// sequential reference everywhere (IS's historical keys/procs truncation
+// at non-dividing counts is fixed: the partitions now distribute the
+// remainders). The applications are data-race-free, so the DSM protocol
+// delivers the same final memory image regardless of scheduling and of
+// whether payloads travel by reference or over a socket; virtual times
+// differ (only the sim backend promises those), checksums must not.
 //
 // The real- and net-backend runs execute in parallel (t.Parallel), which
 // doubles as the suite's race-detector workout for the host and wire
 // layers.
 func TestBackendEquivalence(t *testing.T) {
-	for _, a := range apps.Registry() {
+	for _, a := range apps.All() {
 		a := a
 		seq := SeqChecksum(a, apps.Small)
 		for _, procs := range backendMatrix.procs {
@@ -50,7 +41,7 @@ func TestBackendEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/p%d: sim backend: %v", a.Name, procs, err)
 			}
-			if seqComparable(a, apps.Small, procs) && !apps.Close(simRes.Checksum, seq) {
+			if !apps.Close(simRes.Checksum, seq) {
 				t.Fatalf("%s/p%d: sim checksum %v differs from sequential %v", a.Name, procs, simRes.Checksum, seq)
 			}
 			for _, backend := range backendMatrix.backends {

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/tmk"
+)
+
+// Machine-readable benchmark output. From PR 3 on, CI writes one
+// BENCH_pr3.json per run and uploads it as an artifact, so the perf
+// trajectory of the experiment suite — virtual (deterministic) and
+// wall-clock (hardware-dependent) — is tracked across PRs without diffing
+// formatted tables.
+
+// BenchEntry is one configuration's measurement. VirtualMS is the
+// deterministic simulated execution time (comparable across machines and
+// runs); WallMS is the host wall-clock cost of producing it (comparable
+// only across runs on similar hardware).
+type BenchEntry struct {
+	App       string            `json:"app"`
+	Set       string            `json:"set"`
+	System    string            `json:"system"`
+	Procs     int               `json:"procs"`
+	Adapt     bool              `json:"adapt,omitempty"`
+	VirtualMS float64           `json:"virtual_ms"`
+	WallMS    float64           `json:"wall_ms"`
+	Msgs      int64             `json:"msgs"`
+	Bytes     int64             `json:"bytes"`
+	Segv      int64             `json:"segv"`
+	Protocol  tmk.ProtocolStats `json:"protocol"`
+}
+
+// BenchReport is the artifact schema.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Procs      int          `json:"procs"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// benchConfigs is the tracked configuration set: the adaptive-protocol
+// grid (baseline / adaptive / compiler) plus every paper application at
+// Base and Opt on the small sets — the protocol-stat surface the
+// experiment tables are built from.
+func benchConfigs(procs int) []Config {
+	var cfgs []Config
+	for _, c := range adaptGrid() {
+		cfgs = append(cfgs,
+			Config{App: c.app, Set: c.set, System: Base, Procs: procs},
+			Config{App: c.app, Set: c.set, System: Base, Procs: procs, Adapt: true},
+		)
+		if c.app.XHPF || c.app.WSyncApplicable || c.app.PushApplicable {
+			cfgs = append(cfgs, Config{App: c.app, Set: c.set, System: Opt, Procs: procs})
+		}
+	}
+	for _, a := range apps.Registry() {
+		cfgs = append(cfgs,
+			Config{App: a, Set: Small, System: Base, Procs: procs},
+			Config{App: a, Set: Small, System: Opt, Procs: procs},
+		)
+	}
+	return cfgs
+}
+
+// Bench measures the tracked configurations, fanning independent runs
+// across workers (wall times are per-run and unaffected by the fan-out).
+func Bench(procs, workers int) (*BenchReport, error) {
+	cfgs := benchConfigs(procs)
+	entries := make([]BenchEntry, len(cfgs))
+	err := parallelDo(len(cfgs), workers, func(i int) error {
+		cfg := cfgs[i]
+		start := time.Now()
+		res, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		entries[i] = BenchEntry{
+			App: cfg.App.Name, Set: string(cfg.Set), System: string(cfg.System),
+			Procs: cfg.Procs, Adapt: cfg.Adapt,
+			VirtualMS: float64(res.Time) / 1e6,
+			WallMS:    float64(time.Since(start)) / 1e6,
+			Msgs:      res.Msgs, Bytes: res.Bytes, Segv: res.Segv,
+			Protocol: res.Protocol,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BenchReport{
+		Schema:     "sdsm-bench/1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Procs:      procs,
+		Entries:    entries,
+	}, nil
+}
+
+// WriteBenchJSON runs Bench and writes the report to path.
+func WriteBenchJSON(path string, procs, workers int) error {
+	rep, err := Bench(procs, workers)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -60,6 +60,13 @@ var goldenTables = []struct {
 		}
 		return FormatFig7(rows, DefaultProcs), nil
 	}},
+	{"adapt", true, func(workers int) (string, error) {
+		rows, err := AdaptTable(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatAdaptTable(rows, DefaultProcs), nil
+	}},
 }
 
 // TestGoldenTables pins the deterministic sim-backend experiment output —

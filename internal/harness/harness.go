@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"sdsm/internal/adapt"
 	"sdsm/internal/apps"
 	"sdsm/internal/cluster"
 	"sdsm/internal/compiler"
@@ -80,6 +81,12 @@ type Config struct {
 	Level *compiler.Options
 	// SyncFetch forces synchronous data fetching (Figure 7).
 	SyncFetch bool
+	// Adapt enables the run-time adaptive update protocol (internal/adapt):
+	// the machine profiles fault/fetch traffic per barrier epoch and
+	// switches stable producer→consumer pages from invalidate to update.
+	Adapt bool
+	// AdaptK overrides the promotion hysteresis (0 = adapt.DefaultK).
+	AdaptK int
 }
 
 // Result is the outcome of one run.
@@ -159,6 +166,9 @@ func runDSM(cfg Config) (*Result, error) {
 		nw = cluster.New(h, cfg.Costs)
 	}
 	sys := tmk.New(h, nw, layout)
+	if cfg.Adapt {
+		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK})
+	}
 
 	var checksum float64
 	var epilogue []func(nd *tmk.Node)
@@ -203,6 +213,9 @@ func runDSM(cfg Config) (*Result, error) {
 var NodeBin = ""
 
 func runMP(cfg Config, overhead time.Duration) (*Result, error) {
+	if cfg.App.MP == nil {
+		return nil, fmt.Errorf("harness: %s has no message-passing implementation", cfg.App.Name)
+	}
 	if cfg.Backend == BackendNet {
 		res, err := mpnet.Run(cfg.App, cfg.Set, cfg.Procs, overhead, cfg.Verify, NodeBin, cfg.Costs)
 		if err != nil {

@@ -296,6 +296,89 @@ func Fig7(procs, workers int) ([]Fig7Row, error) {
 	return rows, err
 }
 
+// AdaptRow is one system variant of the adaptive-protocol comparison: the
+// same application and data set under baseline invalidate ("tmk"), the
+// run-time adaptive update protocol ("adapt-tmk"), and — where the
+// compiler's regular-section analysis applies — the compiler-optimized
+// configuration with static pushes ("opt-tmk").
+type AdaptRow struct {
+	App     string
+	Set     apps.DataSet
+	System  string
+	Applies bool // false: the compiler cannot analyze this application
+	Time    time.Duration
+	Segv    int64
+	Msgs    int64
+	Bytes   int64
+	Promos  int64
+	Decays  int64
+	Updates int64
+}
+
+// adaptGrid is the application/data-set grid of the adaptive comparison:
+// the irregular workloads the compiler cannot serve, next to Jacobi — the
+// paper's canonical producer→consumer app — where the run-time detector
+// competes directly with the compiler's static Push.
+func adaptGrid() []appSet {
+	var out []appSet
+	for _, a := range apps.Irregular() {
+		out = append(out, appSet{a, Small}, appSet{a, Large})
+	}
+	j, _ := apps.ByName("jacobi")
+	out = append(out, appSet{j, Small}, appSet{j, Large})
+	return out
+}
+
+// AdaptTable runs the adaptive-protocol comparison at the given processor
+// count, one (app, set) pair per worker job: for each, baseline invalidate
+// TreadMarks, the same system with the run-time adaptive update protocol,
+// and the per-app best compiler configuration where the compiler applies.
+func AdaptTable(procs, workers int) ([]AdaptRow, error) {
+	cases := adaptGrid()
+	rows := make([][]AdaptRow, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		out := make([]AdaptRow, 0, 3)
+		base, err := Run(Config{App: a, Set: set, System: Base, Procs: procs})
+		if err != nil {
+			return err
+		}
+		out = append(out, AdaptRow{
+			App: a.Name, Set: set, System: "tmk", Applies: true,
+			Time: base.Time, Segv: base.Segv, Msgs: base.Msgs, Bytes: base.Bytes,
+		})
+		ad, err := Run(Config{App: a, Set: set, System: Base, Procs: procs, Adapt: true})
+		if err != nil {
+			return err
+		}
+		out = append(out, AdaptRow{
+			App: a.Name, Set: set, System: "adapt-tmk", Applies: true,
+			Time: ad.Time, Segv: ad.Segv, Msgs: ad.Msgs, Bytes: ad.Bytes,
+			Promos: ad.Protocol.AdaptPromotions, Decays: ad.Protocol.AdaptDecays,
+			Updates: ad.Protocol.AdaptUpdates,
+		})
+		opt := AdaptRow{App: a.Name, Set: set, System: "opt-tmk"}
+		if a.XHPF || a.WSyncApplicable || a.PushApplicable {
+			res, err := Run(Config{App: a, Set: set, System: Opt, Procs: procs})
+			if err != nil {
+				return err
+			}
+			opt.Applies = true
+			opt.Time, opt.Segv, opt.Msgs, opt.Bytes = res.Time, res.Segv, res.Msgs, res.Bytes
+		}
+		rows[i] = append(out, opt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []AdaptRow
+	for _, rs := range rows {
+		flat = append(flat, rs...)
+	}
+	return flat, nil
+}
+
 // Micro reports the Section 5 primitive costs measured on the simulated
 // platform next to the paper's numbers.
 type MicroResult struct {
@@ -446,6 +529,34 @@ func FormatFig7(rows []Fig7Row, procs int) string {
 	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "app", "Tmk", "Sync", "Async")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f\n", r.App, r.Base, r.Sync, r.Async)
+	}
+	return b.String()
+}
+
+// FormatAdaptTable renders the adaptive-protocol comparison.
+func FormatAdaptTable(rows []AdaptRow, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table A: run-time adaptive update protocol at %d processors\n", procs)
+	fmt.Fprintf(&b, "(tmk = invalidate baseline, adapt-tmk = run-time detection + update push,\n")
+	fmt.Fprintf(&b, " opt-tmk = compiler-optimized; n/a where no regular sections exist)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8s %8s %8s %6s %6s %8s\n",
+		"app", "set", "system", "time", "segv", "msg", "MB", "promo", "decay", "updates")
+	for _, r := range rows {
+		if !r.Applies {
+			fmt.Fprintf(&b, "%-8s %-6s %-10s %10s\n", r.App, r.Set, r.System, "n/a")
+			continue
+		}
+		ad := []string{"-", "-", "-"}
+		if r.System == "adapt-tmk" {
+			ad = []string{
+				fmt.Sprintf("%d", r.Promos),
+				fmt.Sprintf("%d", r.Decays),
+				fmt.Sprintf("%d", r.Updates),
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8d %8d %8.2f %6s %6s %8s\n",
+			r.App, r.Set, r.System, fmtDur(r.Time), r.Segv, r.Msgs,
+			float64(r.Bytes)/1e6, ad[0], ad[1], ad[2])
 	}
 	return b.String()
 }

@@ -1,0 +1,171 @@
+package tmk
+
+import (
+	"sort"
+
+	"sdsm/internal/adapt"
+	"sdsm/internal/wire"
+)
+
+// tagAdapt is the mailbox tag of adaptive update messages (tagPush + 1).
+const tagAdapt = 102
+
+// adaptNode is one node's slice of the adaptive protocol: the replicated
+// pattern detector (every node advances an identical copy on identical
+// global input, so bindings never need negotiating) and the node's own
+// demand-fetch log for the current epoch, which rides its next barrier
+// arrival.
+type adaptNode struct {
+	det     *adapt.Detector
+	fetched map[int]bool // pages demand-fetched since the last barrier departure
+}
+
+// EnableAdapt switches the machine to the adaptive update protocol: the
+// run-time profiles the fault/fetch traffic per barrier epoch, infers
+// stable producer→consumer page patterns, and pushes promoted pages'
+// diffs at barrier departure instead of letting consumers fault. Must be
+// called after New and before Run.
+func (s *System) EnableAdapt(cfg adapt.Config) {
+	for _, nd := range s.Nodes {
+		nd.ad = &adaptNode{det: adapt.New(cfg), fetched: map[int]bool{}}
+	}
+}
+
+// adaptOn reports whether the machine runs the adaptive protocol.
+func (s *System) adaptOn() bool { return s.Nodes[0].ad != nil }
+
+// noteFetch logs a demand fetch for the epoch's arrival message.
+func (nd *Node) noteFetch(page int) {
+	if nd.ad != nil {
+		nd.ad.fetched[page] = true
+	}
+}
+
+// fetchedSorted returns the epoch's demand-fetched pages, sorted.
+func (nd *Node) fetchedSorted() []int32 {
+	if len(nd.ad.fetched) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(nd.ad.fetched))
+	for pg := range nd.ad.fetched {
+		out = append(out, int32(pg))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// adaptFetchedBytes is the accounted wire size of one relayed fetch list.
+func adaptFetchedBytes(pages int) int { return 8 + 4*pages }
+
+// adaptStep runs right after a barrier departure: it assembles the epoch's
+// observation from globally shared state, advances the detector, and
+// performs the update exchange for promoted pages.
+//
+// The observation is identical at every node: the writers come from the
+// write notices in (oldBar, vc] — after a departure all nodes hold the
+// same merged vector time and the same interval records — and the readers
+// from the departure's relayed per-node fetch lists. Both sides of every
+// exchange therefore derive the same send/receive schedule independently,
+// the way Push's send and receive phases already pair up on all backends.
+func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
+	s := nd.sys
+	ep := adapt.Epoch{Writers: map[int][]int{}, Readers: map[int][]int{}}
+	for o := range nd.vc {
+		for idx := oldBar[o] + 1; idx <= nd.vc[o]; idx++ {
+			for _, ref := range nd.know[o][idx-1].pages {
+				pg := int(ref.page)
+				ws := ep.Writers[pg]
+				if len(ws) == 0 || ws[len(ws)-1] != o {
+					ep.Writers[pg] = append(ws, o)
+				}
+			}
+		}
+	}
+	for _, np := range fetched {
+		for _, pg := range np.Pages {
+			ep.Readers[int(pg)] = append(ep.Readers[int(pg)], int(np.Node))
+		}
+	}
+	nd.ad.det.Advance(ep)
+	if nd.ID == 0 {
+		// Detector transitions are machine-global (every replica counts the
+		// same ones); node 0 reports them so the aggregate is not N-fold.
+		st := nd.ad.det.Stats
+		nd.Stats.AdaptPromotions = st.Promotions
+		nd.Stats.AdaptDecays = st.Decays
+	}
+
+	// The exchange schedule: for every page written this epoch and bound
+	// to update, its producer pushes this epoch's diffs to every bound
+	// consumer, one aggregated message per consumer.
+	pages := make([]int, 0, len(ep.Writers))
+	for pg := range ep.Writers {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	sends := map[int][]int{} // consumer -> pages this node pushes
+	recvs := map[int]bool{}  // producers this node expects a push from
+	for _, pg := range pages {
+		if len(ep.Writers[pg]) != 1 {
+			continue // conflicting writers: the detector just decayed it
+		}
+		prod, consumers, ok := nd.ad.det.Push(pg)
+		if !ok || prod != ep.Writers[pg][0] {
+			continue
+		}
+		for _, c := range consumers {
+			if c == prod {
+				continue
+			}
+			if prod == nd.ID {
+				sends[c] = append(sends[c], pg)
+			} else if c == nd.ID {
+				recvs[prod] = true
+			}
+		}
+	}
+
+	// Send phase: flush the pushed pages' outstanding modifications (the
+	// same lazy flush a serve would trigger) and ship every own diff the
+	// epoch produced, one message per bound consumer.
+	consumers := make([]int, 0, len(sends))
+	for c := range sends {
+		consumers = append(consumers, c)
+	}
+	sort.Ints(consumers)
+	for _, c := range consumers {
+		u := wire.Update{Epoch: int32(nd.Stats.Barriers)}
+		bytes := 16
+		for _, pg := range sends[c] {
+			if nd.dirty[pg] {
+				nd.flushLocalDiff(pg, false)
+			}
+			for _, d := range nd.diffs[pg] {
+				if d.creator == nd.ID && d.to > oldBar[nd.ID] {
+					u.Diffs = append(u.Diffs, d.toWire())
+					bytes += d.wireBytes()
+				}
+			}
+			nd.Stats.AdaptPagesPushed++
+		}
+		s.NW.Send(nd.p, c, tagAdapt, u, bytes)
+		nd.Stats.AdaptUpdates++
+	}
+
+	// Receive phase, in producer order for determinism. The pushed diffs
+	// run through the normal application path: ordering, applied-timestamp
+	// advancement, notice pruning, and revalidation all behave exactly as
+	// if the consumer had fetched them — which is why adapt-on and
+	// adapt-off runs produce bit-identical memory images.
+	producers := make([]int, 0, len(recvs))
+	for q := range recvs {
+		producers = append(producers, q)
+	}
+	sort.Ints(producers)
+	for _, q := range producers {
+		m := s.NW.Recv(nd.p, q, tagAdapt)
+		u := m.Payload.(wire.Update)
+		nd.applyDiffs(u.Diffs)
+	}
+	nd.ad.fetched = map[int]bool{}
+}

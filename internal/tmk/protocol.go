@@ -467,7 +467,11 @@ func (nd *Node) diffRequest(pages []int) wire.DiffRequest {
 func (nd *Node) fetchPages(pages []int, async bool) {
 	reqs := map[int][]int{} // responder -> pages
 	for _, pg := range pages {
-		for _, r := range nd.responderFor(pg) {
+		rs := nd.responderFor(pg)
+		if len(rs) > 0 {
+			nd.noteFetch(pg) // adaptive profiling: this page cost a demand fetch
+		}
+		for _, r := range rs {
 			reqs[r] = append(reqs[r], pg)
 		}
 	}

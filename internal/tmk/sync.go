@@ -254,20 +254,36 @@ func (nd *Node) Barrier(id int) {
 		nd.consumeWSync()
 		return
 	}
+	var oldBar []int32
+	if nd.ad != nil {
+		// Snapshot the shared epoch base before departure overwrites it:
+		// the adaptive step attributes the intervals in (oldBar, vc] to the
+		// ending epoch.
+		oldBar = append([]int32(nil), nd.lastBar...)
+	}
 	b := s.barrier(id)
 	info := nd.syncInfo()
+	arr := wire.Arrival{VC: info.VC, Intervals: nd.intervalsSince(nd.lastBar), Needs: info.Needs}
+	if nd.ad != nil {
+		arr.Fetched = nd.fetchedSorted()
+	}
 	b.arrivals = append(b.arrivals, &barrierArrival{
-		id: nd.ID, p: nd.p, at: nd.p.Now(),
-		arr: wire.Arrival{VC: info.VC, Intervals: nd.intervalsSince(nd.lastBar), Needs: info.Needs},
+		id: nd.ID, p: nd.p, at: nd.p.Now(), arr: arr,
 	})
 	if len(b.arrivals) < s.N() {
 		nd.p.Block(fmt.Sprintf("barrier %d", id))
-		nd.postBarrier()
+		dep := nd.postBarrier()
+		if nd.ad != nil {
+			nd.adaptStep(oldBar, dep.Fetched)
+		}
 		return
 	}
 	delete(s.barriers, id)
 	s.runBarrier(b, nd)
-	nd.postBarrier()
+	dep := nd.postBarrier()
+	if nd.ad != nil {
+		nd.adaptStep(oldBar, dep.Fetched)
+	}
 }
 
 // runBarrier executes the master logic in the last arriver's context,
@@ -278,6 +294,7 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 	c := s.Costs
 	master := s.Nodes[0]
 	n := s.N()
+	adaptOn := s.adaptOn()
 
 	// Arrival messages, processed in arrival order; the master merges the
 	// write notices it lacks into its own state (charging its own
@@ -299,6 +316,9 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 				continue
 			}
 			bytes += oi.IV.WireBytes()
+		}
+		if adaptOn {
+			bytes += adaptFetchedBytes(len(a.arr.Fetched))
 		}
 		h := s.NW.Message(a.id, master.ID, a.at, bytes)
 		if h > tDep {
@@ -377,6 +397,21 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 		}
 	}
 
+	// The adaptive protocol's global observation: every arriver's fetch
+	// list, relayed on the departures sorted by node so all replicas of the
+	// pattern detector advance on identical input.
+	var fetched []wire.NodePages
+	var fetchedBytes int
+	if adaptOn {
+		for _, a := range b.arrivals {
+			if len(a.arr.Fetched) > 0 {
+				fetched = append(fetched, wire.NodePages{Node: int32(a.id), Pages: a.arr.Fetched})
+				fetchedBytes += adaptFetchedBytes(len(a.arr.Fetched))
+			}
+		}
+		sort.Slice(fetched, func(i, j int) bool { return fetched[i].Node < fetched[j].Node })
+	}
+
 	// Departure messages, serialized at the master; Validate_w_sync
 	// payloads ride along. Each node's departure is staged through the
 	// transport before the node is woken.
@@ -395,7 +430,7 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 			continue
 		}
 		var ivs []wire.OwnedInterval
-		bytes := 16
+		bytes := 16 + fetchedBytes
 		for o := range master.vc {
 			for idx := a.arr.VC[o] + 1; idx <= master.vc[o]; idx++ {
 				iv := master.know[o][idx-1]
@@ -408,11 +443,11 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 		h := s.NW.Message(master.ID, a.id, dep, bytes)
 		dep += c.SendOverhead
 		departAt[a.id] = h
-		s.NW.Hand(executor.p, a.id, slotDepart, wire.Depart{Time: int64(h), Intervals: ivs, Served: served})
+		s.NW.Hand(executor.p, a.id, slotDepart, wire.Depart{Time: int64(h), Intervals: ivs, Served: served, Fetched: fetched})
 	}
 	mServed, _ := servedFor(master.ID)
 	departAt[master.ID] = tDep + time.Duration(n-1)*c.SendOverhead
-	s.NW.Hand(executor.p, master.ID, slotDepart, wire.Depart{Time: int64(departAt[master.ID]), Served: mServed})
+	s.NW.Hand(executor.p, master.ID, slotDepart, wire.Depart{Time: int64(departAt[master.ID]), Served: mServed, Fetched: fetched})
 
 	for _, a := range b.arrivals {
 		if a.id == executor.ID {
@@ -424,8 +459,10 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 }
 
 // postBarrier consumes the departure message staged by runBarrier:
-// departure time, missing write notices, and Validate_w_sync data.
-func (nd *Node) postBarrier() {
+// departure time, missing write notices, and Validate_w_sync data. It
+// returns the departure so the adaptive step can read the relayed fetch
+// observations.
+func (nd *Node) postBarrier() wire.Depart {
 	d := nd.sys.NW.TakeHand(nd.p, slotDepart).(wire.Depart)
 	nd.p.SetClock(time.Duration(d.Time))
 	for _, oi := range d.Intervals {
@@ -439,6 +476,7 @@ func (nd *Node) postBarrier() {
 	// After a departure every node holds the same merged vector time; the
 	// snapshot bounds the next arrival's interval delta.
 	copy(nd.lastBar, nd.vc)
+	return d
 }
 
 // wsyncResponder determines, from post-barrier global knowledge, which

@@ -86,6 +86,14 @@ type ProtocolStats struct {
 	DiffsApplied  int64
 	WordsApplied  int64
 	Invalidations int64
+
+	// Adaptive protocol counters (EnableAdapt). Promotions and decays are
+	// machine-global detector transitions, reported once (at node 0);
+	// updates and pushed pages are counted at the producing node.
+	AdaptPromotions  int64 // pages switched invalidate → update
+	AdaptDecays      int64 // pages switched update → invalidate
+	AdaptUpdates     int64 // update messages sent at barrier departures
+	AdaptPagesPushed int64 // page push deliveries (one per page per consumer)
 }
 
 // System is one DSM machine: N nodes over a network sharing a page-based
@@ -205,6 +213,10 @@ func (s *System) Stats() (vm.Counters, ProtocolStats) {
 		ps.DiffsApplied += nd.Stats.DiffsApplied
 		ps.WordsApplied += nd.Stats.WordsApplied
 		ps.Invalidations += nd.Stats.Invalidations
+		ps.AdaptPromotions += nd.Stats.AdaptPromotions
+		ps.AdaptDecays += nd.Stats.AdaptDecays
+		ps.AdaptUpdates += nd.Stats.AdaptUpdates
+		ps.AdaptPagesPushed += nd.Stats.AdaptPagesPushed
 	}
 	return vc, ps
 }
@@ -327,6 +339,7 @@ type Node struct {
 	inflight []inflightFetch    // asynchronous fetches not yet completed
 	mode     map[int]AccessType // deferred consistency action for async Validate
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
+	ad       *adaptNode         // adaptive protocol state; nil unless EnableAdapt
 
 	Stats ProtocolStats
 }

@@ -205,11 +205,13 @@ func (e *enc) payload(p any) error {
 		e.i32s(v.VC)
 		e.intervals(v.Intervals)
 		e.needs(v.Needs)
+		e.i32s(v.Fetched)
 	case Depart:
 		e.u8(pDepart)
 		e.i64(v.Time)
 		e.intervals(v.Intervals)
 		e.diffs(v.Served)
+		e.nodePages(v.Fetched)
 	case Push:
 		e.u8(pPush)
 		e.i32(v.Ivl)
@@ -233,6 +235,10 @@ func (e *enc) payload(p any) error {
 		e.u8(pDone)
 		e.f64(v.Checksum)
 		e.str(v.Err)
+	case Update:
+		e.u8(pUpdate)
+		e.i32(v.Epoch)
+		e.diffs(v.Diffs)
 	default:
 		return fmt.Errorf("wire: unencodable payload type %T", p)
 	}
@@ -270,6 +276,14 @@ func (e *enc) intervals(ivs []OwnedInterval) {
 	}
 }
 
+func (e *enc) nodePages(ns []NodePages) {
+	e.count(len(ns))
+	for _, n := range ns {
+		e.i32(n.Node)
+		e.i32s(n.Pages)
+	}
+}
+
 func (e *enc) needs(ns []WSyncNeed) {
 	e.count(len(ns))
 	for _, n := range ns {
@@ -291,9 +305,9 @@ func (d *dec) payload() any {
 	case pGrant:
 		return Grant{Intervals: d.intervals(), Served: d.diffs(), Bytes: d.i32()}
 	case pArrival:
-		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs()}
+		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs(), Fetched: d.i32s()}
 	case pDepart:
-		return Depart{Time: d.i64(), Intervals: d.intervals(), Served: d.diffs()}
+		return Depart{Time: d.i64(), Intervals: d.intervals(), Served: d.diffs(), Fetched: d.nodePages()}
 	case pPush:
 		p := Push{Ivl: d.i32()}
 		n := d.count(5)
@@ -307,6 +321,8 @@ func (d *dec) payload() any {
 		return Start{App: d.str(), Set: d.str(), N: d.i32(), Overhead: d.i64(), Verify: d.bool()}
 	case pDone:
 		return Done{Checksum: d.f64(), Err: d.str()}
+	case pUpdate:
+		return Update{Epoch: d.i32(), Diffs: d.diffs()}
 	default:
 		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
 		return nil
@@ -344,6 +360,18 @@ func (d *dec) intervals() []OwnedInterval {
 		}
 		oi.IV.VC = d.i32s()
 		out = append(out, oi)
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func (d *dec) nodePages() []NodePages {
+	n := d.count(5)
+	var out []NodePages
+	for i := 0; i < n; i++ {
+		out = append(out, NodePages{Node: d.i32(), Pages: d.i32s()})
 		if d.err != nil {
 			return out
 		}

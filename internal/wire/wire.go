@@ -26,8 +26,10 @@ import "fmt"
 
 // Version is the wire-format version carried by every frame. Peers reject
 // frames with any other version (the format has no negotiation; both ends
-// of a machine are the same build).
-const Version = 1
+// of a machine are the same build). Version 2 added the adaptive
+// protocol's Update payload and the Fetched relay fields on barrier
+// arrivals and departures.
+const Version = 2
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -107,6 +109,7 @@ const (
 	pSyncInfo
 	pStart
 	pDone
+	pUpdate
 )
 
 // Run is a contiguous span of modified words within a page, the unit a
@@ -205,20 +208,35 @@ type Grant struct {
 // Arrival is a barrier arrival message: the arriver's vector time and
 // every interval closed since its last barrier departure (the master
 // deduplicates against what it already learned through lock transfers),
-// plus its Validate_w_sync registrations.
+// plus its Validate_w_sync registrations. Fetched lists the pages the
+// arriver demand-fetched remote data for during the ending epoch — the
+// access-pattern observation the adaptive protocol aggregates (empty when
+// adaptation is disabled).
 type Arrival struct {
 	VC        []int32
 	Intervals []OwnedInterval
 	Needs     []WSyncNeed
+	Fetched   []int32
+}
+
+// NodePages attributes a sorted page list to one node; the unit in which
+// barrier departures relay the per-node fetch observations.
+type NodePages struct {
+	Node  int32
+	Pages []int32
 }
 
 // Depart is a barrier departure message for one node: the common departure
 // time, the write notices the node lacks, and the diffs answering its
-// Validate_w_sync registrations.
+// Validate_w_sync registrations. Fetched relays every arriver's fetch
+// observation (sorted by node) so each node can advance the same adaptive
+// pattern detector on the same global input; empty when adaptation is
+// disabled.
 type Depart struct {
 	Time      int64
 	Intervals []OwnedInterval
 	Served    []Diff
+	Fetched   []NodePages
 }
 
 // Chunk is a contiguous span of words sent by Push, received in place.
@@ -233,6 +251,17 @@ type Chunk struct {
 type Push struct {
 	Ivl    int32
 	Chunks []Chunk
+}
+
+// Update is the adaptive protocol's piggybacked push: the diffs a producer
+// sends to a bound consumer right after a barrier departure, replacing the
+// consumer's invalidate-and-fault fetch for pages whose producer→consumer
+// pattern has stabilized. Epoch is the producer's barrier count when the
+// update was sent (diagnostic; the diffs carry their own ordering
+// timestamps and receivers apply them through the normal diff path).
+type Update struct {
+	Epoch int32
+	Diffs []Diff
 }
 
 // Float64s is a message-passing data payload ([]float64 sends of the mp

@@ -42,11 +42,20 @@ func sampleFrames() []*Frame {
 		{Kind: FHand, From: 0, To: 2, Tag: 2, Payload: Depart{
 			Time:      987654321,
 			Intervals: []OwnedInterval{{Owner: 1, Idx: 2, IV: Interval{VC: []int32{0, 2, 0}}}},
+			Fetched:   []NodePages{{Node: 0, Pages: []int32{7, 8}}, {Node: 2, Pages: []int32{7}}},
 		}},
 		{Kind: FMsg, From: 0, To: 1, Tag: 5, Payload: Arrival{
 			VC:        []int32{4, 5, 6},
 			Intervals: []OwnedInterval{{Owner: 0, Idx: 4, IV: Interval{Pages: []PageRef{{Page: 11}}, VC: []int32{4, 0, 0}}}},
 			Needs:     []WSyncNeed{{Pages: []int32{11}, Applied: [][]int32{{1, 2, 3}}}},
+			Fetched:   []int32{11, 12},
+		}},
+		{Kind: FMsg, From: 2, To: 1, Tag: 102, Bytes: 4144, Time: 777, Payload: Update{
+			Epoch: 6,
+			Diffs: []Diff{
+				{Page: 7, Creator: 2, From: 5, To: 6, Covers: []int32{1, 3, 6},
+					Runs: []Run{{Off: 4, Vals: []float64{2.5}}, {Off: 100, Vals: []float64{-4, 0.5}}}},
+			},
 		}},
 		{Kind: FMsg, From: 1, To: 0, Tag: 6, Payload: SyncInfo{VC: []int32{9, 9, 9}}},
 		{Kind: FStart, To: 3, Payload: Start{App: "jacobi", Set: "small", N: 8, Overhead: 1500, Verify: true}},
