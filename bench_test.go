@@ -104,6 +104,66 @@ func BenchmarkWireGrantRoundTrip(b *testing.B) {
 	}
 }
 
+// benchPushedGrant builds a grant like the ones the lock-scope adaptive
+// protocol ships on every bound hand-off: a few write notices plus
+// piggybacked diffs for the predicted critical-section working set
+// (~two pages of short runs).
+func benchPushedGrant() *wire.Frame {
+	g := wire.Grant{Bytes: 2160}
+	for idx := int32(1); idx <= 4; idx++ {
+		g.Intervals = append(g.Intervals, wire.OwnedInterval{
+			Owner: idx % 8, Idx: idx,
+			IV: wire.Interval{
+				Pages: []wire.PageRef{{Page: idx}, {Page: idx + 1}},
+				VC:    []int32{1, 2, 3, 4, 5, 6, 7, 8},
+			},
+		})
+	}
+	for page := int32(3); page <= 4; page++ {
+		d := wire.Diff{
+			Page: page, Creator: 2, From: 4, To: 5,
+			Covers: []int32{5, 3, 7, 1, 0, 2, 4, 9},
+		}
+		for off := int32(0); off < 512; off += 16 {
+			d.Runs = append(d.Runs, wire.Run{Off: off, Vals: []float64{1, 2, 3, 4}})
+		}
+		g.Pushed = append(g.Pushed, d)
+	}
+	return &wire.Frame{Kind: wire.FHand, From: 2, To: 5, Tag: 1, Payload: g}
+}
+
+// BenchmarkWireEncodeGrantPiggyback measures encoding the lock-scope
+// adaptive grant (write notices + piggybacked working-set diffs), the
+// payload every bound lock hand-off ships on the net backend.
+func BenchmarkWireEncodeGrantPiggyback(b *testing.B) {
+	f := benchPushedGrant()
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendFrame(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkWireDecodeGrantPiggyback measures the matching decode.
+func BenchmarkWireDecodeGrantPiggyback(b *testing.B) {
+	buf, err := wire.AppendFrame(nil, benchPushedGrant())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.ParseFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMicro measures the Section 5 primitives (365 µs roundtrip,
 // 427 µs lock acquire, 893 µs barrier).
 func BenchmarkMicro(b *testing.B) {

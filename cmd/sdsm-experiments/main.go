@@ -31,18 +31,20 @@ import (
 func main() {
 	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		table1  = flag.Bool("table1", false, "uniprocessor execution times")
-		table2  = flag.Bool("table2", false, "reduction in page faults, messages, data")
-		fig5    = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
-		fig6    = flag.Bool("fig6", false, "speedups under optimization levels")
-		fig7    = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
-		adaptT  = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
-		micro   = flag.Bool("micro", false, "Section 5 primitive costs")
-		bench   = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
-		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
-		par     = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
-		backend = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "uniprocessor execution times")
+		table2   = flag.Bool("table2", false, "reduction in page faults, messages, data")
+		fig5     = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
+		fig6     = flag.Bool("fig6", false, "speedups under optimization levels")
+		fig7     = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
+		adaptT   = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
+		micro    = flag.Bool("micro", false, "Section 5 primitive costs")
+		bench    = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
+		benchCmp = flag.String("bench-compare", "", "compare a baseline BENCH json (this flag) against a new one (next argument): usage `-bench-compare old.json new.json`; exits 1 on a tracked virtual-time regression beyond -bench-tolerance")
+		benchTol = flag.Float64("bench-tolerance", harness.DefaultBenchTolerancePct, "allowed virtual-time regression percentage for -bench-compare")
+		procs    = flag.Int("procs", harness.DefaultProcs, "processor count")
+		par      = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
+		backend  = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
 	)
 	flag.Parse()
 	workers := *par
@@ -60,13 +62,55 @@ func main() {
 		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
 			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
-	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *bench != "") {
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *bench != "" || *benchCmp != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sdsm-experiments:", err)
 		os.Exit(1)
+	}
+
+	if *benchCmp != "" {
+		// The trajectory gate: `-bench-compare old.json new.json`. Virtual
+		// times are deterministic, so comparing a fresh report against a
+		// checked-in baseline catches perf regressions that the exact
+		// golden tables would only report as opaque byte diffs.
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "sdsm-experiments: -bench-compare needs the new report as its argument: -bench-compare old.json new.json")
+			os.Exit(2)
+		}
+		old, err := harness.LoadBenchReport(*benchCmp)
+		if err != nil {
+			fail(err)
+		}
+		fresh, err := harness.LoadBenchReport(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		regs, compared := harness.CompareBench(old, fresh, *benchTol)
+		if compared == 0 {
+			// Zero overlap means the baseline no longer tracks anything the
+			// fresh report measures (renamed apps, changed procs, stale
+			// baseline) — exactly the no-coverage case the gate exists to
+			// prevent, so it must fail loudly, not pass vacuously.
+			fmt.Fprintf(os.Stderr, "sdsm-experiments: bench compare matched 0 of %d entries against %s — regenerate the baseline\n",
+				len(fresh.Entries), *benchCmp)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "sdsm-experiments: %d virtual-time regression(s) beyond %.0f%%:\n", len(regs), *benchTol)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench compare: %d of %d tracked entries compared, all within %.0f%% of %s\n",
+			compared, len(fresh.Entries), *benchTol, *benchCmp)
+		if compared < len(fresh.Entries) {
+			fmt.Printf("note: %d entries have no baseline — regenerate %s to track them\n",
+				len(fresh.Entries)-compared, *benchCmp)
+		}
 	}
 
 	if *all || *micro {
@@ -117,6 +161,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatAdaptTable(rows, *procs))
+		lrows, err := harness.AdaptLockTable(*procs, workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatAdaptLockTable(lrows, *procs))
 	}
 	if *bench != "" {
 		if err := harness.WriteBenchJSON(*bench, *procs, workers); err != nil {

@@ -29,14 +29,15 @@ import (
 func main() {
 	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
-		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs")
+		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs, spmv, tsp")
 		system  = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
 		set     = flag.String("set", "large", "data set: large, small")
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
 		verify  = flag.Bool("verify", false, "verify the result against the sequential reference")
 		sync    = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
-		adaptOn = flag.Bool("adapt", false, "enable the run-time adaptive update protocol (tmk/opt-tmk)")
+		adaptOn = flag.Bool("adapt", false, "enable the run-time adaptive update protocol, barrier- and lock-scope (tmk/opt-tmk)")
 		adaptK  = flag.Int("adapt-k", 0, "adaptive promotion hysteresis in production cycles (0 = default)")
+		adaptM  = flag.Int("adapt-m", 0, "lock-binding re-probe period: piggybacked grants between staleness probes (0 = default)")
 		backend = flag.String("backend", "sim", "host backend: sim (deterministic), real (goroutine per node), net (wire transport over loopback sockets; process per rank for pvme/xhpf)")
 		nodeBin = flag.String("node-bin", "", "worker binary for -backend net message-passing runs (default: re-exec this binary)")
 	)
@@ -58,7 +59,7 @@ func main() {
 		App: a, Set: ds, System: harness.SystemKind(*system),
 		Procs: *procs, Verify: *verify, SyncFetch: *sync,
 		Backend: harness.Backend(*backend),
-		Adapt:   *adaptOn, AdaptK: *adaptK,
+		Adapt:   *adaptOn, AdaptK: *adaptK, AdaptM: *adaptM,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
@@ -90,10 +91,15 @@ func main() {
 			res.Protocol.LockAcquires, res.Protocol.Barriers, res.Protocol.Validates, res.Protocol.Pushes)
 		fmt.Printf("diff traffic:  %d fetch exchanges, %d diffs applied\n",
 			res.Protocol.DiffFetches, res.Protocol.DiffsApplied)
+		fmt.Printf("lock faults:   %d\n", res.Protocol.LockFetches)
 		if *adaptOn {
 			fmt.Printf("adaptive:      %d promotions, %d decays, %d updates sent, %d page pushes\n",
 				res.Protocol.AdaptPromotions, res.Protocol.AdaptDecays,
 				res.Protocol.AdaptUpdates, res.Protocol.AdaptPagesPushed)
+			fmt.Printf("lock adaptive: %d edge promotions, %d decays, %d piggybacked grants, %d pages, %d probes, %d stale drops\n",
+				res.Protocol.AdaptLockPromotions, res.Protocol.AdaptLockDecays,
+				res.Protocol.AdaptLockGrants, res.Protocol.AdaptLockPagesPush,
+				res.Protocol.AdaptLockProbes, res.Protocol.AdaptLockStaleDrops)
 		}
 	}
 	if *verify {

@@ -31,7 +31,11 @@
 // epochs, and per-epoch matching would never see them together.
 package adapt
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // DefaultK is the default number of consecutive stable production cycles
 // before a page switches to update mode. Two cycles is the minimum that
@@ -39,12 +43,20 @@ import "sort"
 // cycle of any run is further skewed by cold-start faults.
 const DefaultK = 3
 
-// Config tunes the detector.
+// Config tunes the detectors (the barrier-epoch Detector and the
+// per-lock LockDetector share it).
 type Config struct {
 	// K is the hysteresis: a page switches to update mode after its
 	// producer→consumer pattern has held for K consecutive production
-	// cycles (0 means DefaultK).
+	// cycles (0 means DefaultK). The lock detector uses the same K for
+	// its edge hysteresis.
 	K int
+	// ReprobeM bounds binding staleness for lock-scope bindings: after M
+	// consecutive piggybacked grants on one edge, one grant withholds the
+	// piggyback ("re-probe") so an acquirer that stopped reading the
+	// pages is detected within M wasted piggybacks (0 means
+	// DefaultReprobeM).
+	ReprobeM int
 }
 
 func (c Config) k() int {
@@ -189,6 +201,26 @@ func (d *Detector) Mode(page int) Mode {
 		return p.mode
 	}
 	return Invalidate
+}
+
+// Fingerprint returns a canonical rendering of the full detector state,
+// used by the determinism tests: two replicas that consumed the same
+// global observation stream — regardless of how each epoch's maps and
+// reader lists were assembled — must return byte-identical fingerprints.
+func (d *Detector) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d stats=%+v\n", d.cfg.k(), d.Stats)
+	pages := make([]int, 0, len(d.pages))
+	for pg := range d.pages {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	for _, pg := range pages {
+		p := d.pages[pg]
+		fmt.Fprintf(&b, "%d prod=%d cons=%v cur=%v streak=%d mode=%d bound=%v\n",
+			pg, p.producer, p.consumers, setToSorted(p.cur), p.streak, p.mode, p.bound)
+	}
+	return b.String()
 }
 
 func (d *Detector) page(pg int) *pattern {

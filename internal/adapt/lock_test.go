@@ -1,0 +1,286 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// step performs one hand-off and its critical section: the lock moves
+// from → to, and `to` demand-fetches its working set minus whatever the
+// grant piggybacked (pushed pages are applied with the grant and do not
+// fault — exactly the protocol's behaviour).
+func step(ld *LockDetector, from, to int, want []int) (pushed []int) {
+	pushed = ld.Grant(from, to)
+	ld.Hold(subtract(want, pushed))
+	return pushed
+}
+
+func subtract(want, pushed []int) []int {
+	if len(pushed) == 0 {
+		return append([]int(nil), want...)
+	}
+	drop := map[int]bool{}
+	for _, pg := range pushed {
+		drop[pg] = true
+	}
+	var out []int
+	for _, pg := range want {
+		if !drop[pg] {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// rotate drives one full cycle of a 3-node rotation (…→2→0→1→2) on ld,
+// with each holder fetching its fixed working set. Returns the pages
+// piggybacked on each grant, keyed by the receiving holder.
+func rotate(ld *LockDetector, want map[int][]int) map[int][]int {
+	pushed := map[int][]int{}
+	order := []int{0, 1, 2}
+	for i, to := range order {
+		from := order[(i+2)%3]
+		if pgs := step(ld, from, to, want[to]); pgs != nil {
+			pushed[to] = append([]int(nil), pgs...)
+		}
+	}
+	return pushed
+}
+
+// TestLockPromoteAfterK drives a stable 3-node rotation and checks the
+// edge hysteresis: piggybacks start exactly after K stable cycles of both
+// the working set and the successor, not before.
+func TestLockPromoteAfterK(t *testing.T) {
+	ld := NewLock(Config{K: 3})
+	want := map[int][]int{0: {10, 11}, 1: {10, 11}, 2: {10, 11}}
+	for cycle := 1; cycle <= 3; cycle++ {
+		if pushed := rotate(ld, want); len(pushed) != 0 {
+			t.Fatalf("cycle %d: piggybacked %v before hysteresis", cycle, pushed)
+		}
+	}
+	pushed := rotate(ld, want)
+	if len(pushed) != 3 {
+		t.Fatalf("cycle 4: pushed to %v, want all three holders", pushed)
+	}
+	for to, pgs := range pushed {
+		if !reflect.DeepEqual(pgs, []int{10, 11}) {
+			t.Fatalf("holder %d pushed %v, want [10 11]", to, pgs)
+		}
+	}
+	if ld.Stats.Promotions != 3 {
+		t.Fatalf("promotions = %d, want 3 (one per edge)", ld.Stats.Promotions)
+	}
+	if ld.Stats.Decays != 0 {
+		t.Fatalf("decays = %d, want 0 on a stable rotation", ld.Stats.Decays)
+	}
+}
+
+// TestLockSelfEdgeNeverBinds: re-acquiring a lock you released last (IS's
+// own-section zero followed by its accumulate visit) is tracked for chain
+// continuity but never piggybacks — and it must not break the other
+// edges' promotion.
+func TestLockSelfEdgeNeverBinds(t *testing.T) {
+	ld := NewLock(Config{K: 2})
+	// Chain per cycle: 1→0, 0→0 (self), 0→1.
+	for cycle := 0; cycle < 4; cycle++ {
+		if pgs := step(ld, 1, 0, []int{5}); (pgs != nil) != (cycle >= 2) {
+			t.Fatalf("cycle %d: edge 1→0 pushed %v", cycle, pgs)
+		}
+		if pgs := step(ld, 0, 0, []int{6}); pgs != nil {
+			t.Fatalf("cycle %d: self edge piggybacked %v", cycle, pgs)
+		}
+		if pgs := step(ld, 0, 1, []int{7}); (pgs != nil) != (cycle >= 2) {
+			t.Fatalf("cycle %d: edge 0→1 pushed %v", cycle, pgs)
+		}
+	}
+}
+
+// TestLockDecayOnMispredictedNextHolder: a broken rotation decays the
+// edge whose turn was usurped, and re-promotion requires the full
+// hysteresis again.
+func TestLockDecayOnMispredictedNextHolder(t *testing.T) {
+	ld := NewLock(Config{K: 2})
+	want := map[int][]int{0: {1}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	if pushed := rotate(ld, want); len(pushed) != 3 {
+		t.Fatalf("rotation did not promote: %v", pushed)
+	}
+	step(ld, 2, 0, want[0])
+	step(ld, 0, 1, want[1])
+	step(ld, 1, 0, want[0]) // usurps 2's turn: edge 1→2 must decay
+	if _, ok := ld.Bound(1, 2); ok {
+		t.Fatal("edge 1→2 still bound after its turn was usurped")
+	}
+	if ld.Stats.Decays != 1 {
+		t.Fatalf("decays = %d, want 1", ld.Stats.Decays)
+	}
+	// The unaffected edge keeps pushing (its own pattern held).
+	if pgs := ld.Grant(0, 1); pgs == nil {
+		t.Fatal("unaffected edge 0→1 lost its binding")
+	}
+	ld.Hold(nil)
+}
+
+// TestLockDecayOnConflict: a piggybacked page that the acquirer fetches
+// anyway (someone outside the lock chain wrote it, so the piggybacked
+// diffs could not satisfy its notices) decays the edge immediately.
+func TestLockDecayOnConflict(t *testing.T) {
+	ld := NewLock(Config{K: 2})
+	want := map[int][]int{0: {1}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	rotate(ld, want) // pushing now
+	if pgs := ld.Grant(2, 0); !reflect.DeepEqual(pgs, []int{1}) {
+		t.Fatalf("pushed %v, want [1]", pgs)
+	}
+	ld.Hold([]int{1}) // fetched the pushed page anyway: outside writer
+	if _, ok := ld.Bound(2, 0); ok {
+		t.Fatal("edge still bound after a pushed page was fetched anyway")
+	}
+	if ld.Stats.Decays != 1 {
+		t.Fatalf("decays = %d, want 1", ld.Stats.Decays)
+	}
+	// One stable cycle is not enough to re-promote with K=2.
+	step(ld, 0, 1, want[1])
+	step(ld, 1, 2, want[2])
+	rotate(ld, want)
+	if _, ok := ld.Bound(2, 0); ok {
+		t.Fatal("re-promoted without full hysteresis")
+	}
+	rotate(ld, want)
+	if _, ok := ld.Bound(2, 0); !ok {
+		t.Fatal("did not re-promote after the pattern re-stabilized")
+	}
+}
+
+// TestLockBindingExtension: fetches outside the binding while bound grow
+// the working set instead of breaking it.
+func TestLockBindingExtension(t *testing.T) {
+	ld := NewLock(Config{K: 2})
+	want := map[int][]int{0: {1}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	rotate(ld, want)
+	ld.Grant(2, 0) // pushes [1]
+	ld.Hold([]int{4})
+	if pgs, ok := ld.Bound(2, 0); !ok || !reflect.DeepEqual(pgs, []int{1, 4}) {
+		t.Fatalf("binding = (%v, %v), want ([1 4], true)", pgs, ok)
+	}
+	if ld.Stats.Decays != 0 {
+		t.Fatalf("decays = %d, want 0", ld.Stats.Decays)
+	}
+}
+
+// TestLockReprobeBoundsWaste pins the binding-staleness fix: once a
+// consumer stops reading the bound pages (pushed pages never fault, so
+// the stop is otherwise invisible), at most M more grants carry wasted
+// piggybacks before a re-probe detects it and drops the binding.
+func TestLockReprobeBoundsWaste(t *testing.T) {
+	const m = 4
+	ld := NewLock(Config{K: 2, ReprobeM: m})
+	want := map[int][]int{0: {1}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	rotate(ld, want) // pushing now
+	// Holder 0 stops reading page 1: with nothing read, its fetch reports
+	// are empty from now on, pushed or probed.
+	wasted := 0
+	for cycle := 0; cycle < 3*m; cycle++ {
+		if pgs := ld.Grant(2, 0); pgs != nil {
+			wasted++
+		}
+		ld.Hold(nil)
+		step(ld, 0, 1, want[1])
+		step(ld, 1, 2, want[2])
+		if _, ok := ld.Bound(2, 0); !ok {
+			break
+		}
+	}
+	if _, ok := ld.Bound(2, 0); ok {
+		t.Fatal("stale binding never dropped")
+	}
+	if wasted > m {
+		t.Fatalf("%d wasted piggybacks before the stale binding dropped, want <= %d", wasted, m)
+	}
+	if ld.Stats.Probes == 0 || ld.Stats.StaleDrops != 1 {
+		t.Fatalf("probes = %d, staleDrops = %d, want probes > 0 and one stale drop",
+			ld.Stats.Probes, ld.Stats.StaleDrops)
+	}
+}
+
+// TestLockReprobeConfirmsLiveBinding: a consumer that still reads the
+// pages survives the re-probe (it faults during the probe cycle, which
+// re-confirms the binding) and piggybacks resume.
+func TestLockReprobeConfirmsLiveBinding(t *testing.T) {
+	const m = 3
+	ld := NewLock(Config{K: 2, ReprobeM: m})
+	want := map[int][]int{0: {1}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	rotate(ld, want)
+	probes, pushes := 0, 0
+	for cycle := 0; cycle < 4*m; cycle++ {
+		if pgs := step(ld, 2, 0, want[0]); pgs == nil {
+			probes++ // probe cycle: the live consumer faulted and re-confirmed
+		} else {
+			pushes++
+		}
+		step(ld, 0, 1, want[1])
+		step(ld, 1, 2, want[2])
+	}
+	if _, ok := ld.Bound(2, 0); !ok {
+		t.Fatal("live binding dropped by re-probe")
+	}
+	if probes < 2 {
+		t.Fatalf("probes = %d, want periodic re-probes", probes)
+	}
+	if pushes < 2*probes {
+		t.Fatalf("pushes = %d vs probes = %d: piggybacks did not resume between probes", pushes, probes)
+	}
+	if ld.Stats.StaleDrops != 0 {
+		t.Fatalf("staleDrops = %d, want 0 for a live consumer", ld.Stats.StaleDrops)
+	}
+}
+
+// TestLockReprobeNarrowsBinding: a probe whose report covers only part of
+// the bound set narrows the binding to the still-read pages.
+func TestLockReprobeNarrowsBinding(t *testing.T) {
+	const m = 2
+	ld := NewLock(Config{K: 2, ReprobeM: m})
+	want := map[int][]int{0: {1, 5}, 1: {2}, 2: {3}}
+	rotate(ld, want)
+	rotate(ld, want)
+	rotate(ld, want)
+	// Push until the probe; holder 0 by then reads only page 5.
+	for {
+		pgs := ld.Grant(2, 0)
+		if pgs == nil {
+			ld.Hold([]int{5}) // probe cycle: faults only on the live page
+			break
+		}
+		ld.Hold(nil)
+		step(ld, 0, 1, want[1])
+		step(ld, 1, 2, want[2])
+	}
+	if pgs, ok := ld.Bound(2, 0); !ok || !reflect.DeepEqual(pgs, []int{5}) {
+		t.Fatalf("binding = (%v, %v) after partial probe, want ([5], true)", pgs, ok)
+	}
+}
+
+// TestLockUnreadPagesNeverBind: a holder that fetches nothing under the
+// lock (private data, or a lock protecting nothing shared) never earns a
+// binding.
+func TestLockUnreadPagesNeverBind(t *testing.T) {
+	ld := NewLock(Config{K: 1})
+	for i := 0; i < 5; i++ {
+		step(ld, 0, 1, nil)
+		step(ld, 1, 0, nil)
+	}
+	if _, ok := ld.Bound(0, 1); ok {
+		t.Fatal("bound an edge with an empty working set")
+	}
+	if ld.Stats.Promotions != 0 {
+		t.Fatalf("promotions = %d, want 0", ld.Stats.Promotions)
+	}
+}

@@ -93,9 +93,12 @@ func Registry() []*App {
 
 // Irregular returns the applications beyond the paper's evaluation:
 // workloads whose access patterns defeat compile-time regular-section
-// analysis, added for the run-time adaptive protocol.
+// analysis, added for the run-time adaptive protocol. SpMV is the
+// barrier-synchronized irregular case (data-dependent neighbor reads);
+// TSP is the lock-dominated migratory case (work queue and incumbent
+// under locks).
 func Irregular() []*App {
-	return []*App{SpMV()}
+	return []*App{SpMV(), TSP()}
 }
 
 // All returns every application: the paper suite plus the irregular

@@ -57,12 +57,12 @@ func TestDeterministicRuns(t *testing.T) {
 
 // TestOddProcessorCounts: partitions that do not divide the problem size
 // evenly must still verify. IS is included since the exact block
-// partitioning of keys and buckets (PR 3); spmv runs on the base system
-// (the compiler cannot analyze it).
+// partitioning of keys and buckets (PR 3); spmv and tsp run on the base
+// system (the compiler cannot analyze either).
 func TestOddProcessorCounts(t *testing.T) {
-	for _, name := range []string{"jacobi", "gauss", "mgs", "shallow", "is", "spmv"} {
+	for _, name := range []string{"jacobi", "gauss", "mgs", "shallow", "is", "spmv", "tsp"} {
 		sys := harness.Opt
-		if name == "spmv" {
+		if name == "spmv" || name == "tsp" {
 			sys = harness.Base
 		}
 		for _, n := range []int{3, 5, 7} {

@@ -15,10 +15,13 @@ import (
 // so the final memory image cannot differ; this test is the executable
 // form of that claim.
 //
-// spmv is the target workload (irregular accesses, stable run-time
-// pattern, heavy promotion); jacobi exercises adaptation next to false
-// sharing (two-owner boundary pages stay invalidate); is exercises the
-// decay/no-promotion path under migratory lock data.
+// spmv is the barrier detector's target workload (irregular accesses,
+// stable run-time pattern, heavy promotion); jacobi exercises adaptation
+// next to false sharing (two-owner boundary pages stay invalidate); tsp
+// is the lock-scope detector's target (migratory queue and incumbent
+// pages, grant-piggybacked diffs at every processor count); is exercises
+// both detectors at once — barrier-epoch decay on its multi-writer pages
+// and lock-scope piggybacks on its staggered bucket sections.
 func TestAdaptEquivalence(t *testing.T) {
 	cases := []struct {
 		app   string
@@ -26,7 +29,8 @@ func TestAdaptEquivalence(t *testing.T) {
 	}{
 		{"spmv", []int{2, 3, 5, 8}},
 		{"jacobi", []int{3, 4}},
-		{"is", []int{3, 4}},
+		{"tsp", []int{2, 3, 5, 8}},
+		{"is", []int{3, 4, 8}},
 	}
 	for _, c := range cases {
 		a, err := apps.ByName(c.app)
@@ -98,5 +102,45 @@ func TestAdaptReducesTraffic(t *testing.T) {
 	}
 	if ad.Time >= base.Time {
 		t.Errorf("adaptive virtual time %v not below baseline %v", ad.Time, base.Time)
+	}
+}
+
+// TestAdaptLockReducesTraffic pins the lock-scope acceptance criterion:
+// for the lock-dominated workloads the compiler cannot serve — tsp
+// entirely, IS's migratory bucket phases — the per-lock detector must
+// bind hand-off edges and the grant piggybacks must cut both the
+// in-critical-section demand fetches (lock faults) and the message count
+// against the invalidate baseline. For tsp the overall time must drop
+// too (the app is nothing but lock traffic).
+func TestAdaptLockReducesTraffic(t *testing.T) {
+	for _, name := range []string{"tsp", "is"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: 8, Adapt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ad.Protocol.AdaptLockPromotions == 0 {
+			t.Errorf("%s: no hand-off edges were bound", name)
+		}
+		if ad.Protocol.AdaptLockGrants == 0 {
+			t.Errorf("%s: no grants carried piggybacked diffs", name)
+		}
+		if ad.Protocol.LockFetches >= base.Protocol.LockFetches {
+			t.Errorf("%s: adaptive lock faults %d not below baseline %d",
+				name, ad.Protocol.LockFetches, base.Protocol.LockFetches)
+		}
+		if ad.Msgs >= base.Msgs {
+			t.Errorf("%s: adaptive messages %d not below baseline %d", name, ad.Msgs, base.Msgs)
+		}
+		if name == "tsp" && ad.Time >= base.Time {
+			t.Errorf("tsp: adaptive virtual time %v not below baseline %v", ad.Time, base.Time)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Bench trajectory gate. The BENCH artifact records one VirtualMS per
+// tracked configuration; virtual times are deterministic on the sim
+// backend, so a fresh report compared against a checked-in baseline turns
+// the artifact into an actual perf gate: CompareBench fails any entry
+// whose virtual time regressed beyond the tolerance. Wall times are
+// hardware-dependent and are never compared.
+
+// DefaultBenchTolerancePct is the default allowed virtual-time regression
+// per tracked entry.
+const DefaultBenchTolerancePct = 10
+
+// LoadBenchReport reads a BENCH json artifact.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("harness: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies one tracked configuration across reports.
+type benchKey struct {
+	App, Set, System string
+	Procs            int
+	Adapt            bool
+}
+
+func (k benchKey) String() string {
+	ad := ""
+	if k.Adapt {
+		ad = "+adapt"
+	}
+	return fmt.Sprintf("%s/%s/%s%s/p%d", k.App, k.Set, k.System, ad, k.Procs)
+}
+
+// CompareBench checks new against old: every entry present in both
+// reports (keyed by app/set/system/procs/adapt) must not exceed the old
+// virtual time by more than tolPct percent. Entries only in one report
+// are ignored (configurations come and go across PRs; the golden tables
+// pin exact values for the stable set). The returned regressions are
+// sorted and human-readable; empty means the gate passes. compared is
+// the number of entries actually checked, so callers can report honestly
+// when the baseline lags the tracked set.
+func CompareBench(old, new *BenchReport, tolPct float64) (regressions []string, compared int) {
+	base := map[benchKey]float64{}
+	for _, e := range old.Entries {
+		base[benchKey{e.App, e.Set, e.System, e.Procs, e.Adapt}] = e.VirtualMS
+	}
+	for _, e := range new.Entries {
+		k := benchKey{e.App, e.Set, e.System, e.Procs, e.Adapt}
+		was, ok := base[k]
+		if !ok || was <= 0 {
+			continue
+		}
+		compared++
+		if e.VirtualMS > was*(1+tolPct/100) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: virtual time %.3fms exceeds baseline %.3fms by %.1f%% (tolerance %.0f%%)",
+					k, e.VirtualMS, was, 100*(e.VirtualMS-was)/was, tolPct))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions, compared
+}

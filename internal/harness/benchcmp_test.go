@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRep(entries ...BenchEntry) *BenchReport {
+	return &BenchReport{Schema: "sdsm-bench/1", Procs: 8, Entries: entries}
+}
+
+func entry(app string, adapt bool, virtualMS float64) BenchEntry {
+	return BenchEntry{App: app, Set: "small", System: "tmk", Procs: 8, Adapt: adapt, VirtualMS: virtualMS}
+}
+
+// TestCompareBench pins the trajectory gate's semantics: regressions
+// beyond the tolerance fail, improvements and in-tolerance noise pass,
+// and entries present in only one report are ignored.
+func TestCompareBench(t *testing.T) {
+	old := benchRep(
+		entry("jacobi", false, 100),
+		entry("spmv", true, 50),
+		entry("retired-app", false, 10),
+	)
+	fresh := benchRep(
+		entry("jacobi", false, 109),  // +9%: within tolerance
+		entry("spmv", true, 60),      // +20%: regression
+		entry("brand-new", false, 5), // no baseline: ignored
+	)
+	regs, compared := CompareBench(old, fresh, 10)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 (retired and brand-new entries skipped)", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the spmv entry", regs)
+	}
+	if !strings.Contains(regs[0], "spmv/small/tmk+adapt/p8") {
+		t.Fatalf("regression does not name the config: %s", regs[0])
+	}
+	if regs, _ := CompareBench(old, fresh, 25); len(regs) != 0 {
+		t.Fatalf("wider tolerance must pass, got %v", regs)
+	}
+	improved := benchRep(entry("jacobi", false, 80), entry("spmv", true, 50))
+	if regs, _ := CompareBench(old, improved, 10); len(regs) != 0 {
+		t.Fatalf("improvements must pass, got %v", regs)
+	}
+}
+
+// TestCompareBenchDistinguishesAdapt: the same app/system at the same
+// count with and without -adapt are separate tracked entries.
+func TestCompareBenchDistinguishesAdapt(t *testing.T) {
+	old := benchRep(entry("is", false, 100), entry("is", true, 40))
+	fresh := benchRep(entry("is", false, 100), entry("is", true, 90))
+	regs, _ := CompareBench(old, fresh, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "+adapt") {
+		t.Fatalf("regressions = %v, want only the adapt entry", regs)
+	}
+}
+
+// TestLoadBenchReportRoundTrip: a written report loads back with the
+// fields the comparator keys on.
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(`{
+		"schema": "sdsm-bench/1", "procs": 8,
+		"entries": [{"app":"tsp","set":"small","system":"tmk","procs":8,"adapt":true,"virtual_ms":12.5}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].App != "tsp" || !rep.Entries[0].Adapt {
+		t.Fatalf("loaded report = %+v", rep)
+	}
+	if _, err := LoadBenchReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadBenchReport(bad); err == nil {
+		t.Fatal("malformed json must error")
+	}
+}

@@ -67,6 +67,13 @@ var goldenTables = []struct {
 		}
 		return FormatAdaptTable(rows, DefaultProcs), nil
 	}},
+	{"adaptlock", true, func(workers int) (string, error) {
+		rows, err := AdaptLockTable(DefaultProcs, workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatAdaptLockTable(rows, DefaultProcs), nil
+	}},
 }
 
 // TestGoldenTables pins the deterministic sim-backend experiment output —

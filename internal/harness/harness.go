@@ -83,10 +83,17 @@ type Config struct {
 	SyncFetch bool
 	// Adapt enables the run-time adaptive update protocol (internal/adapt):
 	// the machine profiles fault/fetch traffic per barrier epoch and
-	// switches stable producer→consumer pages from invalidate to update.
+	// switches stable producer→consumer pages from invalidate to update;
+	// it also arms the lock-scope detectors that piggyback migratory
+	// pages' diffs on lock grants.
 	Adapt bool
 	// AdaptK overrides the promotion hysteresis (0 = adapt.DefaultK).
 	AdaptK int
+	// AdaptM overrides the lock-binding re-probe period (0 =
+	// adapt.DefaultReprobeM): after M consecutive piggybacked grants on a
+	// hand-off edge, one grant withholds the piggyback to detect
+	// consumers that stopped reading.
+	AdaptM int
 }
 
 // Result is the outcome of one run.
@@ -167,7 +174,7 @@ func runDSM(cfg Config) (*Result, error) {
 	}
 	sys := tmk.New(h, nw, layout)
 	if cfg.Adapt {
-		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK})
+		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK, ReprobeM: cfg.AdaptM})
 	}
 
 	var checksum float64

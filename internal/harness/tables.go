@@ -379,6 +379,86 @@ func AdaptTable(procs, workers int) ([]AdaptRow, error) {
 	return flat, nil
 }
 
+// AdaptLockRow is one system variant of the lock-scope adaptive
+// comparison (Table B): the same application and data set under baseline
+// invalidate ("tmk") and under the adaptive protocol ("adapt-tmk"), with
+// the lock-scope counters. LockFaults counts pages demand-fetched while
+// holding a lock — the traffic the grant piggyback exists to remove.
+type AdaptLockRow struct {
+	App        string
+	Set        apps.DataSet
+	System     string
+	Time       time.Duration
+	LockFaults int64
+	Segv       int64
+	Msgs       int64
+	Bytes      int64
+	Promos     int64 // hand-off edges bound to grant piggybacking
+	Decays     int64
+	Grants     int64 // grants that carried piggybacked diffs
+	Probes     int64 // staleness re-probes
+}
+
+// lockGrid is the application/data-set grid of Table B: the two
+// lock-dominated workloads — tsp, whose sharing is entirely dynamic, and
+// IS, the paper's migratory-data example, where the run-time lock
+// detector works on the phases the compiler's static analysis handles
+// only under Opt.
+func lockGrid() []appSet {
+	var out []appSet
+	for _, name := range []string{"tsp", "is"} {
+		a, _ := apps.ByName(name)
+		out = append(out, appSet{a, Small}, appSet{a, Large})
+	}
+	return out
+}
+
+// AdaptLockTable runs the lock-scope adaptive comparison at the given
+// processor count, one (app, set) pair per worker job: baseline
+// invalidate TreadMarks against the same system with the adaptive
+// protocol, reporting lock faults, messages, and the lock detector's
+// transitions.
+func AdaptLockTable(procs, workers int) ([]AdaptLockRow, error) {
+	cases := lockGrid()
+	rows := make([][]AdaptLockRow, len(cases))
+	err := parallelDo(len(cases), workers, func(i int) error {
+		a, set := cases[i].app, cases[i].set
+		base, err := Run(Config{App: a, Set: set, System: Base, Procs: procs})
+		if err != nil {
+			return err
+		}
+		ad, err := Run(Config{App: a, Set: set, System: Base, Procs: procs, Adapt: true})
+		if err != nil {
+			return err
+		}
+		rows[i] = []AdaptLockRow{
+			{
+				App: a.Name, Set: set, System: "tmk",
+				Time: base.Time, LockFaults: base.Protocol.LockFetches,
+				Segv: base.Segv, Msgs: base.Msgs, Bytes: base.Bytes,
+			},
+			{
+				App: a.Name, Set: set, System: "adapt-tmk",
+				Time: ad.Time, LockFaults: ad.Protocol.LockFetches,
+				Segv: ad.Segv, Msgs: ad.Msgs, Bytes: ad.Bytes,
+				Promos: ad.Protocol.AdaptLockPromotions,
+				Decays: ad.Protocol.AdaptLockDecays,
+				Grants: ad.Protocol.AdaptLockGrants,
+				Probes: ad.Protocol.AdaptLockProbes,
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []AdaptLockRow
+	for _, rs := range rows {
+		flat = append(flat, rs...)
+	}
+	return flat, nil
+}
+
 // Micro reports the Section 5 primitive costs measured on the simulated
 // platform next to the paper's numbers.
 type MicroResult struct {
@@ -557,6 +637,31 @@ func FormatAdaptTable(rows []AdaptRow, procs int) string {
 		fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8d %8d %8.2f %6s %6s %8s\n",
 			r.App, r.Set, r.System, fmtDur(r.Time), r.Segv, r.Msgs,
 			float64(r.Bytes)/1e6, ad[0], ad[1], ad[2])
+	}
+	return b.String()
+}
+
+// FormatAdaptLockTable renders the lock-scope adaptive comparison.
+func FormatAdaptLockTable(rows []AdaptLockRow, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table B: lock-scope adaptive updates at %d processors\n", procs)
+	fmt.Fprintf(&b, "(tmk = invalidate baseline, adapt-tmk = per-lock migratory detection with\n")
+	fmt.Fprintf(&b, " grant-piggybacked diffs; lockf = pages demand-fetched inside critical sections)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8s %8s %8s %8s %6s %6s %7s %6s\n",
+		"app", "set", "system", "time", "lockf", "segv", "msg", "MB", "promo", "decay", "grants", "probe")
+	for _, r := range rows {
+		ad := []string{"-", "-", "-", "-"}
+		if r.System == "adapt-tmk" {
+			ad = []string{
+				fmt.Sprintf("%d", r.Promos),
+				fmt.Sprintf("%d", r.Decays),
+				fmt.Sprintf("%d", r.Grants),
+				fmt.Sprintf("%d", r.Probes),
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8d %8d %8d %8.2f %6s %6s %7s %6s\n",
+			r.App, r.Set, r.System, fmtDur(r.Time), r.LockFaults, r.Segv, r.Msgs,
+			float64(r.Bytes)/1e6, ad[0], ad[1], ad[2], ad[3])
 	}
 	return b.String()
 }

@@ -23,9 +23,13 @@ type adaptNode struct {
 // EnableAdapt switches the machine to the adaptive update protocol: the
 // run-time profiles the fault/fetch traffic per barrier epoch, infers
 // stable producer→consumer page patterns, and pushes promoted pages'
-// diffs at barrier departure instead of letting consumers fault. Must be
-// called after New and before Run.
+// diffs at barrier departure instead of letting consumers fault. It also
+// arms the lock-scope detectors: each lock's hand-off history drives a
+// per-lock adapt.LockDetector whose bound edges piggyback the predicted
+// critical-section working set on the grant (see lockGrant in sync.go).
+// Must be called after New and before Run.
 func (s *System) EnableAdapt(cfg adapt.Config) {
+	s.adaptCfg = cfg
 	for _, nd := range s.Nodes {
 		nd.ad = &adaptNode{det: adapt.New(cfg), fetched: map[int]bool{}}
 	}
@@ -34,8 +38,18 @@ func (s *System) EnableAdapt(cfg adapt.Config) {
 // adaptOn reports whether the machine runs the adaptive protocol.
 func (s *System) adaptOn() bool { return s.Nodes[0].ad != nil }
 
-// noteFetch logs a demand fetch for the epoch's arrival message.
+// noteFetch logs a demand fetch: always as a lock fault when a lock is
+// held (the Table B metric, maintained with or without adaptation), and —
+// under the adaptive protocol — both in the innermost held lock's
+// critical-section working set (the lock detector's observation) and in
+// the node's barrier-epoch log (the barrier detector's).
 func (nd *Node) noteFetch(page int) {
+	if n := len(nd.held); n > 0 {
+		nd.Stats.LockFetches++
+		if f := nd.held[n-1].fetched; f != nil {
+			f[page] = true
+		}
+	}
 	if nd.ad != nil {
 		nd.ad.fetched[page] = true
 	}

@@ -570,42 +570,54 @@ func (nd *Node) serveDiffs(reqID int, pages []int, reqApplied [][]int32) ([]wire
 		if debugHook != nil {
 			debugHook("serve", nd.ID, reqID, pg, nd.dirty[pg], int(nd.Mem.Prot(pg)), int(nd.lastDiffed[pg]), int(nd.vc[nd.ID]), nd.Mem.Data()[pg*512+88])
 		}
-		if nd.dirty[pg] {
-			nd.flushLocalDiff(pg, false)
-		}
-		applied := reqApplied[i]
-		var cand []*storedDiff
-		var best *storedDiff // newest whole snapshot, if any
-		for _, d := range nd.diffs[pg] {
-			if d.creator == reqID || !d.helps(applied) {
-				continue
-			}
-			cand = append(cand, d)
-			if d.whole && (best == nil || subsumes(d, best)) {
-				best = d
-			}
-		}
-		// A whole snapshot that subsumes every other candidate is sent
-		// alone: the requester gets the full page once instead of the
-		// accumulated overlapping diffs.
-		if best != nil {
-			all := true
-			for _, d := range cand {
-				if d != best && !subsumes(best, d) {
-					all = false
-					break
-				}
-			}
-			if all {
-				cand = []*storedDiff{best}
-			}
-		}
-		for _, d := range cand {
+		for _, d := range nd.collectDiffs(reqID, pg, reqApplied[i]) {
 			out = append(out, d.toWire())
 			bytes += d.wireBytes()
 		}
 	}
 	return out, bytes
+}
+
+// collectDiffs flushes page pg if locally dirty and returns every cached
+// diff a requester described by (reqID, applied) lacks, replacing the
+// accumulated candidates by the newest whole snapshot alone when it
+// subsumes them all. It is the per-page core of serveDiffs; the lock-scope
+// piggyback path reuses it with a zero applied floor (the releaser does
+// not know the acquirer's per-page applied timestamps, and a per-creator
+// chain with a gap must never be shipped — the receiver prunes notices by
+// applied coverage, so a gap would silently drop the missing intervals'
+// content).
+func (nd *Node) collectDiffs(reqID, pg int, applied []int32) []*storedDiff {
+	if nd.dirty[pg] {
+		nd.flushLocalDiff(pg, false)
+	}
+	var cand []*storedDiff
+	var best *storedDiff // newest whole snapshot, if any
+	for _, d := range nd.diffs[pg] {
+		if d.creator == reqID || !d.helps(applied) {
+			continue
+		}
+		cand = append(cand, d)
+		if d.whole && (best == nil || subsumes(d, best)) {
+			best = d
+		}
+	}
+	// A whole snapshot that subsumes every other candidate is sent
+	// alone: the requester gets the full page once instead of the
+	// accumulated overlapping diffs.
+	if best != nil {
+		all := true
+		for _, d := range cand {
+			if d != best && !subsumes(best, d) {
+				all = false
+				break
+			}
+		}
+		if all {
+			cand = []*storedDiff{best}
+		}
+	}
+	return cand
 }
 
 // applyDiffs merges received diffs, oldest coverage first, updating the

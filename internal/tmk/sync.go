@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"sdsm/internal/adapt"
 	"sdsm/internal/host"
 	"sdsm/internal/wire"
 )
@@ -20,13 +21,30 @@ const (
 // lock is the control state of one TreadMarks lock: a static home node
 // forwards acquire requests to the last releaser. The control state lives
 // with the machine (under the protocol-section token); the grant payloads
-// are wire values.
+// are wire values. det is the lock-scope adaptive detector (nil unless
+// EnableAdapt): it shares the lock's serialization — every hand-off and
+// every holder's fetch report reach it in the lock's own total order, so
+// its decisions are a pure function of that serialized history and need
+// no cross-node negotiation (see internal/adapt's LockDetector).
 type lock struct {
 	id           int
 	home         int
 	holder       int // -1 when free
 	lastReleaser int
 	queue        []*lockWaiter
+	det          *adapt.LockDetector
+}
+
+// adaptDet returns the lock's detector, creating it on first use when the
+// machine runs the adaptive protocol.
+func (l *lock) adaptDet(s *System) *adapt.LockDetector {
+	if !s.adaptOn() {
+		return nil
+	}
+	if l.det == nil {
+		l.det = adapt.NewLock(s.adaptCfg)
+	}
+	return l.det
 }
 
 // lockWaiter is a queued acquire: the waiter's identity plus the
@@ -54,9 +72,14 @@ func (s *System) lock(id int) *lock {
 // buildGrant assembles the grant for the acquirer described by info: the
 // write notices it lacks, plus Validate_w_sync piggybacked diffs ("in the
 // case of a lock acquire, the requested data is piggy-backed on the
-// response"). Only diffs present locally are sent. The result is a wire
-// value sharing nothing with this node's cache.
-func (nd *Node) buildGrant(reqID int, info wire.SyncInfo) wire.Grant {
+// response"). Only diffs present locally are sent. pushPages, when
+// non-empty, is the lock-scope adaptive piggyback: the detector predicted
+// the acquirer will fault on these pages in its critical section, so the
+// releaser flushes them and attaches every diff the acquirer's presented
+// vector time proves it cannot have seen — the run-time analogue of the
+// compiler's Validate_w_sync data, riding the same message. The result is
+// a wire value sharing nothing with this node's cache.
+func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.Grant {
 	g := wire.Grant{}
 	for o := range nd.vc {
 		for idx := info.VC[o] + 1; idx <= nd.vc[o]; idx++ {
@@ -83,16 +106,135 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo) wire.Grant {
 			}
 		}
 	}
+	if len(pushPages) > 0 {
+		// The acquirer's per-page applied timestamps are unknown here (it
+		// presents them only for pages it registered via Validate_w_sync),
+		// so the releaser ships its full cached chain per page — the same
+		// set a demand fetch against it would return to a cold requester.
+		// Chains must stay gap-free per creator: the receiver prunes write
+		// notices by applied coverage, and a chain gap would silently drop
+		// the missing intervals' content (see usablePushed). Pages the
+		// acquirer registered via Validate_w_sync were already served
+		// exactly above — pushing them too would ship (and bill) the same
+		// diffs twice.
+		needed := map[int]bool{}
+		for _, need := range info.Needs {
+			for _, pg32 := range need.Pages {
+				needed[int(pg32)] = true
+			}
+		}
+		floor := make([]int32, nd.sys.N())
+		var pagesPushed int64
+		for _, pg := range pushPages {
+			if needed[pg] {
+				continue
+			}
+			nd.p.Charge(nd.sys.Costs.SectionScanPerPage)
+			ds := nd.collectDiffs(reqID, pg, floor)
+			for _, d := range ds {
+				g.Pushed = append(g.Pushed, d.toWire())
+				g.Bytes += int32(d.wireBytes())
+			}
+			if len(ds) > 0 {
+				pagesPushed++
+			}
+		}
+		// Count only piggybacks that actually shipped diffs: a bound page
+		// the releaser has nothing cached for adds no payload and must not
+		// inflate the grant/page counters Table B reports.
+		if len(g.Pushed) > 0 {
+			nd.Stats.AdaptLockGrants++
+			nd.Stats.AdaptLockPagesPush += pagesPushed
+		}
+	}
 	return g
 }
 
-// applyGrant merges a grant at the acquirer.
+// applyGrant merges a grant at the acquirer. Served and usable Pushed
+// diffs are applied in one pass: applyDiffs globally sorts by coverage,
+// and the two sets may overlap the same pages. Pushed diffs thus take the
+// identical path a demand fetch would — ordering, applied-timestamp
+// advancement, notice pruning, revalidation — which is why adapt-on and
+// adapt-off runs produce bit-identical memory images.
 func (nd *Node) applyGrant(g wire.Grant) {
 	for _, oi := range g.Intervals {
 		nd.learnInterval(int(oi.Owner), oi.Idx, intervalFromWire(oi.IV))
 	}
-	nd.applyDiffs(g.Served)
+	diffs := g.Served
+	if len(g.Pushed) > 0 {
+		diffs = append(append([]wire.Diff(nil), g.Served...), nd.usablePushed(g.Served, g.Pushed)...)
+	}
+	nd.applyDiffs(diffs)
 	nd.consumeWSync()
+}
+
+// usablePushed filters piggybacked diffs down to the pages the grant
+// resolves completely: a pushed page is applied only when the grant's
+// diffs cover every write notice pending on it here. Overlapping diffs of
+// migratory pages are only ordered correctly within one applyDiffs pass —
+// applying a partial (newer) set now and fetching an older overlapping
+// diff at a later fault would regress the page's content (the exact
+// lost-update shape wire.Diff.Covers ordering exists to prevent). An
+// incomplete page drops its pushed diffs entirely and takes the normal
+// fault path, where all outstanding diffs arrive in one exchange; the
+// resulting in-critical-section fetch also tells the detector the
+// prediction went stale.
+func (nd *Node) usablePushed(served, pushed []wire.Diff) []wire.Diff {
+	pages := map[int][]wire.Diff{}
+	for _, d := range pushed {
+		pages[int(d.Page)] = append(pages[int(d.Page)], d)
+	}
+	var out []wire.Diff
+	for _, pg := range sortedPageKeys(pages) {
+		staged := append([]wire.Diff(nil), pages[pg]...)
+		for _, d := range served {
+			if int(d.Page) == pg {
+				staged = append(staged, d)
+			}
+		}
+		// Simulate the coverage the staged diffs establish, requiring
+		// per-creator chain contiguity: a run diff only counts once the
+		// coverage has reached its From (content below From is not in its
+		// runs, even though applyDiffs would advance the timestamp past
+		// it). Whole snapshots cover everything up to their Covers.
+		applied := append([]int32(nil), nd.applied[pg]...)
+		for changed := true; changed; {
+			changed = false
+			for _, d := range staged {
+				if d.Whole {
+					for o, c := range d.Covers {
+						if c > applied[o] {
+							applied[o] = c
+							changed = true
+						}
+					}
+				} else if d.From <= applied[d.Creator] && d.To > applied[d.Creator] {
+					applied[d.Creator] = d.To
+					changed = true
+				}
+			}
+		}
+		complete := true
+		for _, nt := range nd.pending[pg] {
+			if nt.idx > applied[nt.owner] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out = append(out, pages[pg]...)
+		}
+	}
+	return out
+}
+
+func sortedPageKeys(m map[int][]wire.Diff) []int {
+	out := make([]int, 0, len(m))
+	for pg := range m {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Acquire obtains lock id, receiving the releaser's write notices
@@ -109,6 +251,7 @@ func (nd *Node) Acquire(id int) {
 	if s.N() == 1 {
 		nd.p.Charge(c.LockMgmt)
 		nd.consumeWSync()
+		nd.pushHeld(id)
 		return
 	}
 	l := s.lock(id)
@@ -129,18 +272,26 @@ func (nd *Node) Acquire(id int) {
 		nd.p.Block(fmt.Sprintf("lock %d", id))
 		g := s.NW.TakeHand(nd.p, slotGrant).(wire.Grant)
 		nd.applyGrant(g)
+		nd.pushHeld(id)
 		return
 	}
 
 	l.holder = nd.ID
 	r := l.lastReleaser
 	if r == nd.ID {
-		// Re-acquiring a lock we released last: nothing new to learn.
+		// Re-acquiring a lock we released last: nothing new to learn. The
+		// detector still records the self hand-off — it is part of the
+		// lock's serialized chain (never bound: there is nothing to
+		// piggyback to yourself).
+		if det := l.adaptDet(s); det != nil {
+			det.Grant(nd.ID, nd.ID)
+		}
 		if l.home != nd.ID {
 			t = s.NW.Message(l.home, nd.ID, t, 0)
 		}
 		nd.p.SetClock(t)
 		nd.consumeWSync()
+		nd.pushHeld(id)
 		return
 	}
 	if r != l.home {
@@ -151,15 +302,24 @@ func (nd *Node) Acquire(id int) {
 	// The last releaser may be mid-computation on the real host; Hold
 	// serializes the grant construction (which may flush its diffs)
 	// against its compute section. The grant itself is a wire value built
-	// from the acquirer's presented info.
+	// from the acquirer's presented info. The lock detector's hand-off
+	// record and piggyback decision happen here too: both run under the
+	// protocol-section token, in the lock's serialized order.
 	info := nd.syncInfo()
 	var g wire.Grant
-	nd.p.Hold(s.Nodes[r].p, func() { g = s.Nodes[r].buildGrant(nd.ID, info) })
+	nd.p.Hold(s.Nodes[r].p, func() {
+		var pushPages []int
+		if det := l.adaptDet(s); det != nil {
+			pushPages = det.Grant(r, nd.ID)
+		}
+		g = s.Nodes[r].buildGrant(nd.ID, info, pushPages)
+	})
 	s.H.Proc(r).Charge(c.LockMgmt)
 	t += c.LockMgmt
 	t = s.NW.Message(r, nd.ID, t, int(g.Bytes))
 	nd.p.SetClock(t)
 	nd.applyGrant(g)
+	nd.pushHeld(id)
 }
 
 // Release ends the critical section: the open interval closes (a release
@@ -174,11 +334,19 @@ func (nd *Node) Release(id int) {
 	nd.closeInterval()
 	s := nd.sys
 	if s.N() == 1 {
+		nd.popHeld(id)
 		return
 	}
 	l := s.lock(id)
 	if l.holder != nd.ID {
 		panic(fmt.Sprintf("tmk: node %d releasing lock %d held by %d", nd.ID, id, l.holder))
+	}
+	// The departing holder's critical-section fetch report closes its
+	// observation on the lock's chain before any hand-off is decided.
+	fetched := nd.popHeld(id)
+	det := l.adaptDet(s)
+	if det != nil {
+		det.Hold(fetched)
 	}
 	l.lastReleaser = nd.ID
 	if len(l.queue) == 0 {
@@ -188,7 +356,11 @@ func (nd *Node) Release(id int) {
 	w := l.queue[0]
 	l.queue = l.queue[1:]
 	l.holder = w.id
-	g := nd.buildGrant(w.id, w.info)
+	var pushPages []int
+	if det != nil {
+		pushPages = det.Grant(nd.ID, w.id)
+	}
+	g := nd.buildGrant(w.id, w.info, pushPages)
 	t := nd.p.Now()
 	if w.tAtHolder > t {
 		t = w.tAtHolder

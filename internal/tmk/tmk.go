@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"sdsm/internal/adapt"
 	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/shm"
@@ -86,6 +87,7 @@ type ProtocolStats struct {
 	DiffsApplied  int64
 	WordsApplied  int64
 	Invalidations int64
+	LockFetches   int64 // pages demand-fetched while holding a lock (lock faults)
 
 	// Adaptive protocol counters (EnableAdapt). Promotions and decays are
 	// machine-global detector transitions, reported once (at node 0);
@@ -94,6 +96,17 @@ type ProtocolStats struct {
 	AdaptDecays      int64 // pages switched update → invalidate
 	AdaptUpdates     int64 // update messages sent at barrier departures
 	AdaptPagesPushed int64 // page push deliveries (one per page per consumer)
+
+	// Lock-scope adaptive counters (EnableAdapt). Grants and pages are
+	// counted at the releasing node; the detector transition counters are
+	// machine-global (the per-lock detectors live with the lock control
+	// state) and are folded in by System.Stats.
+	AdaptLockGrants     int64 // grants that carried piggybacked diffs
+	AdaptLockPagesPush  int64 // pages piggybacked (one per page per grant)
+	AdaptLockPromotions int64 // hand-off edges bound to grant piggybacking
+	AdaptLockDecays     int64 // bindings dropped on a broken pattern
+	AdaptLockProbes     int64 // piggybacks withheld for a staleness re-probe
+	AdaptLockStaleDrops int64 // bindings dropped because a re-probe went unread
 }
 
 // System is one DSM machine: N nodes over a network sharing a page-based
@@ -109,6 +122,7 @@ type System struct {
 
 	locks    map[int]*lock
 	barriers map[int]*barrier
+	adaptCfg adapt.Config // detector tuning; meaningful once EnableAdapt ran
 }
 
 // New builds a DSM system for every processor of h. All pages start
@@ -213,10 +227,26 @@ func (s *System) Stats() (vm.Counters, ProtocolStats) {
 		ps.DiffsApplied += nd.Stats.DiffsApplied
 		ps.WordsApplied += nd.Stats.WordsApplied
 		ps.Invalidations += nd.Stats.Invalidations
+		ps.LockFetches += nd.Stats.LockFetches
 		ps.AdaptPromotions += nd.Stats.AdaptPromotions
 		ps.AdaptDecays += nd.Stats.AdaptDecays
 		ps.AdaptUpdates += nd.Stats.AdaptUpdates
 		ps.AdaptPagesPushed += nd.Stats.AdaptPagesPushed
+		ps.AdaptLockGrants += nd.Stats.AdaptLockGrants
+		ps.AdaptLockPagesPush += nd.Stats.AdaptLockPagesPush
+	}
+	// The per-lock detectors are machine state (they live with the lock
+	// control blocks, serialized like the holder and queue fields), so
+	// their transition counters are summed here, not per node.
+	for _, l := range s.locks {
+		if l.det == nil {
+			continue
+		}
+		st := l.det.Stats
+		ps.AdaptLockPromotions += st.Promotions
+		ps.AdaptLockDecays += st.Decays
+		ps.AdaptLockProbes += st.Probes
+		ps.AdaptLockStaleDrops += st.StaleDrops
 	}
 	return vc, ps
 }
@@ -340,8 +370,49 @@ type Node struct {
 	mode     map[int]AccessType // deferred consistency action for async Validate
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
 	ad       *adaptNode         // adaptive protocol state; nil unless EnableAdapt
+	held     []heldLock         // locks currently held, innermost last
 
 	Stats ProtocolStats
+}
+
+// heldLock is one held lock on a node's stack: its id and, when the
+// adaptive protocol is on, the pages demand-fetched while holding it (the
+// critical-section working set the per-lock detector observes).
+type heldLock struct {
+	id      int
+	fetched map[int]bool // nil unless EnableAdapt
+}
+
+// pushHeld records a lock acquisition on the held stack.
+func (nd *Node) pushHeld(id int) {
+	h := heldLock{id: id}
+	if nd.ad != nil {
+		h.fetched = map[int]bool{}
+	}
+	nd.held = append(nd.held, h)
+}
+
+// popHeld removes the topmost held entry for id and returns the sorted
+// page set fetched while it was held (nil when adaptation is off or
+// nothing was fetched).
+func (nd *Node) popHeld(id int) []int {
+	for i := len(nd.held) - 1; i >= 0; i-- {
+		if nd.held[i].id != id {
+			continue
+		}
+		h := nd.held[i]
+		nd.held = append(nd.held[:i], nd.held[i+1:]...)
+		if len(h.fetched) == 0 {
+			return nil
+		}
+		out := make([]int, 0, len(h.fetched))
+		for pg := range h.fetched {
+			out = append(out, pg)
+		}
+		sort.Ints(out)
+		return out
+	}
+	return nil
 }
 
 // Proc returns the processor the node runs on.

@@ -199,6 +199,7 @@ func (e *enc) payload(p any) error {
 		e.u8(pGrant)
 		e.intervals(v.Intervals)
 		e.diffs(v.Served)
+		e.diffs(v.Pushed)
 		e.i32(v.Bytes)
 	case Arrival:
 		e.u8(pArrival)
@@ -303,7 +304,7 @@ func (d *dec) payload() any {
 	case pDiffReply:
 		return DiffReply{Diffs: d.diffs()}
 	case pGrant:
-		return Grant{Intervals: d.intervals(), Served: d.diffs(), Bytes: d.i32()}
+		return Grant{Intervals: d.intervals(), Served: d.diffs(), Pushed: d.diffs(), Bytes: d.i32()}
 	case pArrival:
 		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs(), Fetched: d.i32s()}
 	case pDepart:

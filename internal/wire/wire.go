@@ -28,8 +28,9 @@ import "fmt"
 // frames with any other version (the format has no negotiation; both ends
 // of a machine are the same build). Version 2 added the adaptive
 // protocol's Update payload and the Fetched relay fields on barrier
-// arrivals and departures.
-const Version = 2
+// arrivals and departures; version 3 added the Pushed field on lock
+// grants (lock-scope adaptive updates piggybacked on the grant).
+const Version = 3
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -198,10 +199,16 @@ type SyncInfo struct {
 
 // Grant carries what a releaser hands to an acquirer: the write notices
 // the acquirer lacks plus any diffs piggybacked for a Validate_w_sync.
-// Bytes is the accounted size of the grant message.
+// Pushed carries the lock-scope adaptive updates: diffs for the pages the
+// per-lock detector predicts the acquirer will fault on in its critical
+// section, piggybacked the same way Validate_w_sync piggybacks
+// compiler-known data (empty when adaptation is disabled or the hand-off
+// edge is not bound). Receivers apply Served and Pushed through the same
+// diff path. Bytes is the accounted size of the grant message.
 type Grant struct {
 	Intervals []OwnedInterval
 	Served    []Diff
+	Pushed    []Diff
 	Bytes     int32
 }
 

@@ -39,6 +39,19 @@ func sampleFrames() []*Frame {
 			Served: []Diff{{Page: 4, Creator: 2, From: 4, To: 5, Covers: []int32{0, 0, 5}}},
 			Bytes:  60,
 		}},
+		{Kind: FHand, From: 1, To: 2, Tag: 1, Payload: Grant{
+			Intervals: []OwnedInterval{{Owner: 1, Idx: 6, IV: Interval{
+				Pages: []PageRef{{Page: 9}},
+				VC:    []int32{2, 6, 5},
+			}}},
+			Pushed: []Diff{
+				{Page: 9, Creator: 1, From: 5, To: 6, Covers: []int32{2, 6, 5},
+					Runs: []Run{{Off: 8, Vals: []float64{1.25, -3}}}},
+				{Page: 10, Creator: 0, From: 1, To: 2, Whole: true, Covers: []int32{2, 0, 0},
+					Runs: []Run{{Off: 0, Vals: []float64{7}}}},
+			},
+			Bytes: 96,
+		}},
 		{Kind: FHand, From: 0, To: 2, Tag: 2, Payload: Depart{
 			Time:      987654321,
 			Intervals: []OwnedInterval{{Owner: 1, Idx: 2, IV: Interval{VC: []int32{0, 2, 0}}}},
