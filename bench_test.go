@@ -119,6 +119,7 @@ func benchPushedGrant() *wire.Frame {
 			},
 		})
 	}
+	var pushed []wire.Diff
 	for page := int32(3); page <= 4; page++ {
 		d := wire.Diff{
 			Page: page, Creator: 2, From: 4, To: 5,
@@ -127,8 +128,11 @@ func benchPushedGrant() *wire.Frame {
 		for off := int32(0); off < 512; off += 16 {
 			d.Runs = append(d.Runs, wire.Run{Off: off, Vals: []float64{1, 2, 3, 4}})
 		}
-		g.Pushed = append(g.Pushed, d)
+		pushed = append(pushed, d)
 	}
+	// The two pages share one header: they coalesce into a single section
+	// span, as buildGrant ships them since wire version 4.
+	g.Pushed = wire.CoalesceDiffs(pushed)
 	return &wire.Frame{Kind: wire.FHand, From: 2, To: 5, Tag: 1, Payload: g}
 }
 

@@ -31,7 +31,7 @@ func main() {
 	var (
 		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs, spmv, tsp")
 		system  = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
-		set     = flag.String("set", "large", "data set: large, small")
+		set     = flag.String("set", "large", "data set: large, small (jacobi adds bound)")
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
 		verify  = flag.Bool("verify", false, "verify the result against the sequential reference")
 		sync    = flag.Bool("sync", false, "force synchronous data fetching (opt-tmk only)")
@@ -93,9 +93,11 @@ func main() {
 			res.Protocol.DiffFetches, res.Protocol.DiffsApplied)
 		fmt.Printf("lock faults:   %d\n", res.Protocol.LockFetches)
 		if *adaptOn {
-			fmt.Printf("adaptive:      %d promotions, %d decays, %d updates sent, %d page pushes\n",
-				res.Protocol.AdaptPromotions, res.Protocol.AdaptDecays,
-				res.Protocol.AdaptUpdates, res.Protocol.AdaptPagesPushed)
+			fmt.Printf("adaptive:      %d promotions (%d section joins), %d sub-page splits, %d decays, %d updates sent, %d spans, %d page pushes\n",
+				res.Protocol.AdaptPromotions, res.Protocol.AdaptJoins,
+				res.Protocol.AdaptSplits, res.Protocol.AdaptDecays,
+				res.Protocol.AdaptUpdates, res.Protocol.AdaptSpans,
+				res.Protocol.AdaptPagesPushed)
 			fmt.Printf("lock adaptive: %d edge promotions, %d decays, %d piggybacked grants, %d pages, %d probes, %d stale drops\n",
 				res.Protocol.AdaptLockPromotions, res.Protocol.AdaptLockDecays,
 				res.Protocol.AdaptLockGrants, res.Protocol.AdaptLockPagesPush,

@@ -15,26 +15,53 @@
 // departure instead of leaving them to fault, and decays straight back to
 // invalidate when the pattern breaks.
 //
+// The binding unit is a section, not a page: bound pages with the same
+// producer and consumer set cluster into maximal contiguous spans
+// (Sections, rsd.Coalesce), the producer ships one run-length-encoded
+// diff span per (consumer, section), and hysteresis acts section-shaped —
+// a page whose pattern matches an adjacent bound page joins its section
+// without re-serving the full K-cycle warm-up, and a pattern break on one
+// page splits or shrinks the section it sits in instead of decaying the
+// neighbors (the decay asymmetry: whole sections never fall as a unit,
+// they erode page by page, while every page's own promotion remains
+// individually hysteresis-guarded).
+//
+// Two-writer pages get a second chance the page-granular protocol cannot
+// offer: when exactly two nodes write disjoint extents of one page, cycle
+// after cycle — spatial false sharing, a block boundary landing mid-page —
+// the detector learns a sub-page split binding at the observed
+// write-extent watershed. Each writer then pushes only its own diffs
+// (which cover exactly its half) to the consumers on the far side, every
+// pending notice is satisfied by the paired pushes, and the page leaves
+// the invalidate fault loop that whole-page adaptation structurally
+// cannot win (the paper's false-sharing case; see DESIGN.md §8).
+//
 // The detector is deterministic and runs replicated: every node feeds the
-// same globally-relayed observations (write notices already travel with
-// barriers; fetch observations ride the new Arrival.Fetched /
-// Depart.Fetched wire fields) through the same transition function, so all
-// nodes agree on the bindings without any extra coordination — the same
-// idiom the barrier's Validate_w_sync responder assignment uses.
+// same globally-relayed observations (write notices with write extents
+// already travel with barriers; fetch observations ride the
+// Arrival.Fetched / Depart.Fetched wire fields) through the same
+// transition function — iterating pages in sorted order, so even the
+// section-join rule, which reads neighbor state mid-transition, is a pure
+// function of the observation stream — and all nodes agree on the
+// bindings without any extra coordination, the same idiom the barrier's
+// Validate_w_sync responder assignment uses.
 //
 // A pattern is tracked per page as a production cycle: a cycle starts when
-// the page's single producer publishes a write and ends at its next write,
-// with every demand fetch observed in between attributed to the cycle.
-// This makes the detector phase-tolerant: the common "write phase, then
-// read phase" shape of barrier programs (Jacobi's copy/stencil, an
-// irregular stencil's update/relax) alternates writers and readers across
-// epochs, and per-epoch matching would never see them together.
+// the page's producer (or, for split tracking, its writer pair) publishes
+// a write and ends at the next write, with every demand fetch observed in
+// between attributed to the cycle. This makes the detector phase-tolerant:
+// the common "write phase, then read phase" shape of barrier programs
+// (Jacobi's copy/stencil, an irregular stencil's update/relax) alternates
+// writers and readers across epochs, and per-epoch matching would never
+// see them together.
 package adapt
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sdsm/internal/rsd"
 )
 
 // DefaultK is the default number of consecutive stable production cycles
@@ -66,13 +93,26 @@ func (c Config) k() int {
 	return c.K
 }
 
+// WriteExt is one writer's observation for one page in one epoch: the
+// writing node and the union of its declared write extents within the
+// page, as a [Lo, Hi) word range. Hi == 0 means the extent is unknown
+// (the page was republished without a fresh write region) and the whole
+// page must be assumed.
+type WriteExt struct {
+	Node   int
+	Lo, Hi int
+}
+
+// known reports whether the extent is usable for sub-page reasoning.
+func (w WriteExt) known() bool { return w.Hi > 0 }
+
 // Epoch is the globally shared observation for one barrier epoch: for each
-// page, the nodes that closed write intervals covering it, and the nodes
-// that demand-fetched remote data for it. Writers come from the write
-// notices every node learns at the barrier; Readers from the relayed
-// arrival fetch lists.
+// page, the nodes that closed write intervals covering it (with their
+// write extents), and the nodes that demand-fetched remote data for it.
+// Writers come from the write notices every node learns at the barrier;
+// Readers from the relayed arrival fetch lists.
 type Epoch struct {
-	Writers map[int][]int
+	Writers map[int][]WriteExt
 	Readers map[int][]int
 }
 
@@ -86,22 +126,51 @@ const (
 	// Update is the adaptive protocol: the producer pushes its diffs to
 	// the bound consumers at barrier departure.
 	Update
+	// Split is the sub-page adaptive protocol for falsely shared pages:
+	// two writers own disjoint halves at a stable watershed, and each
+	// pushes its own diffs to the bound consumers on the far side.
+	Split
 )
 
-// pattern is the per-page detector state.
+// pattern is the per-page detector state. Single-producer and writer-pair
+// hysteresis are mutually exclusive: a single-writer cycle resets the
+// pair tracking and vice versa, so at most one promotion path is armed.
 type pattern struct {
 	producer  int   // last single writer; -1 before any write
 	consumers []int // sorted consumer set of the last completed cycle
 	cur       map[int]bool
 	streak    int // consecutive cycles with a stable producer+consumer set
 	mode      Mode
-	bound     []int // sorted consumer set pushed to while in Update mode
+	bound     []int // sorted consumer set pushed to while bound
+
+	// Writer-pair (sub-page split) hysteresis.
+	pairLo, pairHi int   // the two writers, ordered by extent position; -1 unset
+	cut            int   // watershed: pairLo writes [0,cut), pairHi [cut,PageWords)
+	pairCons       []int // sorted consumer set of the last completed pair cycle
+	pairStreak     int   // consecutive pair cycles with stable pair+consumers
+}
+
+// clearPair resets the writer-pair hysteresis.
+func (p *pattern) clearPair() {
+	p.pairLo, p.pairHi = -1, -1
+	p.cut = 0
+	p.pairCons = nil
+	p.pairStreak = 0
+}
+
+// clearSingle resets the single-producer hysteresis.
+func (p *pattern) clearSingle() {
+	p.producer = -1
+	p.consumers = nil
+	p.streak = 0
 }
 
 // Stats counts detector transitions.
 type Stats struct {
-	Promotions int64 // pages switched invalidate → update
-	Decays     int64 // pages switched update → invalidate
+	Promotions   int64 // pages switched invalidate → update (whole page)
+	Splits       int64 // pages switched to sub-page split bindings
+	SectionJoins int64 // of Promotions: pages that joined an adjacent bound section early
+	Decays       int64 // bound pages switched back to invalidate
 }
 
 // Detector is the replicated pattern detector for one DSM machine. All
@@ -121,72 +190,198 @@ func New(cfg Config) *Detector {
 // Advance feeds one epoch's observation through the detector. Reads are
 // attributed before writes: a fetch observed in the same epoch as the next
 // write belongs to the cycle that write closes (the fetch happened while
-// the previous production was current).
+// the previous production was current). Pages are visited in sorted order
+// — required for replica determinism, because the section-join rule reads
+// neighbor pages' states mid-transition.
 func (d *Detector) Advance(ep Epoch) {
-	for pg, readers := range ep.Readers {
+	for _, pg := range sortedKeys(ep.Readers) {
 		p := d.page(pg)
-		for _, r := range readers {
+		for _, r := range ep.Readers[pg] {
 			p.cur[r] = true
 		}
 	}
-	for pg, writers := range ep.Writers {
+	for _, pg := range sortedKeys(ep.Writers) {
+		writers := ep.Writers[pg]
 		p := d.page(pg)
-		if len(writers) != 1 || (p.producer >= 0 && writers[0] != p.producer) {
-			// Multiple writers, or the producer changed hands: the pattern
-			// is broken. Restart tracking from this epoch's writer (if
-			// single), discarding the in-flight cycle's reads.
-			if p.mode == Update {
-				d.Stats.Decays++
-			}
-			p.mode = Invalidate
-			p.bound = nil
-			p.streak = 0
-			p.consumers = nil
-			p.producer = -1
-			if len(writers) == 1 {
-				p.producer = writers[0]
-			}
-			p.cur = map[int]bool{}
-			continue
-		}
-		p.producer = writers[0]
-		// A write with reads gathered since the previous write closes a
-		// production cycle with those reads as its consumers. A write with
-		// none merely extends the current production — the protocol layer
-		// closes write intervals for bookkeeping reasons too (a lazy diff
-		// flush while serving splits an interval), and a producer may write
-		// across several epochs before anyone reads.
-		cycle := setToSorted(p.cur)
-		p.cur = map[int]bool{}
-		if p.mode == Update {
-			// Pushed pages no longer fault, so an empty cycle means the
-			// pushes kept the consumers satisfied. Any reads that do appear
-			// are consumers the pushes missed — extend the binding.
-			if grown := union(p.bound, cycle); len(grown) != len(p.bound) {
-				p.bound = grown
-			}
-			continue
-		}
-		if len(cycle) == 0 {
-			continue
-		}
-		if !equalInts(cycle, p.consumers) {
-			p.consumers = cycle
-			p.streak = 1
-			continue
-		}
-		p.streak++
-		if p.streak >= d.cfg.k() {
-			p.mode = Update
-			p.bound = append([]int(nil), p.consumers...)
-			d.Stats.Promotions++
+		switch {
+		case len(writers) == 1:
+			d.single(pg, p, writers[0])
+		case len(writers) == 2 && disjoint(writers[0], writers[1]):
+			d.pair(pg, p, writers)
+		default:
+			// Three or more writers, or two with overlapping or unknown
+			// extents: a genuine conflict no binding shape can serve.
+			d.reset(p)
 		}
 	}
 }
 
-// Push reports whether page is bound to the update protocol, and if so to
-// which consumers (sorted; never including the producer). The caller pushes
-// only when it is the producer and actually wrote the page this epoch.
+// single advances a page on a one-writer epoch.
+func (d *Detector) single(pg int, p *pattern, w WriteExt) {
+	if p.mode == Split {
+		if w.Node == p.pairLo || w.Node == p.pairHi {
+			// One side of the pair produced alone this epoch: the binding
+			// holds (the idle side simply has nothing to push). Reads that
+			// appear are consumers the pushes missed — extend the binding.
+			d.extend(p)
+			return
+		}
+		d.reset(p) // an outside writer took the page
+		p.producer = w.Node
+		return
+	}
+	if p.pairLo >= 0 {
+		// Pair hysteresis in progress, but this cycle had a single writer:
+		// the pair pattern broke before promoting. Its in-flight reads were
+		// observed under that broken pattern and must not seed the single-
+		// producer streak — the mirror of pair()'s transition discard.
+		p.cur = map[int]bool{}
+		p.clearPair()
+	}
+	if p.producer >= 0 && w.Node != p.producer {
+		// The producer changed hands: the pattern is broken. Restart
+		// tracking from this epoch's writer, discarding the in-flight
+		// cycle's reads.
+		d.reset(p)
+		p.producer = w.Node
+		return
+	}
+	p.producer = w.Node
+	// A write with reads gathered since the previous write closes a
+	// production cycle with those reads as its consumers. A write with
+	// none merely extends the current production — the protocol layer
+	// closes write intervals for bookkeeping reasons too (a lazy diff
+	// flush while serving splits an interval), and a producer may write
+	// across several epochs before anyone reads.
+	cycle := setToSorted(p.cur)
+	p.cur = map[int]bool{}
+	if p.mode == Update {
+		// Pushed pages no longer fault, so an empty cycle means the
+		// pushes kept the consumers satisfied. Any reads that do appear
+		// are consumers the pushes missed — extend the binding.
+		if grown := union(p.bound, cycle); len(grown) != len(p.bound) {
+			p.bound = grown
+		}
+		return
+	}
+	if len(cycle) == 0 {
+		return
+	}
+	if !equalInts(cycle, p.consumers) {
+		p.consumers = cycle
+		p.streak = 1
+	} else {
+		p.streak++
+	}
+	if p.streak >= d.cfg.k() {
+		p.mode = Update
+		p.bound = append([]int(nil), p.consumers...)
+		d.Stats.Promotions++
+		return
+	}
+	// Section join: the page's pattern matches an adjacent page that is
+	// already whole-page bound to the same producer and consumers, so it
+	// extends that section now instead of re-serving the full K-cycle
+	// warm-up — the section-granular analogue of rsd's bounding-box union.
+	// (Pages are visited in ascending order, so the neighbor states read
+	// here are identical at every replica.)
+	for _, nb := range [2]int{pg - 1, pg + 1} {
+		q, ok := d.pages[nb]
+		if ok && q.mode == Update && q.producer == p.producer && equalInts(q.bound, cycle) {
+			p.mode = Update
+			p.bound = append([]int(nil), cycle...)
+			d.Stats.Promotions++
+			d.Stats.SectionJoins++
+			return
+		}
+	}
+}
+
+// pair advances a page on a two-writer epoch with disjoint extents — the
+// spatial false-sharing shape. writers arrive sorted by node; ordering by
+// extent decides which owns the low half.
+func (d *Detector) pair(pg int, p *pattern, writers []WriteExt) {
+	lo, hi := writers[0], writers[1]
+	if hi.Lo < lo.Lo {
+		lo, hi = hi, lo
+	}
+	// samePair: the established pair reproduced within its halves (the
+	// watershed still separates the extents) — the one stability predicate
+	// both the bound hold-check and the pre-promotion hysteresis use.
+	samePair := lo.Node == p.pairLo && hi.Node == p.pairHi && lo.Hi <= p.cut && p.cut <= hi.Lo
+	if p.mode == Update {
+		// A second writer broke a whole-page binding. Decay it, then give
+		// the pair shape its chance below.
+		d.Stats.Decays++
+		p.mode = Invalidate
+		p.bound = nil
+	}
+	if p.mode == Split {
+		if samePair {
+			// The pair reproduced within its halves: the binding holds.
+			d.extend(p)
+			return
+		}
+		d.reset(p) // different pair, or the watershed moved across a write
+	}
+	if p.producer >= 0 {
+		// A single-producer pattern was in progress: its in-flight reads
+		// were observed under that broken pattern and must not seed the
+		// pair hysteresis — the same discard single() performs on a
+		// producer change, keeping the K-cycle guard symmetric.
+		p.cur = map[int]bool{}
+	}
+	p.clearSingle()
+	cycle := setToSorted(p.cur)
+	p.cur = map[int]bool{}
+	if !samePair {
+		p.pairLo, p.pairHi = lo.Node, hi.Node
+		p.cut = (lo.Hi + hi.Lo + 1) / 2
+		p.pairCons = nil
+		p.pairStreak = 0
+	}
+	if len(cycle) == 0 {
+		return // production extension, as in the single-writer path
+	}
+	if !equalInts(cycle, p.pairCons) {
+		p.pairCons = cycle
+		p.pairStreak = 1
+	} else {
+		p.pairStreak++
+	}
+	if p.pairStreak >= d.cfg.k() {
+		p.mode = Split
+		p.bound = append([]int(nil), p.pairCons...)
+		d.Stats.Splits++
+	}
+}
+
+// extend folds the in-flight reads of a bound page into its binding
+// (consumers the pushes missed fault once and join).
+func (d *Detector) extend(p *pattern) {
+	cycle := setToSorted(p.cur)
+	p.cur = map[int]bool{}
+	if grown := union(p.bound, cycle); len(grown) != len(p.bound) {
+		p.bound = grown
+	}
+}
+
+// reset decays any binding and restarts all hysteresis for a page.
+func (d *Detector) reset(p *pattern) {
+	if p.mode != Invalidate {
+		d.Stats.Decays++
+	}
+	p.mode = Invalidate
+	p.bound = nil
+	p.clearSingle()
+	p.clearPair()
+	p.cur = map[int]bool{}
+}
+
+// Push reports whether page is whole-page bound to the update protocol,
+// and if so to which consumers (sorted; never including the producer).
+// The caller pushes only when it is the producer and actually wrote the
+// page this epoch.
 func (d *Detector) Push(page int) (producer int, consumers []int, ok bool) {
 	p, present := d.pages[page]
 	if !present || p.mode != Update {
@@ -195,12 +390,71 @@ func (d *Detector) Push(page int) (producer int, consumers []int, ok bool) {
 	return p.producer, p.bound, true
 }
 
+// Split reports whether page carries a sub-page split binding, and if so
+// the writer pair (low half first), the watershed word offset, and the
+// bound consumers. Each pair member pushes its own diffs — which cover
+// exactly its half — to every bound consumer but itself.
+func (d *Detector) Split(page int) (pair [2]int, cut int, consumers []int, ok bool) {
+	p, present := d.pages[page]
+	if !present || p.mode != Split {
+		return [2]int{}, 0, nil, false
+	}
+	return [2]int{p.pairLo, p.pairHi}, p.cut, p.bound, true
+}
+
 // Mode returns the page's current protocol.
 func (d *Detector) Mode(page int) Mode {
 	if p, ok := d.pages[page]; ok {
 		return p.mode
 	}
 	return Invalidate
+}
+
+// Section is a maximal contiguous span of pages bound to the same
+// producer (or writer pair) and consumer set — the adaptive protocol's
+// binding unit, and the granularity the producer's update spans ship at.
+type Section struct {
+	Span      rsd.Span
+	Split     bool
+	Producer  int    // single producer; -1 for split sections
+	Pair      [2]int // split sections only
+	Consumers []int
+}
+
+// Sections clusters the currently bound pages into sections. Adjacent
+// bound pages merge only when mode, producer (or pair), and consumer set
+// all agree — adjacent spans bound to different consumers stay separate
+// sections.
+func (d *Detector) Sections() []Section {
+	var pages []int
+	for pg, p := range d.pages {
+		if p.mode != Invalidate {
+			pages = append(pages, pg)
+		}
+	}
+	sort.Ints(pages)
+	same := func(a, b int) bool {
+		pa, pb := d.pages[a], d.pages[b]
+		if pa.mode != pb.mode || !equalInts(pa.bound, pb.bound) {
+			return false
+		}
+		if pa.mode == Split {
+			return pa.pairLo == pb.pairLo && pa.pairHi == pb.pairHi
+		}
+		return pa.producer == pb.producer
+	}
+	var out []Section
+	for _, sp := range rsd.Coalesce(pages, same) {
+		p := d.pages[sp.Lo]
+		sec := Section{Span: sp, Consumers: p.bound, Producer: p.producer}
+		if p.mode == Split {
+			sec.Split = true
+			sec.Producer = -1
+			sec.Pair = [2]int{p.pairLo, p.pairHi}
+		}
+		out = append(out, sec)
+	}
+	return out
 }
 
 // Fingerprint returns a canonical rendering of the full detector state,
@@ -217,8 +471,13 @@ func (d *Detector) Fingerprint() string {
 	sort.Ints(pages)
 	for _, pg := range pages {
 		p := d.pages[pg]
-		fmt.Fprintf(&b, "%d prod=%d cons=%v cur=%v streak=%d mode=%d bound=%v\n",
-			pg, p.producer, p.consumers, setToSorted(p.cur), p.streak, p.mode, p.bound)
+		fmt.Fprintf(&b, "%d prod=%d cons=%v cur=%v streak=%d mode=%d bound=%v pair=%d/%d@%d cons=%v/%d\n",
+			pg, p.producer, p.consumers, setToSorted(p.cur), p.streak, p.mode, p.bound,
+			p.pairLo, p.pairHi, p.cut, p.pairCons, p.pairStreak)
+	}
+	for _, s := range d.Sections() {
+		fmt.Fprintf(&b, "section %v split=%v prod=%d pair=%v cons=%v\n",
+			s.Span, s.Split, s.Producer, s.Pair, s.Consumers)
 	}
 	return b.String()
 }
@@ -226,10 +485,31 @@ func (d *Detector) Fingerprint() string {
 func (d *Detector) page(pg int) *pattern {
 	p, ok := d.pages[pg]
 	if !ok {
-		p = &pattern{producer: -1, cur: map[int]bool{}}
+		p = &pattern{producer: -1, pairLo: -1, pairHi: -1, cur: map[int]bool{}}
 		d.pages[pg] = p
 	}
 	return p
+}
+
+// disjoint reports whether two known write extents do not overlap — the
+// condition that makes a two-writer page spatial false sharing rather
+// than a write conflict.
+func disjoint(a, b WriteExt) bool {
+	if !a.known() || !b.known() {
+		return false
+	}
+	return a.Hi <= b.Lo || b.Hi <= a.Lo
+}
+
+// sortedKeys returns a map's keys in ascending order — map iteration
+// order must never reach a replicated decision.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func setToSorted(s map[int]bool) []int {

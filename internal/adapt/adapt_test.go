@@ -5,18 +5,19 @@ import (
 	"testing"
 )
 
-// write returns an epoch in which each listed page is written by one node.
+// write returns an epoch in which each listed page is written whole by one
+// node.
 func write(pages map[int]int) Epoch {
-	ep := Epoch{Writers: map[int][]int{}, Readers: map[int][]int{}}
+	ep := Epoch{Writers: map[int][]WriteExt{}, Readers: map[int][]int{}}
 	for pg, w := range pages {
-		ep.Writers[pg] = []int{w}
+		ep.Writers[pg] = []WriteExt{{Node: w, Lo: 0, Hi: 512}}
 	}
 	return ep
 }
 
 // read returns an epoch in which each listed page is fetched by readers.
 func read(pages map[int][]int) Epoch {
-	ep := Epoch{Writers: map[int][]int{}, Readers: map[int][]int{}}
+	ep := Epoch{Writers: map[int][]WriteExt{}, Readers: map[int][]int{}}
 	for pg, rs := range pages {
 		ep.Readers[pg] = rs
 	}
@@ -131,7 +132,9 @@ func TestDecayOnMultiWriter(t *testing.T) {
 		d.Advance(read(map[int][]int{4: {2}}))
 		d.Advance(write(map[int]int{4: 1}))
 	}
-	ep := Epoch{Writers: map[int][]int{4: {1, 3}}, Readers: map[int][]int{}}
+	// Both write the whole page: overlapping extents, a genuine conflict
+	// (the disjoint-extent pair shape is TestSplitPromotion's subject).
+	ep := Epoch{Writers: map[int][]WriteExt{4: {{Node: 1, Lo: 0, Hi: 512}, {Node: 3, Lo: 0, Hi: 512}}}, Readers: map[int][]int{}}
 	d.Advance(ep)
 	if _, _, ok := d.Push(4); ok {
 		t.Fatal("no decay on multi-writer epoch")

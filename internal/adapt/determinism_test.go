@@ -20,7 +20,7 @@ import (
 // (page, writers) and (page, readers) lists the test permutes per replica
 // before handing them to a Detector.
 type barrierObs struct {
-	writers map[int][]int
+	writers map[int][]WriteExt
 	readers map[int][]int
 }
 
@@ -29,10 +29,10 @@ type barrierObs struct {
 // order (they are relayed identically to every node); reader lists have
 // no order contract.
 func buildEpoch(rng *rand.Rand, obs barrierObs) Epoch {
-	ep := Epoch{Writers: map[int][]int{}, Readers: map[int][]int{}}
+	ep := Epoch{Writers: map[int][]WriteExt{}, Readers: map[int][]int{}}
 	wpages := shuffledKeys(rng, obs.writers)
 	for _, pg := range wpages {
-		ep.Writers[pg] = append([]int(nil), obs.writers[pg]...)
+		ep.Writers[pg] = append([]WriteExt(nil), obs.writers[pg]...)
 	}
 	rpages := shuffledKeys(rng, obs.readers)
 	for _, pg := range rpages {
@@ -43,7 +43,7 @@ func buildEpoch(rng *rand.Rand, obs barrierObs) Epoch {
 	return ep
 }
 
-func shuffledKeys(rng *rand.Rand, m map[int][]int) []int {
+func shuffledKeys[V any](rng *rand.Rand, m map[int]V) []int {
 	keys := make([]int, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
@@ -68,16 +68,25 @@ func TestBarrierDetectorDeterminism(t *testing.T) {
 			rngs[i] = rand.New(rand.NewSource(int64(1000*trial + i)))
 		}
 		for epoch := 0; epoch < 30; epoch++ {
-			obs := barrierObs{writers: map[int][]int{}, readers: map[int][]int{}}
+			obs := barrierObs{writers: map[int][]WriteExt{}, readers: map[int][]int{}}
 			for pg := 0; pg < pages; pg++ {
 				if rng.Intn(3) == 0 {
 					nw := 1 + rng.Intn(2)
-					var ws []int
+					var ws []WriteExt
 					for len(ws) < nw {
 						w := rng.Intn(nodes)
-						if len(ws) == 0 || ws[len(ws)-1] != w {
-							ws = append(ws, w)
+						if len(ws) > 0 && ws[len(ws)-1].Node == w {
+							continue
 						}
+						ws = append(ws, WriteExt{Node: w, Lo: 0, Hi: 512})
+					}
+					if len(ws) == 2 && rng.Intn(2) == 0 {
+						// Half the two-writer pages carry the disjoint
+						// false-sharing shape so the split path is under the
+						// same shuffling pressure as the whole-page paths.
+						cut := 64 * (1 + rng.Intn(7))
+						ws[0].Hi = cut
+						ws[1].Lo = cut
 					}
 					obs.writers[pg] = ws
 				}

@@ -35,6 +35,15 @@ import (
 // working sets at each position. An edge recurs once per iteration, which
 // makes "this edge's working set held for K cycles" the lock-scope
 // analogue of the barrier detector's K stable production cycles.
+//
+// A bound edge's working set is a page set here; its section shape
+// appears at the wire. Critical sections touch contiguous spans (a
+// holder's bucket rows, a queue block), so the grant builder coalesces
+// the piggybacked chains into run-length section spans
+// (wire.CoalesceDiffs → wire.Grant.Pushed): adjacent pages' chain links
+// share one header each instead of paying the per-page diff header — the
+// same economy the barrier detector gets from clustering its bindings
+// into rsd spans.
 const (
 	// DefaultReprobeM is the default number of consecutive piggybacked
 	// grants on one edge before the binding is re-probed (see Grant).

@@ -27,13 +27,19 @@ import (
 	"sdsm/internal/shm"
 )
 
-// DataSet names one of the two problem sizes per application.
+// DataSet names one of the problem sizes of an application.
 type DataSet string
 
-// The two data sets used throughout the evaluation.
+// The two data sets used throughout the paper's evaluation, plus the
+// boundary set some applications add for the adaptive-protocol
+// experiments: a problem size chosen so the block partition lands
+// mid-page, creating the falsely shared two-writer boundary pages the
+// sub-page split bindings exist for (only jacobi defines it; the paper
+// tables never use it).
 const (
 	Large DataSet = "large"
 	Small DataSet = "small"
+	Bound DataSet = "bound"
 )
 
 // App bundles everything the harness needs for one application.

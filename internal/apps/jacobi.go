@@ -39,6 +39,16 @@ func Jacobi() *App {
 		Sets: map[DataSet]rsd.Env{
 			Large: {"m": 512, "iters": 24, "cscale": 8},
 			Small: {"m": 256, "iters": 24, "cscale": 4},
+			// The boundary set: m = 264 makes each 8-processor block 33
+			// columns of 264 words — 8712 words, 17.02 pages — so every
+			// block boundary lands mid-page and the boundary page has two
+			// writers with disjoint sub-page extents, each reading the
+			// other's half (its halo column). The paper sets are page-
+			// aligned (m = 256: two columns per 512-word page; m = 512: one)
+			// and never exhibit this; the adaptive experiments (Table A) use
+			// it to measure the sub-page split bindings against the fault
+			// loop whole-page adaptation cannot break.
+			Bound: {"m": 264, "iters": 24, "cscale": 4},
 		},
 		PaperSets: map[DataSet]rsd.Env{
 			Large: {"m": 4096, "iters": 100},

@@ -16,52 +16,57 @@ import (
 // form of that claim.
 //
 // spmv is the barrier detector's target workload (irregular accesses,
-// stable run-time pattern, heavy promotion); jacobi exercises adaptation
-// next to false sharing (two-owner boundary pages stay invalidate); tsp
-// is the lock-scope detector's target (migratory queue and incumbent
-// pages, grant-piggybacked diffs at every processor count); is exercises
-// both detectors at once — barrier-epoch decay on its multi-writer pages
-// and lock-scope piggybacks on its staggered bucket sections.
+// stable run-time pattern, heavy promotion); jacobi/small exercises
+// adaptation next to page-aligned partitions, and jacobi/bound the
+// sub-page split bindings (two-owner boundary pages with disjoint write
+// extents — at 3 and 5 processors the m = 264 partition also misaligns
+// differently than at 8, churning the watershed positions); tsp is the
+// lock-scope detector's target (migratory queue and incumbent pages,
+// grant-piggybacked diffs at every processor count); is exercises both
+// detectors at once — barrier-epoch decay on its multi-writer pages and
+// lock-scope piggybacks on its staggered bucket sections.
 func TestAdaptEquivalence(t *testing.T) {
 	cases := []struct {
 		app   string
+		set   apps.DataSet
 		procs []int
 	}{
-		{"spmv", []int{2, 3, 5, 8}},
-		{"jacobi", []int{3, 4}},
-		{"tsp", []int{2, 3, 5, 8}},
-		{"is", []int{3, 4, 8}},
+		{"spmv", apps.Small, []int{2, 3, 5, 8}},
+		{"jacobi", apps.Small, []int{3, 4}},
+		{"jacobi", apps.Bound, []int{3, 5, 8}},
+		{"tsp", apps.Small, []int{2, 3, 5, 8}},
+		{"is", apps.Small, []int{3, 4, 8}},
 	}
 	for _, c := range cases {
 		a, err := apps.ByName(c.app)
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq := SeqChecksum(a, apps.Small)
+		seq := SeqChecksum(a, c.set)
 		for _, procs := range c.procs {
-			off, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true})
+			off, err := Run(Config{App: a, Set: c.set, System: Base, Procs: procs, Verify: true})
 			if err != nil {
-				t.Fatalf("%s/p%d: adapt off: %v", c.app, procs, err)
+				t.Fatalf("%s/%s/p%d: adapt off: %v", c.app, c.set, procs, err)
 			}
-			on, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Adapt: true})
+			on, err := Run(Config{App: a, Set: c.set, System: Base, Procs: procs, Verify: true, Adapt: true})
 			if err != nil {
-				t.Fatalf("%s/p%d: adapt on: %v", c.app, procs, err)
+				t.Fatalf("%s/%s/p%d: adapt on: %v", c.app, c.set, procs, err)
 			}
 			if on.Checksum != off.Checksum {
-				t.Fatalf("%s/p%d: adapt-on checksum %v != adapt-off %v", c.app, procs, on.Checksum, off.Checksum)
+				t.Fatalf("%s/%s/p%d: adapt-on checksum %v != adapt-off %v", c.app, c.set, procs, on.Checksum, off.Checksum)
 			}
 			if !apps.Close(on.Checksum, seq) {
-				t.Fatalf("%s/p%d: adapt-on checksum %v differs from sequential %v", c.app, procs, on.Checksum, seq)
+				t.Fatalf("%s/%s/p%d: adapt-on checksum %v differs from sequential %v", c.app, c.set, procs, on.Checksum, seq)
 			}
 			for _, backend := range backendMatrix.backends {
-				backend, app, procs, want := backend, c.app, procs, on.Checksum
-				t.Run(fmt.Sprintf("%s/p%d/%s", app, procs, backend), func(t *testing.T) {
+				backend, app, set, procs, want := backend, c.app, c.set, procs, on.Checksum
+				t.Run(fmt.Sprintf("%s/%s/p%d/%s", app, set, procs, backend), func(t *testing.T) {
 					t.Parallel()
 					a, err := apps.ByName(app)
 					if err != nil {
 						t.Fatal(err)
 					}
-					res, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Adapt: true, Backend: backend})
+					res, err := Run(Config{App: a, Set: set, System: Base, Procs: procs, Verify: true, Adapt: true, Backend: backend})
 					if err != nil {
 						t.Fatalf("%s backend: %v", backend, err)
 					}
@@ -96,6 +101,52 @@ func TestAdaptReducesTraffic(t *testing.T) {
 	}
 	if ad.Segv >= base.Segv {
 		t.Errorf("adaptive page faults %d not below baseline %d", ad.Segv, base.Segv)
+	}
+	if ad.Msgs >= base.Msgs {
+		t.Errorf("adaptive messages %d not below baseline %d", ad.Msgs, base.Msgs)
+	}
+	if ad.Time >= base.Time {
+		t.Errorf("adaptive virtual time %v not below baseline %v", ad.Time, base.Time)
+	}
+}
+
+// TestAdaptSplitReducesBoundaryFaults pins the sub-page acceptance
+// criterion on jacobi's bound set (block boundaries mid-page): the
+// detector must form split bindings for the two-writer boundary pages,
+// the bindings must hold (no decays — the watershed is stable), and the
+// boundary fault loop must break: page faults, demand-fetch exchanges,
+// and messages all drop against the invalidate baseline, which whole-page
+// adaptation structurally cannot achieve for these pages.
+func TestAdaptSplitReducesBoundaryFaults(t *testing.T) {
+	a, err := apps.ByName("jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Config{App: a, Set: apps.Bound, System: Base, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(Config{App: a, Set: apps.Bound, System: Base, Procs: 8, Adapt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 interior block boundaries, each splitting one page of b and one of
+	// a: 14 sub-page bindings.
+	if ad.Protocol.AdaptSplits != 14 {
+		t.Errorf("split bindings = %d, want 14", ad.Protocol.AdaptSplits)
+	}
+	if ad.Protocol.AdaptDecays != 0 {
+		t.Errorf("decays = %d, want 0 (the watershed is stable)", ad.Protocol.AdaptDecays)
+	}
+	if ad.Segv >= base.Segv {
+		t.Errorf("adaptive page faults %d not below baseline %d", ad.Segv, base.Segv)
+	}
+	// The fault loop breaks: the steady state needs no demand fetches at
+	// all, so the residue is warm-up only — well under a quarter of the
+	// baseline's per-iteration fetching.
+	if ad.Protocol.DiffFetches > base.Protocol.DiffFetches/4 {
+		t.Errorf("adaptive demand fetches %d not under a quarter of baseline %d",
+			ad.Protocol.DiffFetches, base.Protocol.DiffFetches)
 	}
 	if ad.Msgs >= base.Msgs {
 		t.Errorf("adaptive messages %d not below baseline %d", ad.Msgs, base.Msgs)

@@ -80,10 +80,11 @@ func Table1(workers int) ([]Table1Row, error) {
 	return rows, err
 }
 
-// Large/Small aliases re-exported for callers of the harness.
+// Large/Small/Bound aliases re-exported for callers of the harness.
 const (
 	Large = apps.Large
 	Small = apps.Small
+	Bound = apps.Bound
 )
 
 func paramString(a *apps.App, set apps.DataSet) string {
@@ -311,21 +312,26 @@ type AdaptRow struct {
 	Msgs    int64
 	Bytes   int64
 	Promos  int64
+	Splits  int64 // pages bound sub-page (two-writer false sharing)
 	Decays  int64
 	Updates int64
+	Spans   int64 // section spans shipped in the update messages
 }
 
 // adaptGrid is the application/data-set grid of the adaptive comparison:
 // the irregular workloads the compiler cannot serve, next to Jacobi — the
 // paper's canonical producer→consumer app — where the run-time detector
-// competes directly with the compiler's static Push.
+// competes directly with the compiler's static Push. Jacobi's bound set
+// (a block partition landing mid-page) adds the false-sharing case: the
+// paper sets are page-aligned, so only the bound rows exercise the
+// sub-page split bindings.
 func adaptGrid() []appSet {
 	var out []appSet
 	for _, a := range apps.Irregular() {
 		out = append(out, appSet{a, Small}, appSet{a, Large})
 	}
 	j, _ := apps.ByName("jacobi")
-	out = append(out, appSet{j, Small}, appSet{j, Large})
+	out = append(out, appSet{j, Small}, appSet{j, Large}, appSet{j, Bound})
 	return out
 }
 
@@ -354,8 +360,9 @@ func AdaptTable(procs, workers int) ([]AdaptRow, error) {
 		out = append(out, AdaptRow{
 			App: a.Name, Set: set, System: "adapt-tmk", Applies: true,
 			Time: ad.Time, Segv: ad.Segv, Msgs: ad.Msgs, Bytes: ad.Bytes,
-			Promos: ad.Protocol.AdaptPromotions, Decays: ad.Protocol.AdaptDecays,
-			Updates: ad.Protocol.AdaptUpdates,
+			Promos: ad.Protocol.AdaptPromotions, Splits: ad.Protocol.AdaptSplits,
+			Decays:  ad.Protocol.AdaptDecays,
+			Updates: ad.Protocol.AdaptUpdates, Spans: ad.Protocol.AdaptSpans,
 		})
 		opt := AdaptRow{App: a.Name, Set: set, System: "opt-tmk"}
 		if a.XHPF || a.WSyncApplicable || a.PushApplicable {
@@ -618,25 +625,28 @@ func FormatAdaptTable(rows []AdaptRow, procs int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table A: run-time adaptive update protocol at %d processors\n", procs)
 	fmt.Fprintf(&b, "(tmk = invalidate baseline, adapt-tmk = run-time detection + update push,\n")
-	fmt.Fprintf(&b, " opt-tmk = compiler-optimized; n/a where no regular sections exist)\n")
-	fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8s %8s %8s %6s %6s %8s\n",
-		"app", "set", "system", "time", "segv", "msg", "MB", "promo", "decay", "updates")
+	fmt.Fprintf(&b, " opt-tmk = compiler-optimized; n/a where no regular sections exist;\n")
+	fmt.Fprintf(&b, " split = pages bound sub-page, spans = section spans shipped)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8s %8s %8s %6s %6s %6s %8s %6s\n",
+		"app", "set", "system", "time", "segv", "msg", "MB", "promo", "split", "decay", "updates", "spans")
 	for _, r := range rows {
 		if !r.Applies {
 			fmt.Fprintf(&b, "%-8s %-6s %-10s %10s\n", r.App, r.Set, r.System, "n/a")
 			continue
 		}
-		ad := []string{"-", "-", "-"}
+		ad := []string{"-", "-", "-", "-", "-"}
 		if r.System == "adapt-tmk" {
 			ad = []string{
 				fmt.Sprintf("%d", r.Promos),
+				fmt.Sprintf("%d", r.Splits),
 				fmt.Sprintf("%d", r.Decays),
 				fmt.Sprintf("%d", r.Updates),
+				fmt.Sprintf("%d", r.Spans),
 			}
 		}
-		fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8d %8d %8.2f %6s %6s %8s\n",
+		fmt.Fprintf(&b, "%-8s %-6s %-10s %10s %8d %8d %8.2f %6s %6s %6s %8s %6s\n",
 			r.App, r.Set, r.System, fmtDur(r.Time), r.Segv, r.Msgs,
-			float64(r.Bytes)/1e6, ad[0], ad[1], ad[2])
+			float64(r.Bytes)/1e6, ad[0], ad[1], ad[2], ad[3], ad[4])
 	}
 	return b.String()
 }

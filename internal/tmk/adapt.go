@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"sdsm/internal/adapt"
+	"sdsm/internal/vm"
 	"sdsm/internal/wire"
 )
 
@@ -23,11 +24,14 @@ type adaptNode struct {
 // EnableAdapt switches the machine to the adaptive update protocol: the
 // run-time profiles the fault/fetch traffic per barrier epoch, infers
 // stable producer→consumer page patterns, and pushes promoted pages'
-// diffs at barrier departure instead of letting consumers fault. It also
-// arms the lock-scope detectors: each lock's hand-off history drives a
-// per-lock adapt.LockDetector whose bound edges piggyback the predicted
-// critical-section working set on the grant (see lockGrant in sync.go).
-// Must be called after New and before Run.
+// diffs at barrier departure instead of letting consumers fault — at
+// section granularity: bound pages cluster into contiguous sections, one
+// run-length-encoded diff span per (consumer, section), and falsely
+// shared two-writer pages carry sub-page split bindings (DESIGN.md §8).
+// It also arms the lock-scope detectors: each lock's hand-off history
+// drives a per-lock adapt.LockDetector whose bound edges piggyback the
+// predicted critical-section working set on the grant (see lockGrant in
+// sync.go). Must be called after New and before Run.
 func (s *System) EnableAdapt(cfg adapt.Config) {
 	s.adaptCfg = cfg
 	for _, nd := range s.Nodes {
@@ -75,23 +79,38 @@ func adaptFetchedBytes(pages int) int { return 8 + 4*pages }
 // observation from globally shared state, advances the detector, and
 // performs the update exchange for promoted pages.
 //
-// The observation is identical at every node: the writers come from the
-// write notices in (oldBar, vc] — after a departure all nodes hold the
-// same merged vector time and the same interval records — and the readers
-// from the departure's relayed per-node fetch lists. Both sides of every
-// exchange therefore derive the same send/receive schedule independently,
-// the way Push's send and receive phases already pair up on all backends.
+// The observation is identical at every node: the writers (with their
+// write extents) come from the write notices in (oldBar, vc] — after a
+// departure all nodes hold the same merged vector time and the same
+// interval records — and the readers from the departure's relayed
+// per-node fetch lists. Both sides of every exchange therefore derive the
+// same send/receive schedule independently, the way Push's send and
+// receive phases already pair up on all backends.
 func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 	s := nd.sys
-	ep := adapt.Epoch{Writers: map[int][]int{}, Readers: map[int][]int{}}
+	ep := adapt.Epoch{Writers: map[int][]adapt.WriteExt{}, Readers: map[int][]int{}}
 	for o := range nd.vc {
 		for idx := oldBar[o] + 1; idx <= nd.vc[o]; idx++ {
 			for _, ref := range nd.know[o][idx-1].pages {
 				pg := int(ref.page)
 				ws := ep.Writers[pg]
-				if len(ws) == 0 || ws[len(ws)-1] != o {
-					ep.Writers[pg] = append(ws, o)
+				if n := len(ws); n > 0 && ws[n-1].Node == o {
+					// The owner closed several intervals covering the page
+					// this epoch (a lazy-flush split): union the extents, an
+					// unknown extent poisoning the union to unknown.
+					if ws[n-1].Hi == 0 || ref.extHi == 0 {
+						ws[n-1].Lo, ws[n-1].Hi = 0, 0
+					} else {
+						if int(ref.extLo) < ws[n-1].Lo {
+							ws[n-1].Lo = int(ref.extLo)
+						}
+						if int(ref.extHi) > ws[n-1].Hi {
+							ws[n-1].Hi = int(ref.extHi)
+						}
+					}
+					continue
 				}
+				ep.Writers[pg] = append(ws, adapt.WriteExt{Node: o, Lo: int(ref.extLo), Hi: int(ref.extHi)})
 			}
 		}
 	}
@@ -106,12 +125,15 @@ func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 		// same ones); node 0 reports them so the aggregate is not N-fold.
 		st := nd.ad.det.Stats
 		nd.Stats.AdaptPromotions = st.Promotions
+		nd.Stats.AdaptSplits = st.Splits
+		nd.Stats.AdaptJoins = st.SectionJoins
 		nd.Stats.AdaptDecays = st.Decays
 	}
 
 	// The exchange schedule: for every page written this epoch and bound
-	// to update, its producer pushes this epoch's diffs to every bound
-	// consumer, one aggregated message per consumer.
+	// to update, its producer — or, for split-bound pages, each writing
+	// pair member — pushes this epoch's own diffs to every bound consumer
+	// but itself, one aggregated message per consumer.
 	pages := make([]int, 0, len(ep.Writers))
 	for pg := range ep.Writers {
 		pages = append(pages, pg)
@@ -119,58 +141,82 @@ func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 	sort.Ints(pages)
 	sends := map[int][]int{} // consumer -> pages this node pushes
 	recvs := map[int]bool{}  // producers this node expects a push from
+	route := func(producer int, consumers []int, pg int) {
+		for _, c := range consumers {
+			if c == producer {
+				continue
+			}
+			if producer == nd.ID {
+				sends[c] = append(sends[c], pg)
+			} else if c == nd.ID {
+				recvs[producer] = true
+			}
+		}
+	}
 	for _, pg := range pages {
-		if len(ep.Writers[pg]) != 1 {
+		ws := ep.Writers[pg]
+		if pair, _, consumers, ok := nd.ad.det.Split(pg); ok {
+			// Sub-page binding: every pair member that wrote this epoch
+			// pushes its own diffs — which cover exactly its half — so each
+			// consumer's pending notices are satisfied by the paired pushes.
+			for _, w := range ws {
+				if w.Node == pair[0] || w.Node == pair[1] {
+					route(w.Node, consumers, pg)
+				}
+			}
+			continue
+		}
+		if len(ws) != 1 {
 			continue // conflicting writers: the detector just decayed it
 		}
 		prod, consumers, ok := nd.ad.det.Push(pg)
-		if !ok || prod != ep.Writers[pg][0] {
+		if !ok || prod != ws[0].Node {
 			continue
 		}
-		for _, c := range consumers {
-			if c == prod {
-				continue
-			}
-			if prod == nd.ID {
-				sends[c] = append(sends[c], pg)
-			} else if c == nd.ID {
-				recvs[prod] = true
-			}
-		}
+		route(prod, consumers, pg)
 	}
 
 	// Send phase: flush the pushed pages' outstanding modifications (the
 	// same lazy flush a serve would trigger) and ship every own diff the
-	// epoch produced, one message per bound consumer.
+	// epoch produced, coalesced into one section span per contiguous run
+	// of compatible headers (wire.CoalesceDiffs), one message per bound
+	// consumer.
 	consumers := make([]int, 0, len(sends))
 	for c := range sends {
 		consumers = append(consumers, c)
 	}
 	sort.Ints(consumers)
 	for _, c := range consumers {
-		u := wire.Update{Epoch: int32(nd.Stats.Barriers)}
-		bytes := 16
+		var ds []wire.Diff
 		for _, pg := range sends[c] {
 			if nd.dirty[pg] {
 				nd.flushLocalDiff(pg, false)
 			}
 			for _, d := range nd.diffs[pg] {
 				if d.creator == nd.ID && d.to > oldBar[nd.ID] {
-					u.Diffs = append(u.Diffs, d.toWire())
-					bytes += d.wireBytes()
+					ds = append(ds, d.toWire())
 				}
 			}
 			nd.Stats.AdaptPagesPushed++
 		}
+		u := wire.Update{Epoch: int32(nd.Stats.Barriers), Spans: wire.CoalesceDiffs(ds)}
+		bytes := 16
+		for _, sp := range u.Spans {
+			bytes += sp.WireBytes()
+		}
+		nd.Stats.AdaptSpans += int64(len(u.Spans))
 		s.NW.Send(nd.p, c, tagAdapt, u, bytes)
 		nd.Stats.AdaptUpdates++
 	}
 
-	// Receive phase, in producer order for determinism. The pushed diffs
-	// run through the normal application path: ordering, applied-timestamp
-	// advancement, notice pruning, and revalidation all behave exactly as
-	// if the consumer had fetched them — which is why adapt-on and
-	// adapt-off runs produce bit-identical memory images.
+	// Receive phase, in producer order for determinism. The pushed spans
+	// run through the normal application path — ordering, applied-
+	// timestamp advancement, notice pruning, and revalidation all behave
+	// exactly as if the consumer had fetched the expanded per-page diffs —
+	// which is why adapt-on and adapt-off runs produce bit-identical
+	// memory images. (Split pages receive one span from each half's
+	// producer; their runs are disjoint by the watershed, so the producer
+	// application order cannot affect content.)
 	producers := make([]int, 0, len(recvs))
 	for q := range recvs {
 		producers = append(producers, q)
@@ -178,8 +224,46 @@ func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 	sort.Ints(producers)
 	for _, q := range producers {
 		m := s.NW.Recv(nd.p, q, tagAdapt)
-		u := m.Payload.(wire.Update)
-		nd.applyDiffs(u.Diffs)
+		nd.applySpans(m.Payload.(wire.Update).Spans)
 	}
 	nd.ad.fetched = map[int]bool{}
+}
+
+// applySpans applies received update spans. A span whose every page
+// applies cleanly — the diff advances the page's applied timestamp and
+// its chain is contiguous with the local floor — goes through one
+// vm.ApplySpan call for the whole contiguous range, with the per-page
+// bookkeeping (applied timestamps, diff caching, notice pruning) done
+// exactly as applyDiffs would. Anything else expands to per-page diffs
+// and takes the normal applyDiffs path, so content and virtual-time
+// charges are identical either way.
+func (nd *Node) applySpans(spans []wire.DiffSpan) {
+	var rest []wire.Diff
+	for _, sp := range spans {
+		diffs := sp.Expand()
+		stored := make([]*storedDiff, len(diffs))
+		clean := len(diffs) > 0
+		for i, w := range diffs {
+			stored[i] = diffFromWire(w)
+			applied := nd.applied[stored[i].page]
+			if !stored[i].helps(applied) || (!stored[i].whole && stored[i].from > applied[stored[i].creator]) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			rest = append(rest, diffs...)
+			continue
+		}
+		perPage := make([][]vm.Run, len(stored))
+		for i, d := range stored {
+			perPage[i] = d.runs
+		}
+		nd.Mem.ApplySpan(nd.p, int(sp.Page), perPage)
+		for _, d := range stored {
+			nd.recordApplied(d)
+			nd.prunePending(d.page)
+		}
+	}
+	nd.applyDiffs(rest)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sdsm/internal/host"
+	"sdsm/internal/shm"
 	"sdsm/internal/vm"
 	"sdsm/internal/wire"
 )
@@ -209,7 +210,7 @@ func (nd *Node) closeInterval() {
 	sort.Ints(pages)
 	iv := interval{pages: make([]pageRef, len(pages)), vc: append([]int32(nil), nd.vc...)}
 	for i, pg := range pages {
-		iv.pages[i] = pageRef{page: int32(pg), whole: nd.noTwin[pg]}
+		iv.pages[i] = nd.pageRefFor(pg, nd.noTwin[pg], true)
 	}
 	nd.know[nd.ID] = append(nd.know[nd.ID], iv)
 	for _, pg := range pages {
@@ -355,6 +356,7 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 		if disarm {
 			delete(nd.noTwin, page)
 			delete(nd.dirty, page)
+			nd.Mem.TakeWriteExtent(page)
 			nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
 		}
 		return
@@ -382,6 +384,14 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 	}
 	if disarm {
 		delete(nd.dirty, page)
+		// The page leaves the dirty set outside closeInterval, so the
+		// closing walk will never consume its extent accumulator: discard
+		// it here. Every notice describing the flushed state has already
+		// been recorded (the epoch's close, or the split above, which
+		// peeked) — leaving the residue would union a stale range into the
+		// *next* epoch's extent and could mask a genuinely disjoint
+		// false-sharing pair from the split detector forever.
+		nd.Mem.TakeWriteExtent(page)
 		nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
 		return
 	}
@@ -403,10 +413,41 @@ func (nd *Node) splitInterval(page int, whole bool) int32 {
 	idx := nd.vc[nd.ID] + 1
 	nd.vc[nd.ID] = idx
 	nd.know[nd.ID] = append(nd.know[nd.ID], interval{
-		pages: []pageRef{{page: int32(page), whole: whole}},
+		pages: []pageRef{nd.pageRefFor(page, whole, false)},
 		vc:    append([]int32(nil), nd.vc...),
 	})
 	return idx
+}
+
+// pageRefFor builds a page reference carrying the page's write extent. A
+// WRITE_ALL page covers the whole page by definition; a twin-based page
+// takes the union of the write regions established since the last closing
+// interval. consume clears the vm's accumulator (the epoch's closing
+// interval does; a mid-epoch serve-path split peeks, so the closing
+// record still carries the union). A dirty page with no fresh extent —
+// it stayed write-enabled across an interval with no new write region —
+// reports an unknown extent (extHi == 0), which downstream consumers
+// must treat as whole-page.
+func (nd *Node) pageRefFor(pg int, whole, consume bool) pageRef {
+	ref := pageRef{page: int32(pg), whole: whole}
+	if whole {
+		if consume {
+			nd.Mem.TakeWriteExtent(pg)
+		}
+		ref.extLo, ref.extHi = 0, int32(shm.PageWords)
+		return ref
+	}
+	var lo, hi int
+	var ok bool
+	if consume {
+		lo, hi, ok = nd.Mem.TakeWriteExtent(pg)
+	} else {
+		lo, hi, ok = nd.Mem.PeekWriteExtent(pg)
+	}
+	if ok {
+		ref.extLo, ref.extHi = int32(lo), int32(hi)
+	}
+	return ref
 }
 
 // responderFor picks who to ask for a page's outstanding diffs: if the
@@ -646,40 +687,51 @@ func (nd *Node) applyDiffs(in []wire.Diff) {
 	touched := map[int]bool{}
 	for _, d := range reply {
 		pg := d.page
-		applied := nd.applied[pg]
-		if !d.helps(applied) {
+		if !d.helps(nd.applied[pg]) {
 			if debugHook != nil {
 				debugHook("skip", nd.ID, d.creator, pg, int(d.to))
 			}
 			continue
 		}
 		nd.Mem.ApplyRuns(nd.p, pg, d.runs)
-		if debugHook != nil {
-			sum := 0.0
-			for _, r := range d.runs {
-				for i, v := range r.Vals {
-					sum += v * float64(r.Off+i+1)
-				}
-			}
-			debugHook("apply", nd.ID, d.creator, pg, int(d.to), d.whole, vm.RunsWords(d.runs), int(d.from), sum)
-		}
-		nd.Stats.DiffsApplied++
-		nd.Stats.WordsApplied += int64(vm.RunsWords(d.runs))
-		if d.whole {
-			for o, c := range d.covers {
-				if c > applied[o] {
-					applied[o] = c
-				}
-			}
-		} else if d.to > applied[d.creator] {
-			applied[d.creator] = d.to
-		}
-		nd.storeDiff(d)
+		nd.recordApplied(d)
 		touched[pg] = true
 	}
 	for pg := range touched {
 		nd.prunePending(pg)
 	}
+}
+
+// recordApplied performs the bookkeeping shared by every path that has
+// just merged a diff's runs into memory (applyDiffs, and applySpans'
+// span fast path): the trace hook, the applied/words statistics, the
+// applied-timestamp advancement, and caching the diff for later
+// forwarding. Keeping it in one place is what keeps the span fast path
+// behaviorally identical to the per-page path — the adapt-on/adapt-off
+// bit-equivalence depends on that.
+func (nd *Node) recordApplied(d *storedDiff) {
+	applied := nd.applied[d.page]
+	if debugHook != nil {
+		sum := 0.0
+		for _, r := range d.runs {
+			for i, v := range r.Vals {
+				sum += v * float64(r.Off+i+1)
+			}
+		}
+		debugHook("apply", nd.ID, d.creator, d.page, int(d.to), d.whole, vm.RunsWords(d.runs), int(d.from), sum)
+	}
+	nd.Stats.DiffsApplied++
+	nd.Stats.WordsApplied += int64(vm.RunsWords(d.runs))
+	if d.whole {
+		for o, c := range d.covers {
+			if c > applied[o] {
+				applied[o] = c
+			}
+		}
+	} else if d.to > applied[d.creator] {
+		applied[d.creator] = d.to
+	}
+	nd.storeDiff(d)
 }
 
 // prunePending drops satisfied notices and restores read access when a

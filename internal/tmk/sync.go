@@ -7,6 +7,7 @@ import (
 
 	"sdsm/internal/adapt"
 	"sdsm/internal/host"
+	"sdsm/internal/shm"
 	"sdsm/internal/wire"
 )
 
@@ -83,9 +84,9 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 	g := wire.Grant{}
 	for o := range nd.vc {
 		for idx := info.VC[o] + 1; idx <= nd.vc[o]; idx++ {
-			iv := nd.know[o][idx-1]
-			g.Intervals = append(g.Intervals, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: iv.toWire()})
-			g.Bytes += int32(iv.wireBytes())
+			w := nd.know[o][idx-1].toWire()
+			g.Intervals = append(g.Intervals, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: w})
+			g.Bytes += int32(w.AccountedBytes(nd.sys.adaptOn(), shm.PageWords))
 		}
 	}
 	for _, need := range info.Needs {
@@ -125,6 +126,7 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 		}
 		floor := make([]int32, nd.sys.N())
 		var pagesPushed int64
+		var pushed []wire.Diff
 		for _, pg := range pushPages {
 			if needed[pg] {
 				continue
@@ -132,12 +134,19 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 			nd.p.Charge(nd.sys.Costs.SectionScanPerPage)
 			ds := nd.collectDiffs(reqID, pg, floor)
 			for _, d := range ds {
-				g.Pushed = append(g.Pushed, d.toWire())
-				g.Bytes += int32(d.wireBytes())
+				pushed = append(pushed, d.toWire())
 			}
 			if len(ds) > 0 {
 				pagesPushed++
 			}
+		}
+		// The chains of a critical section's contiguous pages repeat the
+		// same headers page after page; section-coalescing them
+		// (wire.CoalesceDiffs) ships each shared header once — the byte
+		// economy Table B's IS rows measure.
+		g.Pushed = wire.CoalesceDiffs(pushed)
+		for _, sp := range g.Pushed {
+			g.Bytes += int32(sp.WireBytes())
 		}
 		// Count only piggybacks that actually shipped diffs: a bound page
 		// the releaser has nothing cached for adds no payload and must not
@@ -162,7 +171,11 @@ func (nd *Node) applyGrant(g wire.Grant) {
 	}
 	diffs := g.Served
 	if len(g.Pushed) > 0 {
-		diffs = append(append([]wire.Diff(nil), g.Served...), nd.usablePushed(g.Served, g.Pushed)...)
+		// Expand the piggyback's section spans back to the per-page diffs
+		// they encode: the span form is a header economy on the wire, and
+		// the apply path — complete-or-nothing filtering included — stays
+		// the version-3 per-page path unchanged.
+		diffs = append(append([]wire.Diff(nil), g.Served...), nd.usablePushed(g.Served, wire.ExpandSpans(g.Pushed))...)
 	}
 	nd.applyDiffs(diffs)
 	nd.consumeWSync()
@@ -487,7 +500,7 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 			if int(oi.Owner) == master.ID || oi.Idx <= master.vc[oi.Owner] {
 				continue
 			}
-			bytes += oi.IV.WireBytes()
+			bytes += oi.IV.AccountedBytes(adaptOn, shm.PageWords)
 		}
 		if adaptOn {
 			bytes += adaptFetchedBytes(len(a.arr.Fetched))
@@ -605,9 +618,9 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 		bytes := 16 + fetchedBytes
 		for o := range master.vc {
 			for idx := a.arr.VC[o] + 1; idx <= master.vc[o]; idx++ {
-				iv := master.know[o][idx-1]
-				ivs = append(ivs, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: iv.toWire()})
-				bytes += iv.wireBytes()
+				w := master.know[o][idx-1].toWire()
+				ivs = append(ivs, wire.OwnedInterval{Owner: int32(o), Idx: idx, IV: w})
+				bytes += w.AccountedBytes(adaptOn, shm.PageWords)
 			}
 		}
 		served, wsBytes := servedFor(a.id)

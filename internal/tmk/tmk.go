@@ -20,7 +20,38 @@
 // machinery, aggregates diff fetches into one exchange per responder,
 // piggybacks fetches on synchronization (Validate_w_sync, with broadcast
 // detection at barriers), and replaces barriers by point-to-point data
-// exchanges (Push).
+// exchanges (Push). The adaptive protocol (EnableAdapt, package adapt)
+// recovers the push benefit at run time for accesses the compiler cannot
+// analyze, at section and sub-page granularity (DESIGN.md §6–§8).
+//
+// Three invariants are load-bearing for every feature that moves diffs,
+// learned from lost updates the cross-backend stress tests found:
+//
+//   - Coverage ordering. Overlapping diffs of one page are ordered by
+//     their creation-time applied coverage (storedDiff.covers /
+//     wire.Diff.Covers), never by the closing interval's vector time —
+//     a lazy multi-epoch flush closes long after concurrent fresher
+//     diffs, so closing-time stamps lie (applyDiffs).
+//
+//   - Gap-free chains. A per-creator diff chain shipped to a receiver
+//     must be contiguous with respect to the receiver's applied floor:
+//     receivers prune write notices by applied coverage, so a diff whose
+//     From lies beyond the floor advances the timestamp over content its
+//     runs do not contain, silently dropping the gap (collectDiffs ships
+//     full chains; usablePushed and applySpans check contiguity).
+//
+//   - One-pass application of overlaps. Overlapping diffs order
+//     correctly only within a single applyDiffs pass; applying a partial
+//     newer set now and an older overlapping diff later regresses
+//     content. Piggybacked pages therefore apply complete-or-nothing
+//     (usablePushed), and update spans take the fast path only when each
+//     page applies cleanly.
+//
+// The adaptive layer adds a fourth: no negotiation. Every replicated
+// decision (the barrier detector's bindings, the derived update exchange
+// schedule) must be a pure function of globally relayed observations,
+// identical at every node — a divergent replica deadlocks the
+// send/receive pairing of the update exchange (package adapt).
 package tmk
 
 import (
@@ -89,12 +120,16 @@ type ProtocolStats struct {
 	Invalidations int64
 	LockFetches   int64 // pages demand-fetched while holding a lock (lock faults)
 
-	// Adaptive protocol counters (EnableAdapt). Promotions and decays are
-	// machine-global detector transitions, reported once (at node 0);
-	// updates and pushed pages are counted at the producing node.
-	AdaptPromotions  int64 // pages switched invalidate → update
-	AdaptDecays      int64 // pages switched update → invalidate
+	// Adaptive protocol counters (EnableAdapt). Promotions, splits, joins
+	// and decays are machine-global detector transitions, reported once (at
+	// node 0); updates, spans and pushed pages are counted at the producing
+	// node.
+	AdaptPromotions  int64 // pages switched invalidate → update (whole page)
+	AdaptSplits      int64 // pages switched to sub-page split bindings
+	AdaptJoins       int64 // of promotions: pages that joined an adjacent section early
+	AdaptDecays      int64 // bound pages switched back to invalidate
 	AdaptUpdates     int64 // update messages sent at barrier departures
+	AdaptSpans       int64 // section spans shipped in update messages
 	AdaptPagesPushed int64 // page push deliveries (one per page per consumer)
 
 	// Lock-scope adaptive counters (EnableAdapt). Grants and pages are
@@ -229,8 +264,11 @@ func (s *System) Stats() (vm.Counters, ProtocolStats) {
 		ps.Invalidations += nd.Stats.Invalidations
 		ps.LockFetches += nd.Stats.LockFetches
 		ps.AdaptPromotions += nd.Stats.AdaptPromotions
+		ps.AdaptSplits += nd.Stats.AdaptSplits
+		ps.AdaptJoins += nd.Stats.AdaptJoins
 		ps.AdaptDecays += nd.Stats.AdaptDecays
 		ps.AdaptUpdates += nd.Stats.AdaptUpdates
+		ps.AdaptSpans += nd.Stats.AdaptSpans
 		ps.AdaptPagesPushed += nd.Stats.AdaptPagesPushed
 		ps.AdaptLockGrants += nd.Stats.AdaptLockGrants
 		ps.AdaptLockPagesPush += nd.Stats.AdaptLockPagesPush
@@ -272,10 +310,15 @@ type notice struct {
 	whole bool
 }
 
-// pageRef names a page within an interval record.
+// pageRef names a page within an interval record. extLo/extHi carry the
+// owner's declared write extent within the page ([lo, hi) words; extHi ==
+// 0 unknown), taken from the vm's EnsureWrite bookkeeping — the adaptive
+// detector's evidence for telling spatial false sharing from a write
+// conflict.
 type pageRef struct {
-	page  int32
-	whole bool
+	page         int32
+	whole        bool
+	extLo, extHi int32
 }
 
 // interval records the pages one owner modified in one interval, plus the
@@ -288,9 +331,6 @@ type interval struct {
 	vc    []int32
 }
 
-// wireBytes estimates the write-notice payload for an interval record.
-func (iv interval) wireBytes() int { return wire.NoticeBytes(len(iv.pages)) }
-
 // toWire converts an interval record to its wire value, copying every
 // slice: nothing handed to the transport aliases protocol state.
 func (iv interval) toWire() wire.Interval {
@@ -299,7 +339,7 @@ func (iv interval) toWire() wire.Interval {
 		VC:    append([]int32(nil), iv.vc...),
 	}
 	for i, pr := range iv.pages {
-		w.Pages[i] = wire.PageRef{Page: pr.page, Whole: pr.whole}
+		w.Pages[i] = wire.PageRef{Page: pr.page, Whole: pr.whole, ExtLo: pr.extLo, ExtHi: pr.extHi}
 	}
 	return w
 }
@@ -308,7 +348,7 @@ func (iv interval) toWire() wire.Interval {
 func intervalFromWire(w wire.Interval) interval {
 	iv := interval{pages: make([]pageRef, len(w.Pages)), vc: w.VC}
 	for i, pr := range w.Pages {
-		iv.pages[i] = pageRef{page: pr.Page, whole: pr.Whole}
+		iv.pages[i] = pageRef{page: pr.Page, whole: pr.Whole, extLo: pr.ExtLo, extHi: pr.ExtHi}
 	}
 	return iv
 }

@@ -107,6 +107,14 @@ type Mem struct {
 	twins   map[int][]float64
 	handler FaultHandler
 
+	// extLo/extHi accumulate, per page, the union of the write regions
+	// the application has established since the extent was last consumed
+	// (TakeWriteExtent). They are bookkeeping only — no virtual-time cost —
+	// and feed the write-extent field of write notices, which the adaptive
+	// protocol's sub-page split detection reads. extHi[pg] == 0 means no
+	// write region touched the page.
+	extLo, extHi []int16
+
 	batchDepth int
 	batched    map[int]Prot // page -> protection before the batch
 
@@ -123,6 +131,8 @@ func New(node int, words int, costs model.Costs, handler FaultHandler) *Mem {
 		data:    make([]float64, pages*shm.PageWords),
 		prot:    make([]Prot, pages),
 		twins:   map[int][]float64{},
+		extLo:   make([]int16, pages),
+		extHi:   make([]int16, pages),
 		handler: handler,
 	}
 }
@@ -225,16 +235,63 @@ func (m *Mem) EnsureRead(p host.Proc, r shm.Region) {
 	}
 }
 
-// EnsureWrite establishes write access to every page overlapping r.
+// EnsureWrite establishes write access to every page overlapping r. The
+// per-page overlap of r is folded into the page's write extent (see
+// TakeWriteExtent): the declared write region is the software MMU's view
+// of which words the application may store to, the same information a
+// hardware MMU cannot give below page granularity.
 func (m *Mem) EnsureWrite(p host.Proc, r shm.Region) {
 	p.Begin()
 	defer p.End()
 	p0, p1 := r.Pages()
 	for pg := p0; pg < p1; pg++ {
+		lo, hi := 0, shm.PageWords
+		if w := pg * shm.PageWords; r.Lo > w {
+			lo = r.Lo - w
+		}
+		if w := (pg + 1) * shm.PageWords; r.Hi < w {
+			hi = r.Hi - pg*shm.PageWords
+		}
+		if m.extHi[pg] == 0 {
+			m.extLo[pg], m.extHi[pg] = int16(lo), int16(hi)
+		} else {
+			if int16(lo) < m.extLo[pg] {
+				m.extLo[pg] = int16(lo)
+			}
+			if int16(hi) > m.extHi[pg] {
+				m.extHi[pg] = int16(hi)
+			}
+		}
 		if m.prot[pg] != ReadWrite {
 			m.fault(p, pg, Write)
 		}
 	}
+}
+
+// PeekWriteExtent returns the page's accumulated write extent without
+// clearing it, for interval records created mid-epoch (a serve-path
+// interval split): the epoch's closing interval consumes the extent, and
+// both records carry the same conservative union.
+func (m *Mem) PeekWriteExtent(page int) (lo, hi int, ok bool) {
+	if m.extHi[page] == 0 {
+		return 0, 0, false
+	}
+	return int(m.extLo[page]), int(m.extHi[page]), true
+}
+
+// TakeWriteExtent returns and clears the page's accumulated write extent:
+// the [lo, hi) word range within the page covered by the write regions
+// established since the previous call. ok is false when no write region
+// touched the page (a page can be dirty with no fresh extent — it stayed
+// write-enabled across an interval with no new EnsureWrite — in which
+// case callers must assume the whole page).
+func (m *Mem) TakeWriteExtent(page int) (lo, hi int, ok bool) {
+	if m.extHi[page] == 0 {
+		return 0, 0, false
+	}
+	lo, hi = int(m.extLo[page]), int(m.extHi[page])
+	m.extLo[page], m.extHi[page] = 0, 0
+	return lo, hi, true
 }
 
 func (m *Mem) fault(p host.Proc, page int, acc Access) {
@@ -307,6 +364,18 @@ func (m *Mem) WholePageRuns(p host.Proc, page int) []Run {
 	vals := append([]float64(nil), m.PageData(page)...)
 	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
 	return []Run{{Off: 0, Vals: vals}}
+}
+
+// ApplySpan merges received modification runs for a contiguous span of
+// pages starting at page0 — perPage[i] holds page0+i's runs — in one
+// call, the receive-side counterpart of a section-granular update push.
+// It is ApplyRuns applied per page: the per-word apply cost is linear,
+// so the span form charges exactly what page-by-page calls would — span
+// application is a header economy on the wire, never a timing change.
+func (m *Mem) ApplySpan(p host.Proc, page0 int, perPage [][]Run) {
+	for i, runs := range perPage {
+		m.ApplyRuns(p, page0+i, runs)
+	}
 }
 
 // ApplyRuns merges received modification runs into page, charging the

@@ -199,7 +199,7 @@ func (e *enc) payload(p any) error {
 		e.u8(pGrant)
 		e.intervals(v.Intervals)
 		e.diffs(v.Served)
-		e.diffs(v.Pushed)
+		e.spans(v.Pushed)
 		e.i32(v.Bytes)
 	case Arrival:
 		e.u8(pArrival)
@@ -239,11 +239,35 @@ func (e *enc) payload(p any) error {
 	case Update:
 		e.u8(pUpdate)
 		e.i32(v.Epoch)
-		e.diffs(v.Diffs)
+		e.spans(v.Spans)
 	default:
 		return fmt.Errorf("wire: unencodable payload type %T", p)
 	}
 	return nil
+}
+
+func (e *enc) runs(rs []Run) {
+	e.count(len(rs))
+	for _, r := range rs {
+		e.i32(r.Off)
+		e.f64s(r.Vals)
+	}
+}
+
+func (e *enc) spans(ss []DiffSpan) {
+	e.count(len(ss))
+	for _, s := range ss {
+		e.i32(s.Page)
+		e.i32(s.Creator)
+		e.i32(s.From)
+		e.i32(s.To)
+		e.bool(s.Whole)
+		e.i32s(s.Covers)
+		e.count(len(s.Pages))
+		for _, rs := range s.Pages {
+			e.runs(rs)
+		}
+	}
 }
 
 func (e *enc) diffs(ds []Diff) {
@@ -255,11 +279,7 @@ func (e *enc) diffs(ds []Diff) {
 		e.i32(d.To)
 		e.bool(d.Whole)
 		e.i32s(d.Covers)
-		e.count(len(d.Runs))
-		for _, r := range d.Runs {
-			e.i32(r.Off)
-			e.f64s(r.Vals)
-		}
+		e.runs(d.Runs)
 	}
 }
 
@@ -272,6 +292,8 @@ func (e *enc) intervals(ivs []OwnedInterval) {
 		for _, pr := range oi.IV.Pages {
 			e.i32(pr.Page)
 			e.bool(pr.Whole)
+			e.i32(pr.ExtLo)
+			e.i32(pr.ExtHi)
 		}
 		e.i32s(oi.IV.VC)
 	}
@@ -304,7 +326,7 @@ func (d *dec) payload() any {
 	case pDiffReply:
 		return DiffReply{Diffs: d.diffs()}
 	case pGrant:
-		return Grant{Intervals: d.intervals(), Served: d.diffs(), Pushed: d.diffs(), Bytes: d.i32()}
+		return Grant{Intervals: d.intervals(), Served: d.diffs(), Pushed: d.spans(), Bytes: d.i32()}
 	case pArrival:
 		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs(), Fetched: d.i32s()}
 	case pDepart:
@@ -323,11 +345,23 @@ func (d *dec) payload() any {
 	case pDone:
 		return Done{Checksum: d.f64(), Err: d.str()}
 	case pUpdate:
-		return Update{Epoch: d.i32(), Diffs: d.diffs()}
+		return Update{Epoch: d.i32(), Spans: d.spans()}
 	default:
 		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
 		return nil
 	}
+}
+
+func (d *dec) runs() []Run {
+	n := d.count(5)
+	var out []Run
+	for i := 0; i < n; i++ {
+		out = append(out, Run{Off: d.i32(), Vals: d.f64s()})
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
 }
 
 func (d *dec) diffs() []Diff {
@@ -338,11 +372,31 @@ func (d *dec) diffs() []Diff {
 			Page: d.i32(), Creator: d.i32(), From: d.i32(), To: d.i32(),
 			Whole: d.bool(), Covers: d.i32s(),
 		}
-		rn := d.count(5)
-		for j := 0; j < rn; j++ {
-			df.Runs = append(df.Runs, Run{Off: d.i32(), Vals: d.f64s()})
-		}
+		df.Runs = d.runs()
 		out = append(out, df)
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func (d *dec) spans() []DiffSpan {
+	n := d.count(19)
+	var out []DiffSpan
+	for i := 0; i < n; i++ {
+		s := DiffSpan{
+			Page: d.i32(), Creator: d.i32(), From: d.i32(), To: d.i32(),
+			Whole: d.bool(), Covers: d.i32s(),
+		}
+		pn := d.count(1)
+		for j := 0; j < pn; j++ {
+			s.Pages = append(s.Pages, d.runs())
+			if d.err != nil {
+				break
+			}
+		}
+		out = append(out, s)
 		if d.err != nil {
 			return out
 		}
@@ -355,9 +409,9 @@ func (d *dec) intervals() []OwnedInterval {
 	var out []OwnedInterval
 	for i := 0; i < n; i++ {
 		oi := OwnedInterval{Owner: d.i32(), Idx: d.i32()}
-		pn := d.count(5)
+		pn := d.count(13)
 		for j := 0; j < pn; j++ {
-			oi.IV.Pages = append(oi.IV.Pages, PageRef{Page: d.i32(), Whole: d.bool()})
+			oi.IV.Pages = append(oi.IV.Pages, PageRef{Page: d.i32(), Whole: d.bool(), ExtLo: d.i32(), ExtHi: d.i32()})
 		}
 		oi.IV.VC = d.i32s()
 		out = append(out, oi)

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSinglePageSpanRoundTrip pins the compatibility contract of the
+// version-4 section encoding: a single-page section coalesces into a
+// one-page span and expands back to exactly the version-3 per-page Diff
+// it came from — same header, same coverage, same runs — and its
+// accounted size is the version-3 size (16-byte header + runs).
+func TestSinglePageSpanRoundTrip(t *testing.T) {
+	d := Diff{
+		Page: 42, Creator: 3, From: 7, To: 9, Covers: []int32{1, 0, 9, 2},
+		Runs: []Run{{Off: 16, Vals: []float64{1, 2, 3}}, {Off: 200, Vals: []float64{-4}}},
+	}
+	spans := CoalesceDiffs([]Diff{d})
+	if len(spans) != 1 || len(spans[0].Pages) != 1 {
+		t.Fatalf("single diff coalesced to %+v", spans)
+	}
+	back := ExpandSpans(spans)
+	if len(back) != 1 || !reflect.DeepEqual(back[0], d) {
+		t.Fatalf("round trip: got %+v, want %+v", back, d)
+	}
+	// Accounted size: 16-byte header + one word per run header + data words.
+	if got, want := spans[0].WireBytes(), 16+8*(1+3)+8*(1+1); got != want {
+		t.Errorf("single-page span WireBytes = %d, want %d", got, want)
+	}
+}
+
+// TestCoalesceDiffsSpans checks the section-coalescing rules: adjacent
+// pages with identical headers merge; a page gap, a different creator, a
+// different interval range, or a different coverage vector all split; and
+// per-page chains coalesce link-wise (one span per chain link).
+func TestCoalesceDiffsSpans(t *testing.T) {
+	covA := []int32{4, 0}
+	covB := []int32{0, 7}
+	mk := func(pg, creator, from, to int32, cov []int32) Diff {
+		return Diff{Page: pg, Creator: creator, From: from, To: to, Covers: cov,
+			Runs: []Run{{Off: 0, Vals: []float64{float64(pg)}}}}
+	}
+	ds := []Diff{
+		// Chain link 1 on pages 3,4,5 (creator 0) — one span.
+		mk(3, 0, 1, 2, covA), mk(3, 0, 2, 4, covA),
+		mk(4, 0, 1, 2, covA), mk(4, 0, 2, 4, covA),
+		mk(5, 0, 1, 2, covA), mk(5, 0, 2, 4, covA),
+		// Page 6: different creator — must not join creator 0's spans.
+		mk(6, 1, 1, 2, covB),
+		// Page 8: gap after 6 — new span.
+		mk(8, 1, 1, 2, covB),
+		// Page 9: same creator/range as 8 but different coverage — split.
+		mk(9, 1, 1, 2, covA),
+	}
+	spans := CoalesceDiffs(ds)
+	type key struct {
+		pg, n   int32
+		creator int32
+		from    int32
+	}
+	var got []key
+	for _, s := range spans {
+		got = append(got, key{s.Page, int32(len(s.Pages)), s.Creator, s.From})
+	}
+	want := []key{
+		{3, 3, 0, 1}, {3, 3, 0, 2}, // the two chain links, 3 pages each
+		{6, 1, 1, 1}, {8, 1, 1, 1}, {9, 1, 1, 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spans = %+v, want %+v", got, want)
+	}
+	// Lossless: expansion yields the same diff set.
+	back := ExpandSpans(spans)
+	if len(back) != len(ds) {
+		t.Fatalf("expanded %d diffs, want %d", len(back), len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		seen[diffKey(d)] = true
+	}
+	for _, d := range back {
+		if !seen[diffKey(d)] {
+			t.Fatalf("expansion produced unexpected diff %+v", d)
+		}
+	}
+	// Header economy: the 3-page spans cost one header plus page-map
+	// entries, less than three separate version-3 headers.
+	if got, want := spans[0].WireBytes(), 16+2*4+3*8*2; got != want {
+		t.Errorf("3-page span WireBytes = %d, want %d", got, want)
+	}
+}
+
+func diffKey(d Diff) string {
+	b, err := AppendFrame(nil, &Frame{Kind: FMsg, Payload: DiffReply{Diffs: []Diff{d}}})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

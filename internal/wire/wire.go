@@ -29,8 +29,11 @@ import "fmt"
 // of a machine are the same build). Version 2 added the adaptive
 // protocol's Update payload and the Fetched relay fields on barrier
 // arrivals and departures; version 3 added the Pushed field on lock
-// grants (lock-scope adaptive updates piggybacked on the grant).
-const Version = 3
+// grants (lock-scope adaptive updates piggybacked on the grant); version 4
+// added write extents on page references and switched the adaptive push
+// payloads (Update, Grant.Pushed) to run-length section encoding
+// (DiffSpan): one header per contiguous page span instead of one per page.
+const Version = 4
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -152,10 +155,20 @@ type DiffReply struct {
 }
 
 // PageRef names a page within an interval record; Whole marks pages the
-// interval overwrote entirely without twinning (WRITE_ALL).
+// interval overwrote entirely without twinning (WRITE_ALL). ExtLo/ExtHi
+// carry the owner's write extent within the page — the [lo, hi) word
+// range its established write regions covered — which the adaptive
+// protocol's sub-page split detection reads to tell spatial false sharing
+// (two writers, disjoint extents) from a genuine write conflict. ExtHi ==
+// 0 means the extent is unknown and readers must assume the whole page.
+// The extents exist for the adaptive protocol, so their cost follows the
+// adaptive convention: ExtentBytes is charged on top of NoticeBytes only
+// when adaptation is enabled — adapt-off notice accounting is unchanged
+// from version 3.
 type PageRef struct {
-	Page  int32
-	Whole bool
+	Page         int32
+	Whole        bool
+	ExtLo, ExtHi int32
 }
 
 // Interval records the pages one owner modified in one interval, plus the
@@ -170,8 +183,53 @@ type Interval struct {
 // departures) charges with.
 func NoticeBytes(n int) int { return 8 + 4*n }
 
-// WireBytes is the accounted size of the interval's write notice.
+// ExtentBytes is the additional accounted size of the write extents a
+// notice carries for the adaptive protocol, given how many of its page
+// references carry a *partial* extent. Full-page and unknown extents —
+// the overwhelmingly common cases — are flag states in the per-page
+// slot NoticeBytes already charges; only a partial extent (a write that
+// covered part of the page, the false-sharing evidence) appends one
+// 4-byte word holding its two 16-bit offsets. Charged only when
+// adaptation is enabled, like the Fetched relay lists — with adaptation
+// off the accounted protocol is byte-for-byte the version-2 one.
+func ExtentBytes(partial int) int { return 4 * partial }
+
+// PartialExtent reports whether a write extent [lo, hi) is known and
+// covers less than a whole page of pageWords words — the single
+// definition of "partial" both the sender-side and relay-side extent
+// accounting charge by.
+func PartialExtent(lo, hi int32, pageWords int) bool {
+	return hi != 0 && !(lo == 0 && int(hi) == pageWords)
+}
+
+// PartialExtents counts the page references whose extent is partial —
+// the refs ExtentBytes charges for.
+func (iv Interval) PartialExtents(pageWords int) int {
+	n := 0
+	for _, pr := range iv.Pages {
+		if PartialExtent(pr.ExtLo, pr.ExtHi, pageWords) {
+			n++
+		}
+	}
+	return n
+}
+
+// WireBytes is the accounted size of the interval's write notice,
+// without the adaptive extent surcharge (see ExtentBytes).
 func (iv Interval) WireBytes() int { return NoticeBytes(len(iv.Pages)) }
+
+// AccountedBytes is the accounted size of the interval's write notice,
+// with the adaptive extent surcharge folded in when extents is true —
+// the single definition every charging site (grants, barrier arrivals
+// and departures) uses, so sender-side and relay-side accounting cannot
+// diverge.
+func (iv Interval) AccountedBytes(extents bool, pageWords int) int {
+	b := iv.WireBytes()
+	if extents {
+		b += ExtentBytes(iv.PartialExtents(pageWords))
+	}
+	return b
+}
 
 // OwnedInterval is an interval tagged with its owner and index, the unit
 // of a write notice.
@@ -203,12 +261,15 @@ type SyncInfo struct {
 // per-lock detector predicts the acquirer will fault on in its critical
 // section, piggybacked the same way Validate_w_sync piggybacks
 // compiler-known data (empty when adaptation is disabled or the hand-off
-// edge is not bound). Receivers apply Served and Pushed through the same
+// edge is not bound), and coalesced into section spans — the releaser's
+// chains repeat the same header across a critical section's contiguous
+// pages, so a span costs one header where version 3 paid one per page.
+// Receivers expand the spans and apply Served and Pushed through the same
 // diff path. Bytes is the accounted size of the grant message.
 type Grant struct {
 	Intervals []OwnedInterval
 	Served    []Diff
-	Pushed    []Diff
+	Pushed    []DiffSpan
 	Bytes     int32
 }
 
@@ -263,12 +324,122 @@ type Push struct {
 // Update is the adaptive protocol's piggybacked push: the diffs a producer
 // sends to a bound consumer right after a barrier departure, replacing the
 // consumer's invalidate-and-fault fetch for pages whose producer→consumer
-// pattern has stabilized. Epoch is the producer's barrier count when the
-// update was sent (diagnostic; the diffs carry their own ordering
-// timestamps and receivers apply them through the normal diff path).
+// pattern has stabilized — run-length section encoded, one DiffSpan per
+// contiguous page span the binding covers (a 16-page producer span costs
+// one header and is applied receiver-side through a single ApplySpan
+// call). Epoch is the producer's barrier count when the update was sent
+// (diagnostic; the diffs carry their own ordering timestamps and
+// receivers apply them through the normal diff path).
 type Update struct {
 	Epoch int32
-	Diffs []Diff
+	Spans []DiffSpan
+}
+
+// DiffSpan is the run-length section encoding of per-page diffs: the
+// diffs of the contiguous page range [Page, Page+len(Pages)) that share
+// one creator, interval range, whole flag, and coverage vector, each page
+// contributing only its runs. It exists purely as a header economy — a
+// span expands losslessly into the per-page Diff values of the version-3
+// format (Expand), and a single-page span round-trips to exactly the Diff
+// it was coalesced from — so nothing downstream of the codec changes
+// semantics.
+type DiffSpan struct {
+	Page    int32 // first page of the span
+	Creator int32
+	From    int32 // exclusive
+	To      int32 // inclusive
+	Whole   bool
+	Covers  []int32
+	Pages   [][]Run // runs per page, offsets page-relative
+}
+
+// WireBytes is the accounted size of the span: the 16-byte diff header
+// once, a 4-byte page-map entry per additional page, plus the run
+// payloads (one word of header per run plus its data words) — the
+// version-3 form charged the full 16-byte header per page.
+func (s DiffSpan) WireBytes() int {
+	n := 16 + 4*(len(s.Pages)-1)
+	for _, runs := range s.Pages {
+		for _, r := range runs {
+			n += 8 * (1 + len(r.Vals))
+		}
+	}
+	return n
+}
+
+// Expand converts the span back into the per-page diffs it encodes.
+// Covers is copied per page: expanded diffs are independent values, and
+// receivers cache them separately.
+func (s DiffSpan) Expand() []Diff {
+	out := make([]Diff, len(s.Pages))
+	for i, runs := range s.Pages {
+		out[i] = Diff{
+			Page: s.Page + int32(i), Creator: s.Creator,
+			From: s.From, To: s.To, Whole: s.Whole,
+			Covers: append([]int32(nil), s.Covers...),
+			Runs:   runs,
+		}
+	}
+	return out
+}
+
+// ExpandSpans expands a span list into the flat diff list of the
+// version-3 per-page form.
+func ExpandSpans(spans []DiffSpan) []Diff {
+	var out []Diff
+	for _, s := range spans {
+		out = append(out, s.Expand()...)
+	}
+	return out
+}
+
+// CoalesceDiffs groups a diff list into maximal section spans: a diff
+// joins the span of the preceding page when everything but its page and
+// runs matches (creator, interval range, whole flag, coverage). Diffs
+// that share a page with different headers — a chain — start parallel
+// spans, so chains of adjacent pages coalesce link-wise. The encoding is
+// lossless: ExpandSpans(CoalesceDiffs(ds)) contains exactly the diffs of
+// ds (order may interleave across chains; receivers order by coverage).
+//
+// The join search indexes the newest span per header key: callers emit a
+// header group's diffs in ascending page order (diff caches are walked
+// page-major), so the newest span of a key is the only one a later diff
+// of that key could ever be contiguous with.
+func CoalesceDiffs(ds []Diff) []DiffSpan {
+	var out []DiffSpan
+	last := map[spanKey]int{} // header key -> index of its newest span in out
+	for _, d := range ds {
+		k := keyOfSpan(d)
+		if i, ok := last[k]; ok {
+			s := &out[i]
+			if s.Page+int32(len(s.Pages)) == d.Page {
+				s.Pages = append(s.Pages, d.Runs)
+				continue
+			}
+		}
+		last[k] = len(out)
+		out = append(out, DiffSpan{
+			Page: d.Page, Creator: d.Creator, From: d.From, To: d.To,
+			Whole: d.Whole, Covers: d.Covers, Pages: [][]Run{d.Runs},
+		})
+	}
+	return out
+}
+
+// spanKey identifies a span header for the coalescing join search; the
+// coverage vector is folded into a comparable string.
+type spanKey struct {
+	creator, from, to int32
+	whole             bool
+	covers            string
+}
+
+func keyOfSpan(d Diff) spanKey {
+	var b []byte
+	for _, c := range d.Covers {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return spanKey{creator: d.Creator, from: d.From, to: d.To, whole: d.Whole, covers: string(b)}
 }
 
 // Float64s is a message-passing data payload ([]float64 sends of the mp

@@ -33,7 +33,7 @@ func sampleFrames() []*Frame {
 		}},
 		{Kind: FHand, From: 2, To: 1, Tag: 1, Payload: Grant{
 			Intervals: []OwnedInterval{{Owner: 2, Idx: 5, IV: Interval{
-				Pages: []PageRef{{Page: 3}, {Page: 4, Whole: true}},
+				Pages: []PageRef{{Page: 3, ExtLo: 12, ExtHi: 200}, {Page: 4, Whole: true, ExtLo: 0, ExtHi: 512}},
 				VC:    []int32{1, 2, 5},
 			}}},
 			Served: []Diff{{Page: 4, Creator: 2, From: 4, To: 5, Covers: []int32{0, 0, 5}}},
@@ -44,11 +44,14 @@ func sampleFrames() []*Frame {
 				Pages: []PageRef{{Page: 9}},
 				VC:    []int32{2, 6, 5},
 			}}},
-			Pushed: []Diff{
+			Pushed: []DiffSpan{
 				{Page: 9, Creator: 1, From: 5, To: 6, Covers: []int32{2, 6, 5},
-					Runs: []Run{{Off: 8, Vals: []float64{1.25, -3}}}},
-				{Page: 10, Creator: 0, From: 1, To: 2, Whole: true, Covers: []int32{2, 0, 0},
-					Runs: []Run{{Off: 0, Vals: []float64{7}}}},
+					Pages: [][]Run{
+						{{Off: 8, Vals: []float64{1.25, -3}}},
+						{{Off: 0, Vals: []float64{4.5}}, {Off: 64, Vals: []float64{2}}},
+					}},
+				{Page: 12, Creator: 0, From: 1, To: 2, Whole: true, Covers: []int32{2, 0, 0},
+					Pages: [][]Run{{{Off: 0, Vals: []float64{7}}}}},
 			},
 			Bytes: 96,
 		}},
@@ -65,9 +68,13 @@ func sampleFrames() []*Frame {
 		}},
 		{Kind: FMsg, From: 2, To: 1, Tag: 102, Bytes: 4144, Time: 777, Payload: Update{
 			Epoch: 6,
-			Diffs: []Diff{
+			Spans: []DiffSpan{
 				{Page: 7, Creator: 2, From: 5, To: 6, Covers: []int32{1, 3, 6},
-					Runs: []Run{{Off: 4, Vals: []float64{2.5}}, {Off: 100, Vals: []float64{-4, 0.5}}}},
+					Pages: [][]Run{
+						{{Off: 4, Vals: []float64{2.5}}, {Off: 100, Vals: []float64{-4, 0.5}}},
+						nil,
+						{{Off: 0, Vals: []float64{9.75}}},
+					}},
 			},
 		}},
 		{Kind: FMsg, From: 1, To: 0, Tag: 6, Payload: SyncInfo{VC: []int32{9, 9, 9}}},
