@@ -1,0 +1,53 @@
+//go:build !race
+
+// Pinned allocation ceilings for the zero-allocation wire path. These are
+// assertions, not benchmarks: a hot-path change that reintroduces
+// steady-state allocations fails `go test` outright instead of silently
+// shifting a benchmark number. They are excluded under the race detector,
+// whose runtime instrumentation allocates on its own account.
+
+package sdsm_test
+
+import (
+	"testing"
+
+	"sdsm/internal/wire"
+)
+
+// TestNetBarrierFlurryAllocs pins the machine-wide allocation rate of one
+// steady-state barrier epoch on the net backend (4 nodes: twin/diff
+// creation, write notices, the departure flurry, one diff RPC per node).
+// Before the pooled wire path this cost ~636 allocations per epoch; the
+// ceiling pins the ≥80% reduction (measured ~107) with headroom for
+// runtime noise, so a regression on the encode buffers, decode arena,
+// frame reuse, or protocol scratch paths fails loudly.
+func TestNetBarrierFlurryAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pinning needs the long flurry run")
+	}
+	const ceiling = 127
+	per := flurryAllocsPerEpoch(t, 4, 40, 160)
+	if per > ceiling {
+		t.Fatalf("net barrier flurry allocates %.1f/epoch, ceiling %d (was ~636 before pooling; the wire path regressed)", per, ceiling)
+	}
+	t.Logf("net barrier flurry: %.1f allocs/epoch (ceiling %d)", per, ceiling)
+}
+
+// TestWireEncodePooledAllocs pins the encode path proper at zero
+// steady-state allocations: encoding the dominant net-backend payload
+// into a pooled buffer must reuse the freelist storage outright once the
+// buffer has grown to size.
+func TestWireEncodePooledAllocs(t *testing.T) {
+	f := benchDiffReply()
+	per := testing.AllocsPerRun(200, func() {
+		buf := wire.GetBuf()
+		enc, err := wire.AppendFrame(buf[:0], f)
+		if err != nil {
+			panic(err)
+		}
+		wire.PutBuf(enc)
+	})
+	if per > 0 {
+		t.Fatalf("pooled encode allocates %.1f/op, want 0", per)
+	}
+}

@@ -24,9 +24,80 @@ import (
 
 	"sdsm/internal/apps"
 	"sdsm/internal/harness"
+	"sdsm/internal/host"
 	"sdsm/internal/model"
+	"sdsm/internal/shm"
+	"sdsm/internal/tmk"
 	"sdsm/internal/wire"
 )
+
+// runBarrierFlurry is the net backend's steady-state barrier workload: n
+// nodes each write a slice of their own page, barrier, read a neighbour's
+// slice (a demand diff fetch), and barrier again, iters times. Every
+// epoch exercises the full wire hot path — twin/diff creation, write
+// notices, the departure flurry the master ships to every node, and one
+// diff request/reply RPC per node — which is exactly the path the
+// zero-allocation work targets.
+func runBarrierFlurry(n, iters int) error {
+	nw, err := host.NewNet(n, model.SP2())
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	layout := shm.NewLayout()
+	arr := layout.Alloc("mem", n*shm.PageWords)
+	sys := tmk.New(nw, nw, layout)
+	return sys.Run(func(nd *tmk.Node) {
+		const words = 64
+		for it := 0; it < iters; it++ {
+			lo := arr.Base + nd.ID*shm.PageWords
+			nd.Mem.EnsureWrite(nd.Proc(), shm.Region{Lo: lo, Hi: lo + words})
+			nd.Proc().BeginCompute()
+			for w := lo; w < lo+words; w++ {
+				nd.Mem.Data()[w] = float64(it + w)
+			}
+			nd.Proc().EndCompute()
+			nd.Barrier(1)
+			peer := arr.Base + ((nd.ID+1)%n)*shm.PageWords
+			nd.Mem.EnsureRead(nd.Proc(), shm.Region{Lo: peer, Hi: peer + words})
+			nd.Barrier(2)
+		}
+	})
+}
+
+// flurryAllocsPerEpoch measures the machine-wide heap allocations one
+// steady-state epoch costs: two runs differing only in iteration count
+// cancel the setup/teardown allocations, leaving the per-epoch rate. The
+// Mallocs counter is process-global, so callers must not run anything
+// concurrently.
+func flurryAllocsPerEpoch(tb testing.TB, n, base, extra int) float64 {
+	run := func(iters int) uint64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if err := runBarrierFlurry(n, iters); err != nil {
+			tb.Fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	short := run(base)
+	long := run(base + extra)
+	if long < short {
+		return 0
+	}
+	return float64(long-short) / float64(extra)
+}
+
+// BenchmarkNetBarrierFlurry measures the wall and allocation cost of one
+// barrier epoch (write + barrier + remote read + barrier, all nodes) on
+// the net backend.
+func BenchmarkNetBarrierFlurry(b *testing.B) {
+	b.ReportAllocs()
+	if err := runBarrierFlurry(4, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // benchDiffReply builds a diff-reply frame like the ones the net backend
 // ships on every fault: two page diffs of short runs, ~1.5 KB of payload.
@@ -61,6 +132,26 @@ func BenchmarkWireEncodeDiffReply(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkWireEncodePooled measures the production encode path: the
+// same diff-reply payload through the frame buffer freelist, as the net
+// backend's protocol goroutine encodes every outgoing frame. Steady
+// state is allocation-free (pinned by TestWireEncodePooledAllocs).
+func BenchmarkWireEncodePooled(b *testing.B) {
+	f := benchDiffReply()
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		buf := wire.GetBuf()
+		enc, err := wire.AppendFrame(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(enc)
+		wire.PutBuf(enc)
+	}
+	b.SetBytes(int64(n))
 }
 
 // BenchmarkWireDecodeDiffReply measures the matching decode.

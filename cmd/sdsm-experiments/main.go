@@ -31,20 +31,22 @@ import (
 func main() {
 	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		table1   = flag.Bool("table1", false, "uniprocessor execution times")
-		table2   = flag.Bool("table2", false, "reduction in page faults, messages, data")
-		fig5     = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
-		fig6     = flag.Bool("fig6", false, "speedups under optimization levels")
-		fig7     = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
-		adaptT   = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
-		micro    = flag.Bool("micro", false, "Section 5 primitive costs")
-		bench    = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
-		benchCmp = flag.String("bench-compare", "", "compare a baseline BENCH json (this flag) against a new one (next argument): usage `-bench-compare old.json new.json`; exits 1 on a tracked virtual-time regression beyond -bench-tolerance")
-		benchTol = flag.Float64("bench-tolerance", harness.DefaultBenchTolerancePct, "allowed virtual-time regression percentage for -bench-compare")
-		procs    = flag.Int("procs", harness.DefaultProcs, "processor count")
-		par      = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
-		backend  = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
+		all       = flag.Bool("all", false, "run every experiment")
+		table1    = flag.Bool("table1", false, "uniprocessor execution times")
+		table2    = flag.Bool("table2", false, "reduction in page faults, messages, data")
+		fig5      = flag.Bool("fig5", false, "speedups: Tmk, Opt-Tmk, XHPF, PVMe")
+		fig6      = flag.Bool("fig6", false, "speedups under optimization levels")
+		fig7      = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
+		adaptT    = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
+		micro     = flag.Bool("micro", false, "Section 5 primitive costs")
+		bench     = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
+		benchCmp  = flag.String("bench-compare", "", "compare a baseline BENCH json (this flag) against a new one (next argument): usage `-bench-compare old.json new.json`; exits 1 on a tracked regression beyond the per-metric tolerances")
+		benchTol  = flag.Float64("bench-tolerance", harness.DefaultBenchTolerancePct, "allowed virtual-time regression percentage for -bench-compare")
+		benchWTol = flag.Float64("bench-wall-tolerance", harness.DefaultBenchWallTolerancePct, "allowed wall-time regression percentage for -bench-compare (generous: wall times are hardware-dependent; <= 0 disables)")
+		benchATol = flag.Float64("bench-alloc-tolerance", harness.DefaultBenchAllocTolerancePct, "allowed allocation-count regression percentage for -bench-compare (tight: allocs are near-deterministic; <= 0 disables)")
+		procs     = flag.Int("procs", harness.DefaultProcs, "processor count")
+		par       = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
+		backend   = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
 	)
 	flag.Parse()
 	workers := *par
@@ -88,7 +90,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		regs, compared := harness.CompareBench(old, fresh, *benchTol)
+		tols := harness.BenchTolerances{VirtualPct: *benchTol, WallPct: *benchWTol, AllocPct: *benchATol}
+		regs, compared := harness.CompareBench(old, fresh, tols)
 		if compared == 0 {
 			// Zero overlap means the baseline no longer tracks anything the
 			// fresh report measures (renamed apps, changed procs, stale
@@ -99,14 +102,15 @@ func main() {
 			os.Exit(1)
 		}
 		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "sdsm-experiments: %d virtual-time regression(s) beyond %.0f%%:\n", len(regs), *benchTol)
+			fmt.Fprintf(os.Stderr, "sdsm-experiments: %d regression(s) beyond tolerance (virtual %.0f%%, wall %.0f%%, alloc %.0f%%):\n",
+				len(regs), tols.VirtualPct, tols.WallPct, tols.AllocPct)
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "  "+r)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("bench compare: %d of %d tracked entries compared, all within %.0f%% of %s\n",
-			compared, len(fresh.Entries), *benchTol, *benchCmp)
+		fmt.Printf("bench compare: %d of %d tracked entries compared, all within tolerance (virtual %.0f%%, wall %.0f%%, alloc %.0f%%) of %s\n",
+			compared, len(fresh.Entries), tols.VirtualPct, tols.WallPct, tols.AllocPct, *benchCmp)
 		if compared < len(fresh.Entries) {
 			fmt.Printf("note: %d entries have no baseline — regenerate %s to track them\n",
 				len(fresh.Entries)-compared, *benchCmp)

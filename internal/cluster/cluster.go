@@ -143,7 +143,7 @@ func (nw *Network) Recv(p host.Proc, from int, tag Tag) Msg {
 			panic(fmt.Sprintf("cluster: node %d has two concurrent receivers", p.ID()))
 		}
 		nw.waits[p.ID()] = &waiter{p: p, from: from, tag: tag}
-		p.Block(fmt.Sprintf("recv tag=%d from=%d", tag, from))
+		p.Block("cluster recv")
 	}
 }
 

@@ -19,7 +19,10 @@ import (
 // BenchEntry is one configuration's measurement. VirtualMS is the
 // deterministic simulated execution time (comparable across machines and
 // runs); WallMS is the host wall-clock cost of producing it (comparable
-// only across runs on similar hardware).
+// only across runs on similar hardware); Allocs is the machine-wide heap
+// allocation count of the run (near-deterministic on the sim backend,
+// recorded only when runs are not fanned out — the counter is global, so
+// concurrent runs would pollute each other's deltas).
 type BenchEntry struct {
 	App       string            `json:"app"`
 	Set       string            `json:"set"`
@@ -28,6 +31,7 @@ type BenchEntry struct {
 	Adapt     bool              `json:"adapt,omitempty"`
 	VirtualMS float64           `json:"virtual_ms"`
 	WallMS    float64           `json:"wall_ms"`
+	Allocs    int64             `json:"allocs,omitempty"`
 	Msgs      int64             `json:"msgs"`
 	Bytes     int64             `json:"bytes"`
 	Segv      int64             `json:"segv"`
@@ -69,21 +73,36 @@ func benchConfigs(procs int) []Config {
 
 // Bench measures the tracked configurations, fanning independent runs
 // across workers (wall times are per-run and unaffected by the fan-out).
+// Allocation counts are recorded only at workers == 1: runtime.MemStats
+// is process-global, so a delta taken around a run is meaningful only
+// when nothing else allocates concurrently.
 func Bench(procs, workers int) (*BenchReport, error) {
 	cfgs := benchConfigs(procs)
 	entries := make([]BenchEntry, len(cfgs))
 	err := parallelDo(len(cfgs), workers, func(i int) error {
 		cfg := cfgs[i]
+		var before runtime.MemStats
+		if workers == 1 {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		res, err := Run(cfg)
 		if err != nil {
 			return err
 		}
+		wall := time.Since(start)
+		var allocs int64
+		if workers == 1 {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			allocs = int64(after.Mallocs - before.Mallocs)
+		}
 		entries[i] = BenchEntry{
 			App: cfg.App.Name, Set: string(cfg.Set), System: string(cfg.System),
 			Procs: cfg.Procs, Adapt: cfg.Adapt,
 			VirtualMS: float64(res.Time) / 1e6,
-			WallMS:    float64(time.Since(start)) / 1e6,
+			WallMS:    float64(wall) / 1e6,
+			Allocs:    allocs,
 			Msgs:      res.Msgs, Bytes: res.Bytes, Segv: res.Segv,
 			Protocol: res.Protocol,
 		}

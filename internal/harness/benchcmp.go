@@ -7,16 +7,57 @@ import (
 	"sort"
 )
 
-// Bench trajectory gate. The BENCH artifact records one VirtualMS per
-// tracked configuration; virtual times are deterministic on the sim
-// backend, so a fresh report compared against a checked-in baseline turns
-// the artifact into an actual perf gate: CompareBench fails any entry
-// whose virtual time regressed beyond the tolerance. Wall times are
-// hardware-dependent and are never compared.
+// Bench trajectory gate. The BENCH artifact records, per tracked
+// configuration, the deterministic virtual time plus the wall-clock time
+// and heap allocation count of producing it. A fresh report compared
+// against a checked-in baseline turns the artifact into an actual perf
+// gate, with one tolerance per metric:
+//
+//   - Virtual time is deterministic on the sim backend, so its tolerance
+//     is tight (the default 10% only absorbs intentional protocol-cost
+//     changes between recalibrations).
+//   - Allocation counts are near-deterministic (GC bookkeeping and map
+//     growth introduce small run-to-run wiggle), so their tolerance is
+//     moderately tight — a real regression on the hot paths (wire codec,
+//     diff path, frame delivery) moves the count by far more than 15%.
+//   - Wall times depend on the hardware and on CI-runner noise, so their
+//     tolerance is generous (300% by default): the wall gate only
+//     catches catastrophic slowdowns, never honest machine variance.
+//
+// A metric is compared only when both reports carry it (> 0), so old
+// baselines without alloc counts, or reports generated with -parallel
+// (which suppresses alloc recording), degrade gracefully to the metrics
+// they do have.
 
-// DefaultBenchTolerancePct is the default allowed virtual-time regression
-// per tracked entry.
-const DefaultBenchTolerancePct = 10
+// Default per-metric regression tolerances for -bench-compare.
+const (
+	// DefaultBenchTolerancePct is the default allowed virtual-time
+	// regression per tracked entry.
+	DefaultBenchTolerancePct = 10
+	// DefaultBenchWallTolerancePct is the default allowed wall-clock
+	// regression — generous, because wall times are hardware-dependent.
+	DefaultBenchWallTolerancePct = 300
+	// DefaultBenchAllocTolerancePct is the default allowed allocation
+	// count regression — tight, because allocs are near-deterministic.
+	DefaultBenchAllocTolerancePct = 15
+)
+
+// BenchTolerances bundles the per-metric regression tolerances, in
+// percent. A metric with tolerance <= 0 is not compared.
+type BenchTolerances struct {
+	VirtualPct float64
+	WallPct    float64
+	AllocPct   float64
+}
+
+// DefaultBenchTolerances returns the standard gate settings.
+func DefaultBenchTolerances() BenchTolerances {
+	return BenchTolerances{
+		VirtualPct: DefaultBenchTolerancePct,
+		WallPct:    DefaultBenchWallTolerancePct,
+		AllocPct:   DefaultBenchAllocTolerancePct,
+	}
+}
 
 // LoadBenchReport reads a BENCH json artifact.
 func LoadBenchReport(path string) (*BenchReport, error) {
@@ -47,29 +88,44 @@ func (k benchKey) String() string {
 }
 
 // CompareBench checks new against old: every entry present in both
-// reports (keyed by app/set/system/procs/adapt) must not exceed the old
-// virtual time by more than tolPct percent. Entries only in one report
-// are ignored (configurations come and go across PRs; the golden tables
-// pin exact values for the stable set). The returned regressions are
-// sorted and human-readable; empty means the gate passes. compared is
-// the number of entries actually checked, so callers can report honestly
-// when the baseline lags the tracked set.
-func CompareBench(old, new *BenchReport, tolPct float64) (regressions []string, compared int) {
-	base := map[benchKey]float64{}
+// reports (keyed by app/set/system/procs/adapt) is gated per metric —
+// virtual time, wall time, and allocation count must not exceed the old
+// value by more than the corresponding tolerance, each metric compared
+// only when present (> 0) in both reports and its tolerance is positive.
+// Entries only in one report are ignored (configurations come and go
+// across PRs; the golden tables pin exact values for the stable set).
+// The returned regressions are sorted and human-readable; empty means
+// the gate passes. compared is the number of entries with at least one
+// metric checked, so callers can report honestly when the baseline lags
+// the tracked set.
+func CompareBench(old, new *BenchReport, tol BenchTolerances) (regressions []string, compared int) {
+	base := map[benchKey]BenchEntry{}
 	for _, e := range old.Entries {
-		base[benchKey{e.App, e.Set, e.System, e.Procs, e.Adapt}] = e.VirtualMS
+		base[benchKey{e.App, e.Set, e.System, e.Procs, e.Adapt}] = e
 	}
 	for _, e := range new.Entries {
 		k := benchKey{e.App, e.Set, e.System, e.Procs, e.Adapt}
 		was, ok := base[k]
-		if !ok || was <= 0 {
+		if !ok {
 			continue
 		}
-		compared++
-		if e.VirtualMS > was*(1+tolPct/100) {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: virtual time %.3fms exceeds baseline %.3fms by %.1f%% (tolerance %.0f%%)",
-					k, e.VirtualMS, was, 100*(e.VirtualMS-was)/was, tolPct))
+		checked := false
+		gate := func(metric, unit string, oldV, newV, tolPct float64) {
+			if tolPct <= 0 || oldV <= 0 || newV <= 0 {
+				return
+			}
+			checked = true
+			if newV > oldV*(1+tolPct/100) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.3f%s exceeds baseline %.3f%s by %.1f%% (tolerance %.0f%%)",
+						k, metric, newV, unit, oldV, unit, 100*(newV-oldV)/oldV, tolPct))
+			}
+		}
+		gate("virtual time", "ms", was.VirtualMS, e.VirtualMS, tol.VirtualPct)
+		gate("wall time", "ms", was.WallMS, e.WallMS, tol.WallPct)
+		gate("allocs", "", float64(was.Allocs), float64(e.Allocs), tol.AllocPct)
+		if checked {
+			compared++
 		}
 	}
 	sort.Strings(regressions)

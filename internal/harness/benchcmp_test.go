@@ -15,6 +15,8 @@ func entry(app string, adapt bool, virtualMS float64) BenchEntry {
 	return BenchEntry{App: app, Set: "small", System: "tmk", Procs: 8, Adapt: adapt, VirtualMS: virtualMS}
 }
 
+func virtualOnly(pct float64) BenchTolerances { return BenchTolerances{VirtualPct: pct} }
+
 // TestCompareBench pins the trajectory gate's semantics: regressions
 // beyond the tolerance fail, improvements and in-tolerance noise pass,
 // and entries present in only one report are ignored.
@@ -29,7 +31,7 @@ func TestCompareBench(t *testing.T) {
 		entry("spmv", true, 60),      // +20%: regression
 		entry("brand-new", false, 5), // no baseline: ignored
 	)
-	regs, compared := CompareBench(old, fresh, 10)
+	regs, compared := CompareBench(old, fresh, virtualOnly(10))
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2 (retired and brand-new entries skipped)", compared)
 	}
@@ -39,11 +41,11 @@ func TestCompareBench(t *testing.T) {
 	if !strings.Contains(regs[0], "spmv/small/tmk+adapt/p8") {
 		t.Fatalf("regression does not name the config: %s", regs[0])
 	}
-	if regs, _ := CompareBench(old, fresh, 25); len(regs) != 0 {
+	if regs, _ := CompareBench(old, fresh, virtualOnly(25)); len(regs) != 0 {
 		t.Fatalf("wider tolerance must pass, got %v", regs)
 	}
 	improved := benchRep(entry("jacobi", false, 80), entry("spmv", true, 50))
-	if regs, _ := CompareBench(old, improved, 10); len(regs) != 0 {
+	if regs, _ := CompareBench(old, improved, virtualOnly(10)); len(regs) != 0 {
 		t.Fatalf("improvements must pass, got %v", regs)
 	}
 }
@@ -53,9 +55,60 @@ func TestCompareBench(t *testing.T) {
 func TestCompareBenchDistinguishesAdapt(t *testing.T) {
 	old := benchRep(entry("is", false, 100), entry("is", true, 40))
 	fresh := benchRep(entry("is", false, 100), entry("is", true, 90))
-	regs, _ := CompareBench(old, fresh, 10)
+	regs, _ := CompareBench(old, fresh, virtualOnly(10))
 	if len(regs) != 1 || !strings.Contains(regs[0], "+adapt") {
 		t.Fatalf("regressions = %v, want only the adapt entry", regs)
+	}
+}
+
+// TestCompareBenchWallAndAllocs pins the per-metric gates: wall time and
+// allocation count each have their own tolerance, a metric is skipped
+// when it is absent (zero) in either report or its tolerance is <= 0,
+// and an entry with any metric checked counts as compared.
+func TestCompareBenchWallAndAllocs(t *testing.T) {
+	mk := func(wallMS float64, allocs int64) BenchEntry {
+		e := entry("jacobi", false, 100)
+		e.WallMS = wallMS
+		e.Allocs = allocs
+		return e
+	}
+	old := benchRep(mk(100, 1000))
+	tols := BenchTolerances{VirtualPct: 10, WallPct: 300, AllocPct: 15}
+
+	// Wall time may swing a lot before tripping the generous gate.
+	if regs, _ := CompareBench(old, benchRep(mk(350, 1000)), tols); len(regs) != 0 {
+		t.Fatalf("wall +250%% within 300%% tolerance must pass, got %v", regs)
+	}
+	regs, _ := CompareBench(old, benchRep(mk(450, 1000)), tols)
+	if len(regs) != 1 || !strings.Contains(regs[0], "wall time") {
+		t.Fatalf("wall +350%% must fail the wall gate, got %v", regs)
+	}
+
+	// Allocation counts are tight: +20% fails, +10% passes.
+	regs, _ = CompareBench(old, benchRep(mk(100, 1200)), tols)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs") {
+		t.Fatalf("alloc +20%% must fail the alloc gate, got %v", regs)
+	}
+	if regs, _ := CompareBench(old, benchRep(mk(100, 1100)), tols); len(regs) != 0 {
+		t.Fatalf("alloc +10%% within 15%% tolerance must pass, got %v", regs)
+	}
+
+	// Zero allocs (report generated with -parallel) skips the alloc gate.
+	if regs, _ := CompareBench(old, benchRep(mk(100, 0)), tols); len(regs) != 0 {
+		t.Fatalf("absent alloc count must be skipped, got %v", regs)
+	}
+	// A disabled tolerance skips the metric even when both sides have it.
+	off := BenchTolerances{VirtualPct: 10}
+	if regs, _ := CompareBench(old, benchRep(mk(450, 1200)), off); len(regs) != 0 {
+		t.Fatalf("disabled wall/alloc gates must skip, got %v", regs)
+	}
+	// An entry whose only shared metric is allocs still counts as compared.
+	vzero := mk(0, 1000)
+	vzero.VirtualMS = 0
+	oldA := benchRep(vzero)
+	freshA := benchRep(vzero)
+	if _, compared := CompareBench(oldA, freshA, tols); compared != 1 {
+		t.Fatalf("alloc-only entry must count as compared, got %d", compared)
 	}
 }
 

@@ -1,0 +1,157 @@
+package host
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"sdsm/internal/wire"
+)
+
+// FrameQueue is the per-connection outbound half of the zero-allocation
+// wire path: an unbounded FIFO of encoded frames drained by a single
+// writer goroutine. A barrier or lock release produces a flurry of
+// frames for the same connection (grants, departures, diff replies,
+// adaptive updates); enqueuing is a mutex-guarded append, and the writer
+// coalesces everything queued at wakeup into one scatter-gather write
+// (net.Buffers, a writev on socket conns) — one syscall per flush
+// instead of one per frame.
+//
+// Contract:
+//
+//   - Enqueue takes ownership of raw: the queue recycles it with
+//     wire.PutBuf after the write, so callers must encode into pooled
+//     storage (wire.GetBuf) and never touch the slice again.
+//   - Frames enqueued on one queue are written in FIFO order; the
+//     coalesced flush preserves per-connection ordering exactly. No
+//     cross-queue ordering is promised — none existed when every frame
+//     was a separate locked Write either.
+//   - Coalescing moves bytes, not time: all virtual-time charges and
+//     arrival stamps are fixed by the sender before Enqueue, so batching
+//     is invisible to the cost model (DESIGN.md, "Zero-allocation wire
+//     path").
+//
+// Failure: the first write error is latched; the queue calls onErr once
+// (from the writer goroutine), drops subsequent frames, and every later
+// Enqueue returns the latched error so protocol callers can unwind.
+type FrameQueue struct {
+	w     net.Conn
+	onErr func(error)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        [][]byte
+	inflight int
+	err      error
+	closed   bool
+	done     chan struct{}
+}
+
+// errQueueClosed is returned by Enqueue after Close.
+var errQueueClosed = errors.New("host: frame queue closed")
+
+// NewFrameQueue starts a queue draining into w. onErr (optional) is
+// invoked once, from the writer goroutine, when a write first fails.
+func NewFrameQueue(w net.Conn, onErr func(error)) *FrameQueue {
+	fq := &FrameQueue{w: w, onErr: onErr, done: make(chan struct{})}
+	fq.cond = sync.NewCond(&fq.mu)
+	go fq.writerLoop()
+	return fq
+}
+
+// Enqueue appends one encoded frame to the outbound queue, transferring
+// ownership of raw to the queue. It returns the latched write error, if
+// any — the frame is dropped (and recycled) in that case.
+func (fq *FrameQueue) Enqueue(raw []byte) error {
+	fq.mu.Lock()
+	if fq.err != nil || fq.closed {
+		err := fq.err
+		fq.mu.Unlock()
+		wire.PutBuf(raw)
+		if err == nil {
+			err = errQueueClosed
+		}
+		return err
+	}
+	fq.q = append(fq.q, raw)
+	fq.cond.Signal()
+	fq.mu.Unlock()
+	return nil
+}
+
+// Flush blocks until every frame enqueued so far has been handed to the
+// connection (or a write error is latched, which it returns).
+func (fq *FrameQueue) Flush() error {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for (len(fq.q) > 0 || fq.inflight > 0) && fq.err == nil {
+		fq.cond.Wait()
+	}
+	return fq.err
+}
+
+// Close drains the queue (pending frames are still written, unless an
+// error is latched), stops the writer goroutine, and waits for it.
+// Idempotent; it does not close the underlying connection.
+func (fq *FrameQueue) Close() {
+	fq.mu.Lock()
+	if !fq.closed {
+		fq.closed = true
+		fq.cond.Broadcast()
+	}
+	fq.mu.Unlock()
+	<-fq.done
+}
+
+// writerLoop drains the whole queue per wakeup into one vectored write.
+// The queue slice and the batch slice are double-buffered (swapped each
+// round) and the net.Buffers header slice is rebuilt from scratch
+// storage, so a steady-state flush allocates nothing.
+func (fq *FrameQueue) writerLoop() {
+	defer close(fq.done)
+	var batch [][]byte
+	var scratch [][]byte
+	// bufs lives outside the loop: WriteTo takes its address, which would
+	// heap-allocate the slice header on every flush if it were loop-local.
+	var bufs net.Buffers
+	failed := false
+	fq.mu.Lock()
+	for {
+		for len(fq.q) == 0 && !fq.closed {
+			fq.cond.Wait()
+		}
+		if len(fq.q) == 0 { // closed and drained
+			fq.mu.Unlock()
+			return
+		}
+		batch, fq.q = fq.q, batch[:0]
+		fq.inflight = len(batch)
+		fq.mu.Unlock()
+
+		if !failed {
+			// WriteTo consumes its receiver — on partial writes it
+			// advances the slice entries in place — so it runs on a
+			// scratch copy of the headers; batch keeps the originals
+			// for recycling.
+			scratch = append(scratch[:0], batch...)
+			bufs = net.Buffers(scratch)
+			if _, err := bufs.WriteTo(fq.w); err != nil {
+				failed = true
+				fq.mu.Lock()
+				fq.err = err
+				fq.cond.Broadcast()
+				fq.mu.Unlock()
+				if fq.onErr != nil {
+					fq.onErr(err)
+				}
+			}
+		}
+		for i, b := range batch {
+			wire.PutBuf(b)
+			batch[i] = nil
+		}
+		fq.mu.Lock()
+		fq.inflight = 0
+		fq.cond.Broadcast()
+	}
+}

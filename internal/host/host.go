@@ -147,24 +147,35 @@ type Pending struct {
 	Arrival time.Duration
 	// Bytes is the accounted reply size.
 	Bytes int
-	// resolve, when non-nil, blocks until the reply is available and
+	// resolver, when non-nil, blocks until the reply is available and
 	// fills the fields above (socket transports; nil when the exchange
-	// completed at StartRequest).
-	resolve func(p Proc)
+	// completed at StartRequest). An interface rather than a closure so
+	// transports embedding Pending in their request state install it
+	// without allocating.
+	resolver Resolver
+}
+
+// Resolver is the completion wait hook a transport installs on a Pending
+// whose reply arrives asynchronously.
+type Resolver interface {
+	// ResolveReply blocks p until the exchange has completed and fills
+	// the Pending's reply fields.
+	ResolveReply(p Proc)
 }
 
 // Resolve waits until the exchange has completed (no-op on transports
-// that complete requests synchronously). Await calls it; transports set it
-// via SetResolver.
+// that complete requests synchronously). Await calls it; transports set
+// the hook via SetResolver.
 func (pd *Pending) Resolve(p Proc) {
-	if pd.resolve != nil {
-		pd.resolve(p)
-		pd.resolve = nil
+	if pd.resolver != nil {
+		r := pd.resolver
+		pd.resolver = nil
+		r.ResolveReply(p)
 	}
 }
 
 // SetResolver installs the completion wait hook (transport internal).
-func (pd *Pending) SetResolver(fn func(p Proc)) { pd.resolve = fn }
+func (pd *Pending) SetResolver(r Resolver) { pd.resolver = r }
 
 // TakeMatch removes the earliest-arriving message matching (from, tag)
 // from box, returning the message and the shortened box. It is the one
@@ -193,7 +204,15 @@ func TakeMatch(box []Msg, from int, tag Tag) (Msg, []Msg, bool) {
 // the requester). Exchanges must already be resolved where resolution is
 // asynchronous.
 func AwaitInArrivalOrder(p Proc, pds []*Pending, await func(Proc, *Pending)) {
-	rest := append([]*Pending(nil), pds...)
+	// The scratch copy (the caller's order must be preserved) lives on the
+	// stack for the common small fan-outs.
+	var stack [16]*Pending
+	var rest []*Pending
+	if len(pds) <= len(stack) {
+		rest = append(stack[:0], pds...)
+	} else {
+		rest = append([]*Pending(nil), pds...)
+	}
 	for len(rest) > 0 {
 		best := 0
 		for i := range rest {

@@ -25,9 +25,11 @@ import (
 //
 // Concurrency structure, per node i:
 //
-//   - The app/protocol goroutine (a Real processor) encodes and writes
-//     outbound frames, and blocks — releasing the protocol token — when
-//     it needs an inbound one (Recv, TakeHand, Await).
+//   - The app/protocol goroutine (a Real processor) encodes outbound
+//     frames into pooled buffers and enqueues them on the node's
+//     FrameQueue (whose writer goroutine coalesces a flurry into one
+//     vectored write), and blocks — releasing the protocol token — when
+//     it needs an inbound frame (Recv, TakeHand, Await).
 //   - A delivery goroutine reads node i's connection, decodes frames, and
 //     files them (mailbox, hand slots, reply table) under the transport
 //     mutex, waking the blocked processor when a frame matches its wait.
@@ -53,15 +55,16 @@ type Net struct {
 	ln  net.Listener
 	dir string // temp dir holding the unix socket, "" for TCP
 
-	conns  []net.Conn   // client side, per node
-	cwmu   []sync.Mutex // write lock per client conn
-	sconns []net.Conn   // switch side, per node
-	swmu   []sync.Mutex // write lock per switch conn
+	conns  []net.Conn    // client side, per node
+	outq   []*FrameQueue // batched writer per client conn
+	sconns []net.Conn    // switch side, per node
+	swq    []*FrameQueue // batched writer per switch conn
 
 	nmu    sync.Mutex // guards boxes, hands, waits, reqs, stats
 	boxes  [][]Msg
 	hands  []map[Tag]any
 	waits  []*netWait
+	wslots []netWait             // per node: reusable wait record (one receiver per node)
 	reqs   []map[int32]*reqState // per requester node: id -> state
 	nextID []int32
 	server Server
@@ -70,6 +73,7 @@ type Net struct {
 	svcMu   sync.Mutex
 	svcCond []*sync.Cond
 	svcQ    [][]*wire.Frame
+	svcHead []int // per-node index of the next unserviced svcQ entry
 
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -77,6 +81,10 @@ type Net struct {
 }
 
 // netWait is what a node's blocked protocol goroutine is waiting for.
+// Waits are filed through the node's reusable wslots entry: a node has at
+// most one outstanding wait (enforced by the two-receivers panic), and
+// the delivery loop drops its pointer under nmu before the waiter can
+// file the next one, so recycling the record never aliases a live wait.
 type netWait struct {
 	p    Proc
 	kind byte // 'm' mailbox, 'h' hand, 'r' reply
@@ -86,12 +94,44 @@ type netWait struct {
 	rs   *reqState
 }
 
-// reqState tracks one in-flight request at the requester.
+// fileWait records what node id's protocol goroutine is about to block
+// on. Caller holds nmu.
+func (nw *Net) fileWait(id int, w netWait) {
+	if nw.waits[id] != nil {
+		panic(fmt.Sprintf("host: node %d has two concurrent receivers", id))
+	}
+	nw.wslots[id] = w
+	nw.waits[id] = &nw.wslots[id]
+}
+
+// reqState tracks one in-flight request at the requester. The Pending
+// handed to the caller is embedded and reqState itself is the Pending's
+// Resolver, so one allocation covers the exchange's whole bookkeeping.
 type reqState struct {
-	done      bool
-	reply     any
-	respBytes int
-	service   time.Duration
+	pd         Pending
+	nw         *Net
+	reqArrival time.Duration
+	done       bool
+	reply      any
+	respBytes  int
+	service    time.Duration
+}
+
+// ResolveReply blocks until the reply frame has been filed, then fills
+// the embedded Pending (Pending's Resolver hook).
+func (rs *reqState) ResolveReply(p Proc) {
+	nw := rs.nw
+	nw.nmu.Lock()
+	for !rs.done {
+		nw.fileWait(p.ID(), netWait{p: p, kind: 'r', rs: rs})
+		nw.nmu.Unlock()
+		p.Block("net rpc reply")
+		nw.nmu.Lock()
+	}
+	nw.nmu.Unlock()
+	rs.pd.Reply = rs.reply
+	rs.pd.Bytes = rs.respBytes
+	rs.pd.Arrival = rs.reqArrival + rs.service + nw.costs.OneWay(rs.respBytes)
 }
 
 // ListenLoopback opens the loopback listener the socket deployments
@@ -117,20 +157,22 @@ func ListenLoopback() (net.Listener, string, error) {
 // connected. Close must be called when done.
 func NewNet(n int, costs model.Costs) (*Net, error) {
 	nw := &Net{
-		Real:   NewReal(n),
-		costs:  costs,
-		boxes:  make([][]Msg, n),
-		hands:  make([]map[Tag]any, n),
-		waits:  make([]*netWait, n),
-		reqs:   make([]map[int32]*reqState, n),
-		nextID: make([]int32, n),
-		conns:  make([]net.Conn, n),
-		cwmu:   make([]sync.Mutex, n),
-		sconns: make([]net.Conn, n),
-		swmu:   make([]sync.Mutex, n),
-		svcQ:   make([][]*wire.Frame, n),
-		stats:  Stats{Node: make([]NodeStats, n)},
-		closed: make(chan struct{}),
+		Real:    NewReal(n),
+		costs:   costs,
+		boxes:   make([][]Msg, n),
+		hands:   make([]map[Tag]any, n),
+		waits:   make([]*netWait, n),
+		wslots:  make([]netWait, n),
+		reqs:    make([]map[int32]*reqState, n),
+		nextID:  make([]int32, n),
+		conns:   make([]net.Conn, n),
+		outq:    make([]*FrameQueue, n),
+		sconns:  make([]net.Conn, n),
+		swq:     make([]*FrameQueue, n),
+		svcQ:    make([][]*wire.Frame, n),
+		svcHead: make([]int, n),
+		stats:   Stats{Node: make([]NodeStats, n)},
+		closed:  make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
 		nw.hands[i] = map[Tag]any{}
@@ -186,8 +228,14 @@ func NewNet(n int, costs model.Costs) (*Net, error) {
 		return nil, err
 	}
 
+	// Every queue must exist before any switch loop runs (a loop routes
+	// to arbitrary destinations' queues).
 	for i := range nw.conns {
 		i := i
+		nw.outq[i] = NewFrameQueue(nw.conns[i], func(err error) { nw.linkDown(i, err) })
+		nw.swq[i] = NewFrameQueue(nw.sconns[i], func(err error) { nw.linkDown(i, err) })
+	}
+	for i := range nw.conns {
 		nw.wg.Add(3)
 		go nw.switchLoop(i)
 		go nw.deliveryLoop(i)
@@ -207,6 +255,18 @@ func (nw *Net) Close() {
 	}
 	nw.closeMu.Unlock()
 	nw.ln.Close()
+	// Drain the writer queues before the sockets close underneath them
+	// (the reader loops are still alive to consume the flush).
+	for _, q := range nw.outq {
+		if q != nil {
+			q.Close()
+		}
+	}
+	for _, q := range nw.swq {
+		if q != nil {
+			q.Close()
+		}
+	}
 	for _, c := range nw.conns {
 		if c != nil {
 			c.Close()
@@ -250,11 +310,13 @@ func (nw *Net) linkDown(node int, err error) {
 }
 
 // switchLoop routes raw frames arriving from node i to their destination
-// connection without decoding payloads.
+// queue without decoding payloads. Each frame is read into pooled
+// storage it owns (the destination queue recycles it after the write),
+// so routing a frame allocates nothing in steady state.
 func (nw *Net) switchLoop(i int) {
 	defer nw.wg.Done()
 	for {
-		raw, err := wire.ReadRawFrame(nw.sconns[i])
+		raw, err := wire.ReadRawFrameInto(nw.sconns[i], wire.GetBuf())
 		if err != nil {
 			nw.linkDown(i, err)
 			return
@@ -264,10 +326,7 @@ func (nw *Net) switchLoop(i int) {
 			nw.linkDown(i, fmt.Errorf("unroutable frame: to=%d err=%v", to, err))
 			return
 		}
-		nw.swmu[to].Lock()
-		_, err = nw.sconns[to].Write(raw)
-		nw.swmu[to].Unlock()
-		if err != nil {
+		if err := nw.swq[to].Enqueue(raw); err != nil {
 			nw.linkDown(int(to), err)
 			return
 		}
@@ -279,9 +338,13 @@ func (nw *Net) switchLoop(i int) {
 // enters a protocol section.
 func (nw *Net) deliveryLoop(i int) {
 	defer nw.wg.Done()
+	fr := wire.NewFrameReader(nw.conns[i])
+	// One Frame struct serves every delivery: the decoded payloads own
+	// their storage, so filing them does not retain f. Only the FReq path
+	// queues the whole frame and clones it first.
+	var f wire.Frame
 	for {
-		f, err := wire.ReadFrame(nw.conns[i])
-		if err != nil {
+		if err := fr.ReadInto(&f); err != nil {
 			nw.linkDown(i, err)
 			return
 		}
@@ -311,8 +374,10 @@ func (nw *Net) deliveryLoop(i int) {
 			}
 			nw.nmu.Unlock()
 		case wire.FReq:
+			fc := new(wire.Frame)
+			*fc = f
 			nw.svcMu.Lock()
-			nw.svcQ[i] = append(nw.svcQ[i], f)
+			nw.svcQ[i] = append(nw.svcQ[i], fc)
 			nw.svcCond[i].Signal()
 			nw.svcMu.Unlock()
 		case wire.FReply:
@@ -350,15 +415,22 @@ func (nw *Net) serviceLoop(i int) {
 	rp := nw.Real.procs[i]
 	for {
 		nw.svcMu.Lock()
-		for len(nw.svcQ[i]) == 0 && !nw.closing() {
+		for nw.svcHead[i] == len(nw.svcQ[i]) && !nw.closing() {
 			nw.svcCond[i].Wait()
 		}
-		if nw.closing() && len(nw.svcQ[i]) == 0 {
+		if nw.closing() && nw.svcHead[i] == len(nw.svcQ[i]) {
 			nw.svcMu.Unlock()
 			return
 		}
-		f := nw.svcQ[i][0]
-		nw.svcQ[i] = nw.svcQ[i][1:]
+		// Pop by head index so the queue keeps its capacity: slicing off
+		// the front would leave append growing a fresh array per request.
+		f := nw.svcQ[i][nw.svcHead[i]]
+		nw.svcQ[i][nw.svcHead[i]] = nil
+		nw.svcHead[i]++
+		if nw.svcHead[i] == len(nw.svcQ[i]) {
+			nw.svcQ[i] = nw.svcQ[i][:0]
+			nw.svcHead[i] = 0
+		}
 		nw.svcMu.Unlock()
 
 		nw.Real.mu.Lock() // the protocol-section token
@@ -388,16 +460,15 @@ func (nw *Net) wake(p Proc, at time.Duration) {
 	rp.Wake(rp, at)
 }
 
-// write encodes f and writes it on node i's connection.
+// write encodes f into pooled storage and hands it to node i's outbound
+// queue (which recycles the buffer after the coalesced write).
 func (nw *Net) write(i int, f *wire.Frame) error {
-	raw, err := wire.AppendFrame(nil, f)
+	raw, err := wire.AppendFrame(wire.GetBuf(), f)
 	if err != nil {
+		wire.PutBuf(raw)
 		return err
 	}
-	nw.cwmu[i].Lock()
-	defer nw.cwmu[i].Unlock()
-	_, err = nw.conns[i].Write(raw)
-	return err
+	return nw.outq[i].Enqueue(raw)
 }
 
 // mustWrite is write for protocol-goroutine callers: a link failure
@@ -460,12 +531,14 @@ func (nw *Net) Send(p Proc, to int, tag Tag, payload any, bytes int) {
 
 // SendShared transmits one payload to several recipients charging the
 // sender's injection overhead once (switch-assisted broadcast). The
-// payload is encoded once; only the destination field of the fixed frame
-// header is patched per recipient.
+// payload is encoded once; each recipient's frame is a copy of the
+// shared encoding with only the destination header field patched — the
+// copies are needed because the outbound queue writes asynchronously,
+// so a single patched buffer could be restamped before it drains.
 func (nw *Net) SendShared(p Proc, tos []int, tag Tag, payload any, bytes int) {
 	p.Charge(nw.costs.SendOverhead)
 	arrival := p.Now() + nw.costs.OneWay(bytes)
-	raw, err := wire.AppendFrame(nil, &wire.Frame{
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
 		Kind: wire.FMsg, From: int32(p.ID()), Tag: int32(tag),
 		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
 	})
@@ -482,25 +555,48 @@ func (nw *Net) SendShared(p Proc, tos []int, tag Tag, payload any, bytes int) {
 	}
 	nw.nmu.Unlock()
 	for _, to := range tos {
-		wire.PatchRawTo(raw, int32(to))
-		nw.cwmu[p.ID()].Lock()
-		_, err := nw.conns[p.ID()].Write(raw)
-		nw.cwmu[p.ID()].Unlock()
-		if err != nil {
+		cp := append(wire.GetBuf(), raw...)
+		wire.PatchRawTo(cp, int32(to))
+		if err := nw.outq[p.ID()].Enqueue(cp); err != nil {
 			nw.linkDown(p.ID(), err)
 			panic(errAborted)
 		}
 	}
+	wire.PutBuf(raw)
 }
 
 // Broadcast sends payload to every other node, serializing the
-// per-message send overhead at the sender.
+// per-message send overhead at the sender. Unlike SendShared the
+// overheads accumulate, so arrival times differ per recipient: the
+// payload is still encoded only once, and each recipient's copy of the
+// shared encoding gets its destination and arrival stamp patched in —
+// charges and accounting are identical to a loop of Send calls.
 func (nw *Net) Broadcast(p Proc, tag Tag, payload any, bytes int) {
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
+		Kind: wire.FMsg, From: int32(p.ID()), Tag: int32(tag),
+		Bytes: int32(bytes), Payload: payload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("host: net broadcast: %v", err))
+	}
 	for to := 0; to < nw.N(); to++ {
-		if to != p.ID() {
-			nw.Send(p, to, tag, payload, bytes)
+		if to == p.ID() {
+			continue
+		}
+		p.Charge(nw.costs.SendOverhead)
+		arrival := p.Now() + nw.costs.OneWay(bytes)
+		nw.nmu.Lock()
+		nw.account(p.ID(), to, bytes)
+		nw.nmu.Unlock()
+		cp := append(wire.GetBuf(), raw...)
+		wire.PatchRawTo(cp, int32(to))
+		wire.PatchRawTime(cp, int64(arrival))
+		if err := nw.outq[p.ID()].Enqueue(cp); err != nil {
+			nw.linkDown(p.ID(), err)
+			panic(errAborted)
 		}
 	}
+	wire.PutBuf(raw)
 }
 
 // Recv blocks until a matching message has been delivered off the wire,
@@ -514,12 +610,9 @@ func (nw *Net) Recv(p Proc, from int, tag Tag) Msg {
 			p.Charge(nw.costs.RecvOverhead)
 			return m
 		}
-		if nw.waits[p.ID()] != nil {
-			panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
-		}
-		nw.waits[p.ID()] = &netWait{p: p, kind: 'm', from: from, tag: tag}
+		nw.fileWait(p.ID(), netWait{p: p, kind: 'm', from: from, tag: tag})
 		nw.nmu.Unlock()
-		p.Block(fmt.Sprintf("net recv tag=%d from=%d", tag, from))
+		p.Block("net recv")
 	}
 }
 
@@ -555,7 +648,7 @@ func (nw *Net) StartRequest(p Proc, to int, req any, reqBytes int) *Pending {
 	p.Charge(nw.costs.SendOverhead)
 	reqArrival := p.Now() + nw.costs.OneWay(reqBytes)
 
-	rs := &reqState{}
+	rs := &reqState{nw: nw, reqArrival: reqArrival}
 	nw.nmu.Lock()
 	nw.account(p.ID(), to, reqBytes)
 	nw.nextID[p.ID()]++
@@ -567,24 +660,8 @@ func (nw *Net) StartRequest(p Proc, to int, req any, reqBytes int) *Pending {
 		Bytes: int32(reqBytes), Payload: req,
 	})
 
-	pd := &Pending{}
-	pd.SetResolver(func(p Proc) {
-		nw.nmu.Lock()
-		for !rs.done {
-			if nw.waits[p.ID()] != nil {
-				panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
-			}
-			nw.waits[p.ID()] = &netWait{p: p, kind: 'r', rs: rs}
-			nw.nmu.Unlock()
-			p.Block("net rpc reply")
-			nw.nmu.Lock()
-		}
-		nw.nmu.Unlock()
-		pd.Reply = rs.reply
-		pd.Bytes = rs.respBytes
-		pd.Arrival = reqArrival + rs.service + nw.costs.OneWay(rs.respBytes)
-	})
-	return pd
+	rs.pd.SetResolver(rs)
+	return &rs.pd
 }
 
 // Await resolves one exchange and advances p to the reply's arrival.
@@ -622,11 +699,8 @@ func (nw *Net) TakeHand(p Proc, slot Tag) any {
 			nw.nmu.Unlock()
 			return payload
 		}
-		if nw.waits[p.ID()] != nil {
-			panic(fmt.Sprintf("host: node %d has two concurrent receivers", p.ID()))
-		}
-		nw.waits[p.ID()] = &netWait{p: p, kind: 'h', slot: slot}
+		nw.fileWait(p.ID(), netWait{p: p, kind: 'h', slot: slot})
 		nw.nmu.Unlock()
-		p.Block(fmt.Sprintf("net hand slot=%d", slot))
+		p.Block("net hand")
 	}
 }

@@ -136,6 +136,19 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 	// call MaybeWorker never dials in; the deadline turns that into a
 	// diagnosable error instead of a hang.
 	conns := make([]net.Conn, procs)
+	// Per-destination outbound queues (created after the handshake). The
+	// join defer is registered before the conns-close defer so it runs
+	// after it: closing the sockets first guarantees a wedged writer
+	// errors out instead of blocking the join — any frames dropped that
+	// way are addressed to workers that already reported done.
+	var outq []*host.FrameQueue
+	defer func() {
+		for _, q := range outq {
+			if q != nil {
+				q.Close()
+			}
+		}
+	}()
 	deadline := time.Now().Add(30 * time.Second)
 	for i := 0; i < procs; i++ {
 		type deadliner interface{ SetDeadline(time.Time) error }
@@ -171,12 +184,15 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 	}
 
 	// Route frames until every worker reports done. Writes to one
-	// destination are serialized explicitly: two source routers forwarding
-	// to the same rank must not rely on the net package's internal
-	// per-fd write serialization.
+	// destination are serialized by its FrameQueue, which also coalesces
+	// the frames a flurry of routers deposit into one vectored write and
+	// recycles each frame's pooled read buffer afterwards.
 	res := &Result{Stats: host.Stats{Node: make([]host.NodeStats, procs)}}
 	var statsMu sync.Mutex
-	wmu := make([]sync.Mutex, procs)
+	outq = make([]*host.FrameQueue, procs)
+	for r := 0; r < procs; r++ {
+		outq[r] = host.NewFrameQueue(conns[r], nil)
+	}
 	type doneMsg struct {
 		rank  int
 		clock time.Duration
@@ -188,7 +204,7 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 		r := r
 		go func() {
 			for {
-				raw, err := wire.ReadRawFrame(conns[r])
+				raw, err := wire.ReadRawFrameInto(conns[r], wire.GetBuf())
 				if err != nil {
 					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d link lost: %w", r, err)}
 					return
@@ -200,6 +216,7 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 				}
 				if kind == wire.FDone {
 					f, _, err := wire.ParseFrame(raw)
+					wire.PutBuf(raw)
 					if err != nil {
 						doneCh <- doneMsg{rank: r, err: err}
 						return
@@ -225,10 +242,7 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 					res.Stats.Account(r, int(to), int(bytes))
 					statsMu.Unlock()
 				}
-				wmu[to].Lock()
-				_, err = conns[to].Write(raw)
-				wmu[to].Unlock()
-				if err != nil {
+				if err := outq[to].Enqueue(raw); err != nil {
 					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: routing to rank %d: %w", to, err)}
 					return
 				}
@@ -306,7 +320,7 @@ func RunWorker(network, addr string, rank int) error {
 	}
 	// The done report rides the same outbound queue as the data frames so
 	// it cannot overtake them, then the queue is drained to the socket.
-	raw, err := wire.AppendFrame(nil, &wire.Frame{
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
 		Kind: wire.FDone, From: int32(rank), Time: int64(w.proc.clock), Payload: done,
 	})
 	if err != nil {

@@ -107,6 +107,7 @@ func (h *workerHost) Run(body func(p host.Proc)) (err error) {
 // drains its connection and unblocks the routers.
 type workerTransport struct {
 	conn  net.Conn
+	fr    *wire.FrameReader // inbound reader, rank goroutine only
 	costs model.Costs
 	rank  int
 	n     int
@@ -120,32 +121,49 @@ type workerTransport struct {
 }
 
 func newWorkerTransport(conn net.Conn, costs model.Costs, rank, n int) *workerTransport {
-	t := &workerTransport{conn: conn, costs: costs, rank: rank, n: n}
+	t := &workerTransport{conn: conn, fr: wire.NewFrameReader(conn), costs: costs, rank: rank, n: n}
 	t.wcond = sync.NewCond(&t.wmu)
 	go t.writerLoop()
 	return t
 }
 
-// writerLoop drains the outbound queue to the socket.
+// writerLoop drains the outbound queue to the socket, coalescing
+// everything queued at wakeup into one vectored write (net.Buffers) and
+// recycling each frame's pooled buffer afterwards. The queue and batch
+// slices are double-buffered, so a steady-state flush allocates nothing.
 func (t *workerTransport) writerLoop() {
+	var batch [][]byte
+	var scratch [][]byte
+	// bufs lives outside the loop: WriteTo takes its address, which would
+	// heap-allocate the slice header on every flush if it were loop-local.
+	var bufs net.Buffers
+	t.wmu.Lock()
 	for {
-		t.wmu.Lock()
 		for len(t.wqueue) == 0 {
 			t.wcond.Wait()
 		}
-		raw := t.wqueue[0]
-		t.wqueue = t.wqueue[1:]
+		batch, t.wqueue = t.wqueue, batch[:0]
 		t.wmu.Unlock()
-		_, err := t.conn.Write(raw)
+
+		// WriteTo consumes its receiver in place on partial writes, so it
+		// runs on a scratch copy of the slice headers; batch keeps the
+		// originals for recycling.
+		scratch = append(scratch[:0], batch...)
+		bufs = net.Buffers(scratch)
+		_, err := bufs.WriteTo(t.conn)
+		for i, b := range batch {
+			wire.PutBuf(b)
+			batch[i] = nil
+		}
+
 		t.wmu.Lock()
-		t.pending--
+		t.pending -= len(batch)
 		if err != nil && t.werr == nil {
 			t.werr = err
 		}
 		t.wcond.Broadcast()
-		failed := t.werr != nil
-		t.wmu.Unlock()
-		if failed {
+		if t.werr != nil {
+			t.wmu.Unlock()
 			return
 		}
 	}
@@ -183,7 +201,7 @@ func (t *workerTransport) send(p host.Proc, to int, tag host.Tag, payload any, b
 	if to == t.rank {
 		panic("mpnet: send to self")
 	}
-	raw, err := wire.AppendFrame(nil, &wire.Frame{
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
 		Kind: wire.FMsg, From: int32(t.rank), To: int32(to), Tag: int32(tag),
 		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
 	})
@@ -200,22 +218,53 @@ func (t *workerTransport) Send(p host.Proc, to int, tag host.Tag, payload any, b
 }
 
 // SendShared transmits one payload to several recipients, charging the
-// sender's injection overhead once.
+// sender's injection overhead once. The payload is encoded once; each
+// recipient gets a copy of the shared encoding with the destination
+// header field patched (the async writer forbids reusing one buffer).
 func (t *workerTransport) SendShared(p host.Proc, tos []int, tag host.Tag, payload any, bytes int) {
 	p.Charge(t.costs.SendOverhead)
 	arrival := p.Now() + t.costs.OneWay(bytes)
-	for _, to := range tos {
-		t.send(p, to, tag, payload, bytes, arrival)
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
+		Kind: wire.FMsg, From: int32(t.rank), Tag: int32(tag),
+		Bytes: int32(bytes), Time: int64(arrival), Payload: payload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mpnet: rank %d unencodable payload: %v", t.rank, err))
 	}
+	for _, to := range tos {
+		if to == t.rank {
+			panic("mpnet: send to self")
+		}
+		cp := append(wire.GetBuf(), raw...)
+		wire.PatchRawTo(cp, int32(to))
+		t.enqueue(cp)
+	}
+	wire.PutBuf(raw)
 }
 
-// Broadcast sends payload to every other rank.
+// Broadcast sends payload to every other rank. The per-message send
+// overheads accumulate (arrival times differ per recipient), but the
+// payload is encoded only once: each recipient's copy gets its
+// destination and arrival stamp patched into the shared encoding.
 func (t *workerTransport) Broadcast(p host.Proc, tag host.Tag, payload any, bytes int) {
-	for to := 0; to < t.n; to++ {
-		if to != t.rank {
-			t.Send(p, to, tag, payload, bytes)
-		}
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{
+		Kind: wire.FMsg, From: int32(t.rank), Tag: int32(tag),
+		Bytes: int32(bytes), Payload: payload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mpnet: rank %d unencodable payload: %v", t.rank, err))
 	}
+	for to := 0; to < t.n; to++ {
+		if to == t.rank {
+			continue
+		}
+		p.Charge(t.costs.SendOverhead)
+		cp := append(wire.GetBuf(), raw...)
+		wire.PatchRawTo(cp, int32(to))
+		wire.PatchRawTime(cp, int64(p.Now()+t.costs.OneWay(bytes)))
+		t.enqueue(cp)
+	}
+	wire.PutBuf(raw)
 }
 
 // Recv blocks until a matching message is available, reading frames off
@@ -227,7 +276,7 @@ func (t *workerTransport) Recv(p host.Proc, from int, tag host.Tag) host.Msg {
 			p.Charge(t.costs.RecvOverhead)
 			return m
 		}
-		f, err := wire.ReadFrame(t.conn)
+		f, err := t.fr.Read()
 		if err != nil {
 			panic(fmt.Sprintf("mpnet: rank %d link lost: %v", t.rank, err))
 		}

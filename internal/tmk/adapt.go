@@ -92,25 +92,25 @@ func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 	for o := range nd.vc {
 		for idx := oldBar[o] + 1; idx <= nd.vc[o]; idx++ {
 			for _, ref := range nd.know[o][idx-1].pages {
-				pg := int(ref.page)
+				pg := int(ref.Page)
 				ws := ep.Writers[pg]
 				if n := len(ws); n > 0 && ws[n-1].Node == o {
 					// The owner closed several intervals covering the page
 					// this epoch (a lazy-flush split): union the extents, an
 					// unknown extent poisoning the union to unknown.
-					if ws[n-1].Hi == 0 || ref.extHi == 0 {
+					if ws[n-1].Hi == 0 || ref.ExtHi == 0 {
 						ws[n-1].Lo, ws[n-1].Hi = 0, 0
 					} else {
-						if int(ref.extLo) < ws[n-1].Lo {
-							ws[n-1].Lo = int(ref.extLo)
+						if int(ref.ExtLo) < ws[n-1].Lo {
+							ws[n-1].Lo = int(ref.ExtLo)
 						}
-						if int(ref.extHi) > ws[n-1].Hi {
-							ws[n-1].Hi = int(ref.extHi)
+						if int(ref.ExtHi) > ws[n-1].Hi {
+							ws[n-1].Hi = int(ref.ExtHi)
 						}
 					}
 					continue
 				}
-				ep.Writers[pg] = append(ws, adapt.WriteExt{Node: o, Lo: int(ref.extLo), Hi: int(ref.extHi)})
+				ep.Writers[pg] = append(ws, adapt.WriteExt{Node: o, Lo: int(ref.ExtLo), Hi: int(ref.ExtHi)})
 			}
 		}
 	}

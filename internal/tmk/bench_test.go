@@ -89,7 +89,7 @@ func BenchmarkServeDiffs(b *testing.B) {
 func BenchmarkWriteNoticeEncode(b *testing.B) {
 	iv := interval{vc: []int32{5, 3, 7, 1, 0, 2, 4, 9}}
 	for pg := 0; pg < 64; pg++ {
-		iv.pages = append(iv.pages, pageRef{page: int32(pg), whole: pg%7 == 0})
+		iv.pages = append(iv.pages, wire.PageRef{Page: int32(pg), Whole: pg%7 == 0})
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

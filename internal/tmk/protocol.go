@@ -1,7 +1,9 @@
 package tmk
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"sdsm/internal/host"
@@ -34,7 +36,14 @@ type storedDiff struct {
 	covers  []int32
 	runs    []vm.Run
 
-	coverSum int64 // cached ordering key: sum of covers
+	// pooled marks a locally created whole-page snapshot whose run values
+	// are vm freelist storage: when the snapshot is pruned from the cache
+	// the page is handed back (vm.RecyclePage). Diffs built from wire
+	// values are never pooled — their values alias decoded frame storage.
+	pooled bool
+
+	coverSum int64      // cached ordering key: sum of covers
+	wired    *wire.Diff // cached wire form, built on first serve
 }
 
 // orderKey returns the scalar used to linearize coverage order (see the
@@ -79,21 +88,34 @@ func (d *storedDiff) maxCover() int32 {
 // wireBytes is the transfer size of the diff.
 func (d *storedDiff) wireBytes() int { return 16 + vm.RunsBytes(d.runs) }
 
-// toWire converts a cached diff to its wire value. Every slice is copied:
-// a diff sent to two requesters yields two independent values, and no
-// receiver ever holds a pointer into the creator's cache (the wire
-// contract that makes socket transports possible).
+// toWire converts a cached diff to its wire value. The wire form is built
+// once and cached — a diff is immutable after creation, so every requester
+// can share it. Slices alias the cache where the storage is itself
+// immutable (covers, twin-diff run values); only a pooled snapshot's page
+// values are copied, because their freelist storage is recycled when the
+// snapshot is pruned while the wire form may long outlive it at a
+// receiver. (The historical contract copied everything so no receiver
+// held a pointer into the creator's cache; it is weakened to "no one
+// mutates or recycles what the wire form references" — see the interval
+// type comment for the same trade.)
 func (d *storedDiff) toWire() wire.Diff {
-	w := wire.Diff{
-		Page: int32(d.page), Creator: int32(d.creator),
-		From: d.from, To: d.to, Whole: d.whole,
-		Covers: append([]int32(nil), d.covers...),
-		Runs:   make([]wire.Run, len(d.runs)),
+	if d.wired == nil {
+		w := &wire.Diff{
+			Page: int32(d.page), Creator: int32(d.creator),
+			From: d.from, To: d.to, Whole: d.whole,
+			Covers: d.covers,
+			Runs:   make([]wire.Run, len(d.runs)),
+		}
+		for i, r := range d.runs {
+			vals := r.Vals
+			if d.pooled {
+				vals = append([]float64(nil), vals...)
+			}
+			w.Runs[i] = wire.Run{Off: int32(r.Off), Vals: vals}
+		}
+		d.wired = w
 	}
-	for i, r := range d.runs {
-		w.Runs[i] = wire.Run{Off: int32(r.Off), Vals: append([]float64(nil), r.Vals...)}
-	}
-	return w
+	return *d.wired
 }
 
 // diffFromWire converts a received diff into a fresh cache entry.
@@ -203,12 +225,16 @@ func (nd *Node) closeInterval() {
 	}
 	idx := nd.vc[nd.ID] + 1
 	nd.vc[nd.ID] = idx
-	pages := make([]int, 0, len(nd.dirty))
+	// pgScratch is safe to borrow here: its other user (serve) runs under
+	// the protocol token too, so the two can never interleave, and the
+	// slice is fully consumed before this function returns.
+	pages := nd.pgScratch[:0]
 	for pg := range nd.dirty {
 		pages = append(pages, pg)
 	}
 	sort.Ints(pages)
-	iv := interval{pages: make([]pageRef, len(pages)), vc: append([]int32(nil), nd.vc...)}
+	nd.pgScratch = pages
+	iv := interval{pages: make([]wire.PageRef, len(pages)), vc: append([]int32(nil), nd.vc...)}
 	for i, pg := range pages {
 		iv.pages[i] = nd.pageRefFor(pg, nd.noTwin[pg], true)
 	}
@@ -232,7 +258,8 @@ func (nd *Node) snapshotWholePage(pg int) {
 		page: pg, creator: nd.ID,
 		from: nd.lastDiffed[pg], to: nd.vc[nd.ID],
 		whole: true, covers: covers,
-		runs: nd.Mem.WholePageRuns(nd.p, pg),
+		runs:   nd.Mem.WholePageRuns(nd.p, pg),
+		pooled: true,
 	}
 	nd.storeDiff(d)
 	nd.lastDiffed[pg] = nd.vc[nd.ID]
@@ -242,13 +269,20 @@ func (nd *Node) snapshotWholePage(pg int) {
 
 // storeDiff adds d to the diff cache, dropping any older diffs a whole
 // snapshot subsumes (bounding memory: a page that is repeatedly
-// WRITE_ALL-validated keeps only its newest snapshot).
+// WRITE_ALL-validated keeps only its newest snapshot). A pruned pooled
+// snapshot's page storage goes back to the vm freelist — its cached wire
+// form, if any, owns separate copies, so receivers are unaffected.
 func (nd *Node) storeDiff(d *storedDiff) {
 	cache := nd.diffs[d.page]
 	if d.whole {
 		kept := cache[:0]
 		for _, old := range cache {
 			if subsumes(d, old) {
+				if old.pooled {
+					for _, r := range old.runs {
+						nd.Mem.RecyclePage(r.Vals)
+					}
+				}
 				continue
 			}
 			kept = append(kept, old)
@@ -288,11 +322,11 @@ func (nd *Node) learnInterval(owner int, idx int32, iv interval) {
 	nd.know[owner] = append(nd.know[owner], iv)
 	nd.vc[owner] = idx
 	for _, ref := range iv.pages {
-		pg := int(ref.page)
+		pg := int(ref.Page)
 		if nd.applied[pg][owner] >= idx {
 			continue
 		}
-		nd.pending[pg] = append(nd.pending[pg], notice{owner: owner, idx: idx, whole: ref.whole})
+		nd.pending[pg] = append(nd.pending[pg], notice{owner: owner, idx: idx, whole: ref.Whole})
 		if debugHook != nil {
 			debugHook("notice", nd.ID, owner, pg, int(idx))
 		}
@@ -350,7 +384,8 @@ func (nd *Node) flushLocalDiff(page int, disarm bool) {
 			page: page, creator: nd.ID,
 			from: nd.lastDiffed[page], to: to,
 			whole: true, covers: covers,
-			runs: nd.Mem.WholePageRuns(nd.p, page),
+			runs:   nd.Mem.WholePageRuns(nd.p, page),
+			pooled: true,
 		})
 		nd.lastDiffed[page] = to
 		if disarm {
@@ -413,7 +448,7 @@ func (nd *Node) splitInterval(page int, whole bool) int32 {
 	idx := nd.vc[nd.ID] + 1
 	nd.vc[nd.ID] = idx
 	nd.know[nd.ID] = append(nd.know[nd.ID], interval{
-		pages: []pageRef{nd.pageRefFor(page, whole, false)},
+		pages: []wire.PageRef{nd.pageRefFor(page, whole, false)},
 		vc:    append([]int32(nil), nd.vc...),
 	})
 	return idx
@@ -428,13 +463,13 @@ func (nd *Node) splitInterval(page int, whole bool) int32 {
 // it stayed write-enabled across an interval with no new write region —
 // reports an unknown extent (extHi == 0), which downstream consumers
 // must treat as whole-page.
-func (nd *Node) pageRefFor(pg int, whole, consume bool) pageRef {
-	ref := pageRef{page: int32(pg), whole: whole}
+func (nd *Node) pageRefFor(pg int, whole, consume bool) wire.PageRef {
+	ref := wire.PageRef{Page: int32(pg), Whole: whole}
 	if whole {
 		if consume {
 			nd.Mem.TakeWriteExtent(pg)
 		}
-		ref.extLo, ref.extHi = 0, int32(shm.PageWords)
+		ref.ExtLo, ref.ExtHi = 0, int32(shm.PageWords)
 		return ref
 	}
 	var lo, hi int
@@ -445,7 +480,7 @@ func (nd *Node) pageRefFor(pg int, whole, consume bool) pageRef {
 		lo, hi, ok = nd.Mem.PeekWriteExtent(pg)
 	}
 	if ok {
-		ref.extLo, ref.extHi = int32(lo), int32(hi)
+		ref.ExtLo, ref.ExtHi = int32(lo), int32(hi)
 	}
 	return ref
 }
@@ -459,15 +494,24 @@ func (nd *Node) responderFor(page int) []int {
 		return nil
 	}
 	latest := pend[0]
-	owners := map[int]bool{}
+	single := true // all notices share one owner (the steady-state case)
 	for _, n := range pend {
-		owners[n.owner] = true
+		if n.owner != pend[0].owner {
+			single = false
+		}
 		if n.idx > latest.idx || (n.idx == latest.idx && n.owner > latest.owner) {
 			latest = n
 		}
 	}
-	if latest.whole {
-		return []int{latest.owner}
+	if latest.whole || single {
+		// One responder; the result is consumed before the next call, so
+		// the per-node scratch slot avoids an allocation per fault.
+		nd.respScratch[0] = latest.owner
+		return nd.respScratch[:1]
+	}
+	owners := map[int]bool{}
+	for _, n := range pend {
+		owners[n.owner] = true
 	}
 	out := make([]int, 0, len(owners))
 	for o := range owners {
@@ -480,7 +524,8 @@ func (nd *Node) responderFor(page int) []int {
 // inflightFetch is a started but unapplied diff exchange.
 type inflightFetch struct {
 	pd    *host.Pending
-	pages []int
+	pg    int   // the requested page when pages is nil (single-page fast path)
+	pages []int // nil for a single-page fetch
 }
 
 // diffRequest assembles the wire request for a set of pages: the
@@ -499,6 +544,15 @@ func (nd *Node) diffRequest(pages []int) wire.DiffRequest {
 	return req
 }
 
+// diffRequest1 is diffRequest for the single-page fast path.
+func (nd *Node) diffRequest1(pg int) wire.DiffRequest {
+	return wire.DiffRequest{
+		Req:     int32(nd.ID),
+		Pages:   []int32{int32(pg)},
+		Applied: [][]int32{append([]int32(nil), nd.applied[pg]...)},
+	}
+}
+
 // fetchPages retrieves outstanding modifications for the given pages,
 // aggregating all pages per responder into one exchange (the communication
 // aggregation optimization; the base fault path passes a single page, so
@@ -506,6 +560,26 @@ func (nd *Node) diffRequest(pages []int) wire.DiffRequest {
 // exchanges are left in flight and completed at the next fault on an
 // affected page or at the next synchronization point.
 func (nd *Node) fetchPages(pages []int, async bool) {
+	if len(pages) == 1 {
+		// Fast path for the base fault case: one page needs no
+		// responder-aggregation map, and responders are already sorted
+		// (responderFor returns ascending ids).
+		pg := pages[0]
+		rs := nd.responderFor(pg)
+		if len(rs) == 0 {
+			return
+		}
+		nd.noteFetch(pg)
+		for _, r := range rs {
+			pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest1(pg), 16+8)
+			nd.inflight = append(nd.inflight, inflightFetch{pd: pd, pg: pg})
+			nd.Stats.DiffFetches++
+		}
+		if !async {
+			nd.completeInflight()
+		}
+		return
+	}
 	reqs := map[int][]int{} // responder -> pages
 	for _, pg := range pages {
 		rs := nd.responderFor(pg)
@@ -542,24 +616,43 @@ func (nd *Node) fetchPages(pages []int, async bool) {
 func (nd *Node) completeInflight() {
 	for len(nd.inflight) > 0 {
 		fetches := nd.inflight
-		nd.inflight = nil
-		pds := make([]*host.Pending, len(fetches))
+		// Double-buffer the in-flight list: fetches started while this
+		// round applies (none today, but the loop contract allows it) land
+		// in the spare array instead of clobbering the round's entries.
+		nd.inflight = nd.ifSpare[:0]
+		nd.ifSpare = fetches
+		pds := nd.pdScratch[:0]
 		for i := range fetches {
-			pds[i] = fetches[i].pd
+			pds = append(pds, fetches[i].pd)
 		}
+		nd.pdScratch = pds
 		nd.sys.NW.AwaitAll(nd.p, pds)
 		// Apply every reply of the round together: diffs from different
 		// responders may overlap (migratory and falsely shared pages), and
-		// only a global sort preserves vector-time order.
-		var all []wire.Diff
+		// only a global sort preserves vector-time order. The scratch is
+		// consumed by applyDiffs before this node issues another fetch.
+		all := nd.dfScratch[:0]
 		for _, f := range fetches {
 			all = append(all, f.pd.Reply.(wire.DiffReply).Diffs...)
 		}
+		nd.dfScratch = all
 		nd.applyDiffs(all)
-		retry := map[int]bool{}
+		var retry map[int]bool // lazily built: the steady state has no retries
 		for _, f := range fetches {
+			if f.pages == nil {
+				if len(nd.pending[f.pg]) > 0 {
+					if retry == nil {
+						retry = map[int]bool{}
+					}
+					retry[f.pg] = true
+				}
+				continue
+			}
 			for _, pg := range f.pages {
 				if len(nd.pending[pg]) > 0 {
+					if retry == nil {
+						retry = map[int]bool{}
+					}
 					retry[pg] = true
 				}
 			}
@@ -594,6 +687,11 @@ func (nd *Node) completeInflight() {
 				}
 			}
 		}
+		// Drop the round's pointers so the recycled array does not keep
+		// replies alive until its next use.
+		for i := range fetches {
+			fetches[i] = inflightFetch{}
+		}
 	}
 }
 
@@ -623,16 +721,20 @@ func (nd *Node) serveDiffs(reqID int, pages []int, reqApplied [][]int32) ([]wire
 // diff a requester described by (reqID, applied) lacks, replacing the
 // accumulated candidates by the newest whole snapshot alone when it
 // subsumes them all. It is the per-page core of serveDiffs; the lock-scope
-// piggyback path reuses it with a zero applied floor (the releaser does
-// not know the acquirer's per-page applied timestamps, and a per-creator
-// chain with a gap must never be shipped — the receiver prunes notices by
-// applied coverage, so a gap would silently drop the missing intervals'
-// content).
+// piggyback path reuses it with the applied floors the acquire request
+// carried for bound pages (chain trimming, see acquireFloors), falling
+// back to a zero floor — the full cached chain — for pages the floors
+// missed. Either floor keeps per-creator chains gap-free: the receiver
+// prunes notices by applied coverage, so a chain gap would silently drop
+// the missing intervals' content.
 func (nd *Node) collectDiffs(reqID, pg int, applied []int32) []*storedDiff {
 	if nd.dirty[pg] {
 		nd.flushLocalDiff(pg, false)
 	}
-	var cand []*storedDiff
+	// The candidate list is consumed by the caller before the next
+	// collectDiffs call on this node, so one scratch buffer suffices (the
+	// pointers it holds are cache entries, retained by nd.diffs anyway).
+	cand := nd.cdScratch[:0]
 	var best *storedDiff // newest whole snapshot, if any
 	for _, d := range nd.diffs[pg] {
 		if d.creator == reqID || !d.helps(applied) {
@@ -655,9 +757,10 @@ func (nd *Node) collectDiffs(reqID, pg int, applied []int32) []*storedDiff {
 			}
 		}
 		if all {
-			cand = []*storedDiff{best}
+			cand = append(cand[:0], best)
 		}
 	}
+	nd.cdScratch = cand
 	return cand
 }
 
@@ -667,24 +770,27 @@ func (nd *Node) collectDiffs(reqID, pg int, applied []int32) []*storedDiff {
 // The wire values become fresh cache entries at this node: nothing is
 // shared with the sender.
 func (nd *Node) applyDiffs(in []wire.Diff) {
-	reply := make([]*storedDiff, len(in))
+	reply := nd.sortScratch[:0]
 	for i := range in {
-		reply[i] = diffFromWire(in[i])
+		reply = append(reply, diffFromWire(in[i]))
 	}
-	sort.SliceStable(reply, func(i, j int) bool {
-		a, b := reply[i], reply[j]
+	// slices.SortStableFunc keeps SliceStable's ordering semantics without
+	// the reflection machinery (which allocates per call).
+	slices.SortStableFunc(reply, func(a, b *storedDiff) int {
 		if a.page != b.page {
-			return a.page < b.page
+			return cmp.Compare(a.page, b.page)
 		}
 		if a.orderKey() != b.orderKey() {
-			return a.orderKey() < b.orderKey()
+			return cmp.Compare(a.orderKey(), b.orderKey())
 		}
 		if a.creator != b.creator {
-			return a.creator < b.creator
+			return cmp.Compare(a.creator, b.creator)
 		}
-		return a.to < b.to
+		return cmp.Compare(a.to, b.to)
 	})
-	touched := map[int]bool{}
+	// reply is page-sorted, so applied pages can be pruned in order after
+	// the pass by watching for page transitions — no set needed.
+	lastTouched := -1
 	for _, d := range reply {
 		pg := d.page
 		if !d.helps(nd.applied[pg]) {
@@ -695,11 +801,22 @@ func (nd *Node) applyDiffs(in []wire.Diff) {
 		}
 		nd.Mem.ApplyRuns(nd.p, pg, d.runs)
 		nd.recordApplied(d)
-		touched[pg] = true
+		if pg != lastTouched {
+			if lastTouched >= 0 {
+				nd.prunePending(lastTouched)
+			}
+			lastTouched = pg
+		}
 	}
-	for pg := range touched {
-		nd.prunePending(pg)
+	if lastTouched >= 0 {
+		nd.prunePending(lastTouched)
 	}
+	// The scratch keeps the slice header only; drop the diff pointers so
+	// applied entries are not retained twice.
+	for i := range reply {
+		reply[i] = nil
+	}
+	nd.sortScratch = reply[:0]
 }
 
 // recordApplied performs the bookkeeping shared by every path that has
@@ -743,14 +860,12 @@ func (nd *Node) prunePending(page int) {
 			pend = append(pend, n)
 		}
 	}
-	if len(pend) == 0 {
-		delete(nd.pending, page)
-		if nd.Mem.Prot(page) == vm.NoAccess {
-			nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
-		}
-		return
-	}
+	// The emptied slice stays in the map (every reader tests len, never
+	// membership) so its capacity is reused by the page's next notices.
 	nd.pending[page] = pend
+	if len(pend) == 0 && nd.Mem.Prot(page) == vm.NoAccess {
+		nd.Mem.SetProt(nd.p, page, vm.ReadOnly)
+	}
 }
 
 func sortedKeys(m map[int][]int) []int {

@@ -108,13 +108,16 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 		}
 	}
 	if len(pushPages) > 0 {
-		// The acquirer's per-page applied timestamps are unknown here (it
-		// presents them only for pages it registered via Validate_w_sync),
-		// so the releaser ships its full cached chain per page — the same
-		// set a demand fetch against it would return to a cold requester.
-		// Chains must stay gap-free per creator: the receiver prunes write
-		// notices by applied coverage, and a chain gap would silently drop
-		// the missing intervals' content (see usablePushed). Pages the
+		// The acquirer's applied floors for the bound pages ride the
+		// acquire request (info.Floors, see acquireFloors), so the chain
+		// each page ships is trimmed to the tail the acquirer actually
+		// lacks — the same filter a demand fetch against this node would
+		// apply. A pushed page the floors missed (the detector re-bound
+		// the edge at grant time) falls back to the zero floor: the full
+		// cached chain, what a cold requester would get. Either way chains
+		// stay gap-free per creator: the receiver prunes write notices by
+		// applied coverage, and a chain gap would silently drop the
+		// missing intervals' content (see usablePushed). Pages the
 		// acquirer registered via Validate_w_sync were already served
 		// exactly above — pushing them too would ship (and bill) the same
 		// diffs twice.
@@ -124,7 +127,7 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 				needed[int(pg32)] = true
 			}
 		}
-		floor := make([]int32, nd.sys.N())
+		zero := make([]int32, nd.sys.N())
 		var pagesPushed int64
 		var pushed []wire.Diff
 		for _, pg := range pushPages {
@@ -132,6 +135,15 @@ func (nd *Node) buildGrant(reqID int, info wire.SyncInfo, pushPages []int) wire.
 				continue
 			}
 			nd.p.Charge(nd.sys.Costs.SectionScanPerPage)
+			floor := zero
+			for _, fn := range info.Floors {
+				for j, p32 := range fn.Pages {
+					if int(p32) == pg {
+						floor = fn.Applied[j]
+						break
+					}
+				}
+			}
 			ds := nd.collectDiffs(reqID, pg, floor)
 			for _, d := range ds {
 				pushed = append(pushed, d.toWire())
@@ -268,21 +280,32 @@ func (nd *Node) Acquire(id int) {
 		return
 	}
 	l := s.lock(id)
+	// Chain-trim: when the detector has bound the upcoming hand-off edge,
+	// the acquire request carries the acquirer's applied floors for the
+	// bound pages, so the granter piggybacks only the chain tails the
+	// acquirer actually lacks instead of its full cached chains. The
+	// granter is predicted here, and the prediction is exact: everything
+	// from this request to the grant runs under the protocol token, the
+	// queue is FIFO, and a queued acquirer is granted by the waiter
+	// enqueued directly ahead of it (or the current holder).
+	floors, floorBytes := nd.acquireFloors(l)
 	t := nd.p.Now()
 	if l.home != nd.ID {
-		t = s.NW.Message(nd.ID, l.home, t, 0)
+		t = s.NW.Message(nd.ID, l.home, t, floorBytes)
 	}
 	s.H.Proc(l.home).Charge(c.LockMgmt)
 	t += c.LockMgmt
 
 	if l.holder != -1 {
 		if l.holder != l.home {
-			t = s.NW.Message(l.home, l.holder, t, 0)
+			t = s.NW.Message(l.home, l.holder, t, floorBytes)
 			s.H.Proc(l.holder).Charge(c.LockMgmt)
 			t += c.LockMgmt
 		}
-		l.queue = append(l.queue, &lockWaiter{id: nd.ID, p: nd.p, info: nd.syncInfo(), tAtHolder: t})
-		nd.p.Block(fmt.Sprintf("lock %d", id))
+		info := nd.syncInfo()
+		info.Floors = floors
+		l.queue = append(l.queue, &lockWaiter{id: nd.ID, p: nd.p, info: info, tAtHolder: t})
+		nd.p.Block("lock")
 		g := s.NW.TakeHand(nd.p, slotGrant).(wire.Grant)
 		nd.applyGrant(g)
 		nd.pushHeld(id)
@@ -308,7 +331,7 @@ func (nd *Node) Acquire(id int) {
 		return
 	}
 	if r != l.home {
-		t = s.NW.Message(l.home, r, t, 0)
+		t = s.NW.Message(l.home, r, t, floorBytes)
 		s.H.Proc(r).Charge(c.LockMgmt)
 		t += c.LockMgmt
 	}
@@ -319,6 +342,7 @@ func (nd *Node) Acquire(id int) {
 	// record and piggyback decision happen here too: both run under the
 	// protocol-section token, in the lock's serialized order.
 	info := nd.syncInfo()
+	info.Floors = floors
 	var g wire.Grant
 	nd.p.Hold(s.Nodes[r].p, func() {
 		var pushPages []int
@@ -333,6 +357,45 @@ func (nd *Node) Acquire(id int) {
 	nd.p.SetClock(t)
 	nd.applyGrant(g)
 	nd.pushHeld(id)
+}
+
+// acquireFloors assembles the applied floors an acquire request carries
+// for chain trimming: if the lock detector has bound the predicted
+// hand-off edge (granter → this node), the floors cover the bound pages
+// and their accounted size (wire.FloorBytes) is charged on the request
+// legs. Adapt-off machines — and unbound edges — carry nothing, keeping
+// the request bytes identical to the base protocol. The read is
+// prediction-only: the detector is neither created nor mutated here (the
+// hand-off itself is recorded by det.Grant at grant time, which may
+// rebind the edge — buildGrant falls back to a zero floor for any pushed
+// page the floors missed).
+func (nd *Node) acquireFloors(l *lock) ([]wire.WSyncNeed, int) {
+	if l.det == nil {
+		return nil, 0
+	}
+	granter := l.lastReleaser
+	if l.holder != -1 {
+		granter = l.holder
+		if n := len(l.queue); n > 0 {
+			granter = l.queue[n-1].id
+		}
+	}
+	if granter == nd.ID {
+		return nil, 0
+	}
+	pages, ok := l.det.Bound(granter, nd.ID)
+	if !ok || len(pages) == 0 {
+		return nil, 0
+	}
+	need := wire.WSyncNeed{
+		Pages:   make([]int32, len(pages)),
+		Applied: make([][]int32, len(pages)),
+	}
+	for i, pg := range pages {
+		need.Pages[i] = int32(pg)
+		need.Applied[i] = append([]int32(nil), nd.applied[pg]...)
+	}
+	return []wire.WSyncNeed{need}, wire.FloorBytes(len(pages), nd.sys.N())
 }
 
 // Release ends the critical section: the open interval closes (a release
@@ -385,9 +448,11 @@ func (nd *Node) Release(id int) {
 }
 
 // barrier is one episode of a named barrier: the arrival messages received
-// so far.
+// so far. The episode object and its arrivals slice are reused across
+// epochs (the executor resets the slice while still holding the protocol
+// token, so no arrival for the next episode can interleave).
 type barrier struct {
-	arrivals []*barrierArrival
+	arrivals []barrierArrival
 }
 
 // barrierArrival is one node's arrival: its identity, arrival time, and
@@ -409,6 +474,16 @@ type remoteWSync struct {
 	pages  []int
 	served []wire.Diff
 	bytes  int
+}
+
+// servedFor returns the Validate_w_sync payload resolved for requester id.
+func servedFor(allWS []remoteWSync, id int) ([]wire.Diff, int) {
+	for i := range allWS {
+		if allWS[i].req == id {
+			return allWS[i].served, allWS[i].bytes
+		}
+	}
+	return nil, 0
 }
 
 func (s *System) barrier(id int) *barrier {
@@ -452,19 +527,19 @@ func (nd *Node) Barrier(id int) {
 	if nd.ad != nil {
 		arr.Fetched = nd.fetchedSorted()
 	}
-	b.arrivals = append(b.arrivals, &barrierArrival{
+	b.arrivals = append(b.arrivals, barrierArrival{
 		id: nd.ID, p: nd.p, at: nd.p.Now(), arr: arr,
 	})
 	if len(b.arrivals) < s.N() {
-		nd.p.Block(fmt.Sprintf("barrier %d", id))
+		nd.p.Block("barrier")
 		dep := nd.postBarrier()
 		if nd.ad != nil {
 			nd.adaptStep(oldBar, dep.Fetched)
 		}
 		return
 	}
-	delete(s.barriers, id)
 	s.runBarrier(b, nd)
+	b.arrivals = b.arrivals[:0]
 	dep := nd.postBarrier()
 	if nd.ad != nil {
 		nd.adaptStep(oldBar, dep.Fetched)
@@ -527,6 +602,9 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 	// as a broadcast.
 	var allWS []remoteWSync
 	for _, a := range b.arrivals {
+		if len(a.arr.Needs) == 0 {
+			continue
+		}
 		applied := map[int][]int32{}
 		for _, need := range a.arr.Needs {
 			for i, pg := range need.Pages {
@@ -570,15 +648,17 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 	// Broadcast accounting: a diff delivered to every other processor is a
 	// broadcast. Diffs are identified by content key now that they cross
 	// the transport as values.
-	fanout := map[diffKey]int{}
-	for _, rw := range allWS {
-		for _, d := range rw.served {
-			fanout[keyOf(d)]++
+	if len(allWS) > 0 {
+		fanout := map[diffKey]int{}
+		for _, rw := range allWS {
+			for _, d := range rw.served {
+				fanout[keyOf(d)]++
+			}
 		}
-	}
-	for k, cnt := range fanout {
-		if cnt == n-1 {
-			s.Nodes[k.creator].Stats.WSyncBcasts++
+		for k, cnt := range fanout {
+			if cnt == n-1 {
+				s.Nodes[k.creator].Stats.WSyncBcasts++
+			}
 		}
 	}
 
@@ -599,22 +679,19 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 
 	// Departure messages, serialized at the master; Validate_w_sync
 	// payloads ride along. Each node's departure is staged through the
-	// transport before the node is woken.
-	servedFor := func(id int) ([]wire.Diff, int) {
-		for i := range allWS {
-			if allWS[i].req == id {
-				return allWS[i].served, allWS[i].bytes
-			}
-		}
-		return nil, 0
+	// transport before the node is woken. The interval list is built in
+	// the recipient's depScratch: the recipient consumed its previous
+	// departure (postBarrier) before it could arrive here.
+	if cap(s.departScratch) < n {
+		s.departScratch = make([]time.Duration, n)
 	}
-	departAt := make([]time.Duration, n)
+	departAt := s.departScratch[:n]
 	dep := tDep
 	for _, a := range b.arrivals {
 		if a.id == master.ID {
 			continue
 		}
-		var ivs []wire.OwnedInterval
+		ivs := s.Nodes[a.id].depScratch[:0]
 		bytes := 16 + fetchedBytes
 		for o := range master.vc {
 			for idx := a.arr.VC[o] + 1; idx <= master.vc[o]; idx++ {
@@ -623,14 +700,15 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 				bytes += w.AccountedBytes(adaptOn, shm.PageWords)
 			}
 		}
-		served, wsBytes := servedFor(a.id)
+		s.Nodes[a.id].depScratch = ivs
+		served, wsBytes := servedFor(allWS, a.id)
 		bytes += wsBytes
 		h := s.NW.Message(master.ID, a.id, dep, bytes)
 		dep += c.SendOverhead
 		departAt[a.id] = h
 		s.NW.Hand(executor.p, a.id, slotDepart, wire.Depart{Time: int64(h), Intervals: ivs, Served: served, Fetched: fetched})
 	}
-	mServed, _ := servedFor(master.ID)
+	mServed, _ := servedFor(allWS, master.ID)
 	departAt[master.ID] = tDep + time.Duration(n-1)*c.SendOverhead
 	s.NW.Hand(executor.p, master.ID, slotDepart, wire.Depart{Time: int64(departAt[master.ID]), Served: mServed, Fetched: fetched})
 
@@ -682,7 +760,7 @@ func (nd *Node) wsyncResponder(req int, appliedPg []int32, pg int) []int {
 			}
 			owners[o] = true
 			if idx > latest.idx || (idx == latest.idx && o > latest.owner) {
-				latest = notice{owner: o, idx: idx, whole: ref.whole}
+				latest = notice{owner: o, idx: idx, whole: ref.Whole}
 			}
 		}
 	}
@@ -700,10 +778,10 @@ func (nd *Node) wsyncResponder(req int, appliedPg []int32, pg int) []int {
 	return out
 }
 
-func (iv interval) find(pg int) (pageRef, bool) {
-	i := sort.Search(len(iv.pages), func(i int) bool { return int(iv.pages[i].page) >= pg })
-	if i < len(iv.pages) && int(iv.pages[i].page) == pg {
+func (iv interval) find(pg int) (wire.PageRef, bool) {
+	i := sort.Search(len(iv.pages), func(i int) bool { return int(iv.pages[i].Page) >= pg })
+	if i < len(iv.pages) && int(iv.pages[i].Page) == pg {
 		return iv.pages[i], true
 	}
-	return pageRef{}, false
+	return wire.PageRef{}, false
 }

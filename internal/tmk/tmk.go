@@ -158,6 +158,10 @@ type System struct {
 	locks    map[int]*lock
 	barriers map[int]*barrier
 	adaptCfg adapt.Config // detector tuning; meaningful once EnableAdapt ran
+
+	// departScratch backs runBarrier's departure-time table. Barriers are
+	// serialized by the protocol token, so one machine-wide buffer works.
+	departScratch []time.Duration
 }
 
 // New builds a DSM system for every processor of h. All pages start
@@ -198,6 +202,18 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 			nd.applied[pg] = make([]int32, n)
 		}
 		nd.lastDiffed = make([]int32, pages)
+		// The serve body is prebuilt per node so the hot request path does
+		// not allocate a closure per exchange; arguments and results pass
+		// through the srv* fields (safe: serves hold the protocol token,
+		// so at most one runs machine-wide).
+		nd.srvFn = func() {
+			pages := nd.pgScratch[:0]
+			for _, pg := range nd.srvReq.Pages {
+				pages = append(pages, int(pg))
+			}
+			nd.pgScratch = pages
+			nd.srvOut, nd.srvBytes = nd.serveDiffs(int(nd.srvReq.Req), pages, nd.srvReq.Applied)
+		}
 		s.Nodes = append(s.Nodes, nd)
 	}
 	nw.Serve(s.serve)
@@ -216,15 +232,14 @@ func (s *System) serve(p host.Proc, at int, req any) (any, int) {
 		panic(fmt.Sprintf("tmk: unexpected request payload %T", req))
 	}
 	nd := s.Nodes[at]
-	pages := make([]int, len(r.Pages))
-	for i, pg := range r.Pages {
-		pages[i] = int(pg)
-	}
-	var out []wire.Diff
-	var bytes int
-	p.Hold(nd.p, func() {
-		out, bytes = nd.serveDiffs(int(r.Req), pages, r.Applied)
-	})
+	// Serves are serialized machine-wide (every caller holds the protocol
+	// token), so the per-node argument/result slots cannot race; Hold
+	// provides the exclusion — and the happens-before edge — against nd's
+	// compute sections.
+	nd.srvReq = r
+	p.Hold(nd.p, nd.srvFn)
+	out, bytes := nd.srvOut, nd.srvBytes
+	nd.srvReq, nd.srvOut = wire.DiffRequest{}, nil
 	return wire.DiffReply{Diffs: out}, bytes
 }
 
@@ -310,47 +325,37 @@ type notice struct {
 	whole bool
 }
 
-// pageRef names a page within an interval record. extLo/extHi carry the
-// owner's declared write extent within the page ([lo, hi) words; extHi ==
-// 0 unknown), taken from the vm's EnsureWrite bookkeeping — the adaptive
-// detector's evidence for telling spatial false sharing from a write
-// conflict.
-type pageRef struct {
-	page         int32
-	whole        bool
-	extLo, extHi int32
-}
-
-// interval records the pages one owner modified in one interval, plus the
+// interval records the pages one owner modified in one interval (as wire
+// page references — page number, whole-page overwrite flag, and the
+// declared write extent from the vm's EnsureWrite bookkeeping), plus the
 // owner's vector time when the interval closed. Lazily created diffs take
 // their ordering timestamp from here: stamping them with the (later)
 // flush-time clock would overstate their causal position and invert the
 // application order of overlapping diffs.
+//
+// An interval record is immutable once closed. That is what lets the wire
+// conversions below alias its slices instead of copying them: every
+// holder — the creator, the transport, any number of receivers — reads
+// the same frozen arrays. (The historical contract was stronger, "nothing
+// handed to the transport aliases protocol state"; it is deliberately
+// weakened to "nothing mutates an interval after close" because the copy
+// per send dominated the steady-state allocation profile.)
 type interval struct {
-	pages []pageRef
+	pages []wire.PageRef
 	vc    []int32
 }
 
-// toWire converts an interval record to its wire value, copying every
-// slice: nothing handed to the transport aliases protocol state.
+// toWire converts an interval record to its wire value, aliasing its
+// slices (see the type comment for why that is sound).
 func (iv interval) toWire() wire.Interval {
-	w := wire.Interval{
-		Pages: make([]wire.PageRef, len(iv.pages)),
-		VC:    append([]int32(nil), iv.vc...),
-	}
-	for i, pr := range iv.pages {
-		w.Pages[i] = wire.PageRef{Page: pr.page, Whole: pr.whole, ExtLo: pr.extLo, ExtHi: pr.extHi}
-	}
-	return w
+	return wire.Interval{Pages: iv.pages, VC: iv.vc}
 }
 
-// intervalFromWire converts a received interval record.
+// intervalFromWire converts a received interval record, aliasing the wire
+// value's slices: a decoded frame owns its storage, and on the in-process
+// backends the shared arrays are immutable.
 func intervalFromWire(w wire.Interval) interval {
-	iv := interval{pages: make([]pageRef, len(w.Pages)), vc: w.VC}
-	for i, pr := range w.Pages {
-		iv.pages[i] = pageRef{page: pr.Page, whole: pr.Whole, extLo: pr.ExtLo, extHi: pr.ExtHi}
-	}
-	return iv
+	return interval{pages: w.Pages, vc: w.VC}
 }
 
 // intervalsSince collects, as write notices, every interval this node
@@ -358,8 +363,10 @@ func intervalFromWire(w wire.Interval) interval {
 // message carries (base = the vector time at the last barrier departure,
 // which every node shares, so the master deduplicates what lock transfers
 // already taught it).
+// The result lives in the node's ivScratch: it is valid until this node's
+// next arrival (the master consumes it while the arrivers wait).
 func (nd *Node) intervalsSince(base []int32) []wire.OwnedInterval {
-	var out []wire.OwnedInterval
+	out := nd.ivScratch[:0]
 	for o := range nd.vc {
 		for idx := base[o] + 1; idx <= nd.vc[o]; idx++ {
 			out = append(out, wire.OwnedInterval{
@@ -367,14 +374,22 @@ func (nd *Node) intervalsSince(base []int32) []wire.OwnedInterval {
 			})
 		}
 	}
+	nd.ivScratch = out
 	return out
 }
 
 // syncInfo snapshots what an acquirer presents at a synchronization
 // operation: its vector time and its pending Validate_w_sync needs, with
-// the per-page applied timestamps the responders filter against.
+// the per-page applied timestamps the responders filter against. The
+// presented vector time lives in the node's vcScratch: every consumer (a
+// grant builder, the barrier master) finishes with it before this node
+// can reach its next synchronization operation.
 func (nd *Node) syncInfo() wire.SyncInfo {
-	info := wire.SyncInfo{VC: append([]int32(nil), nd.vc...)}
+	if nd.vcScratch == nil {
+		nd.vcScratch = make([]int32, len(nd.vc))
+	}
+	copy(nd.vcScratch, nd.vc)
+	info := wire.SyncInfo{VC: nd.vcScratch}
 	for _, ws := range nd.wsync {
 		need := wire.WSyncNeed{
 			Pages:   make([]int32, len(ws.pages)),
@@ -411,6 +426,32 @@ type Node struct {
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
 	ad       *adaptNode         // adaptive protocol state; nil unless EnableAdapt
 	held     []heldLock         // locks currently held, innermost last
+
+	respScratch [1]int        // responderFor's single-responder result slot
+	sortScratch []*storedDiff // applyDiffs' reusable sort buffer
+	cdScratch   []*storedDiff // collectDiffs' candidate buffer
+
+	// Prebuilt serve body with its argument/result slots; serves hold the
+	// protocol token, so the slots cannot race (see System.serve).
+	srvFn     func()
+	srvReq    wire.DiffRequest
+	srvOut    []wire.Diff
+	srvBytes  int
+	ifSpare   []inflightFetch // completeInflight's double buffer
+	pdScratch []*host.Pending // completeInflight's await list
+	dfScratch []wire.Diff     // completeInflight's merged-reply buffer
+
+	// Epoch-lifetime scratch: each slice is rebuilt at one synchronization
+	// operation and fully consumed before this node's next one (the
+	// consumer runs while this node is blocked or holding the protocol
+	// token), so one buffer per node suffices. vcScratch backs syncInfo's
+	// presented vector time, ivScratch the barrier arrival's interval
+	// delta, depScratch the departure the master builds for this node,
+	// pgScratch the page list of a diff request served at this node.
+	vcScratch  []int32
+	ivScratch  []wire.OwnedInterval
+	depScratch []wire.OwnedInterval
+	pgScratch  []int
 
 	Stats ProtocolStats
 }

@@ -115,8 +115,16 @@ type Mem struct {
 	// write region touched the page.
 	extLo, extHi []int16
 
-	batchDepth int
-	batched    map[int]Prot // page -> protection before the batch
+	batchDepth   int
+	batched      map[int]Prot // page -> protection before the batch
+	batchScratch []int
+
+	// free recycles page-sized []float64 storage between twins, whole-page
+	// snapshots, and the protocol's pruned diff chains (RecyclePage): a
+	// steady-state epoch's twin/diff cycle allocates no page storage. The
+	// Mem is driven under the node's protocol exclusion, so the freelist
+	// needs no synchronization.
+	free [][]float64
 
 	// Counters is exported for the statistics harness.
 	Counters Counters
@@ -180,10 +188,15 @@ func (m *Mem) SetProt(p host.Proc, page int, prot Prot) {
 	p.Charge(m.costs.ProtOp(m.Pages()))
 }
 
-// BeginProtBatch opens a (reentrant) protection batch.
+// BeginProtBatch opens a (reentrant) protection batch. The batch map is
+// retained (emptied, not dropped) across batches.
 func (m *Mem) BeginProtBatch() {
 	if m.batchDepth == 0 {
-		m.batched = map[int]Prot{}
+		if m.batched == nil {
+			m.batched = map[int]Prot{}
+		} else {
+			clear(m.batched)
+		}
 	}
 	m.batchDepth++
 }
@@ -196,10 +209,9 @@ func (m *Mem) FlushProtBatch(p host.Proc) {
 		return
 	}
 	if len(m.batched) == 0 {
-		m.batched = nil
 		return
 	}
-	pages := make([]int, 0, len(m.batched))
+	pages := m.batchScratch[:0]
 	for pg, orig := range m.batched {
 		if m.prot[pg] != orig { // changed-back pages need no syscall
 			pages = append(pages, pg)
@@ -214,7 +226,8 @@ func (m *Mem) FlushProtBatch(p host.Proc) {
 	}
 	m.Counters.ProtOps += int64(runs)
 	p.Charge(time.Duration(runs) * m.costs.ProtOp(m.Pages()))
-	m.batched = nil
+	m.batchScratch = pages[:0]
+	clear(m.batched)
 }
 
 // SetProtInit changes protection without cost, for pre-run initialization.
@@ -313,20 +326,47 @@ func (m *Mem) HasTwin(page int) bool {
 	return ok
 }
 
+// getPage returns a page-sized buffer from the freelist, or a fresh one.
+func (m *Mem) getPage() []float64 {
+	if n := len(m.free); n > 0 {
+		pg := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		return pg
+	}
+	return make([]float64, shm.PageWords)
+}
+
+// RecyclePage returns a page-sized value buffer (a consumed twin, a
+// whole-page snapshot pruned from a diff chain) to the freelist. Buffers
+// of any other size — diff run values are exact-size — are left to the
+// garbage collector.
+func (m *Mem) RecyclePage(vals []float64) {
+	if cap(vals) != shm.PageWords {
+		return
+	}
+	m.free = append(m.free, vals[:shm.PageWords])
+}
+
 // MakeTwin snapshots page for later diffing, charging the copy cost.
 func (m *Mem) MakeTwin(p host.Proc, page int) {
 	if _, ok := m.twins[page]; ok {
 		panic(fmt.Sprintf("vm: page %d already has a twin", page))
 	}
-	tw := make([]float64, shm.PageWords)
+	tw := m.getPage()
 	copy(tw, m.PageData(page))
 	m.twins[page] = tw
 	m.Counters.Twins++
 	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
 }
 
-// DropTwin discards the twin of page, if any.
-func (m *Mem) DropTwin(page int) { delete(m.twins, page) }
+// DropTwin discards the twin of page, if any, recycling its storage.
+func (m *Mem) DropTwin(page int) {
+	if tw, ok := m.twins[page]; ok {
+		delete(m.twins, page)
+		m.RecyclePage(tw)
+	}
+}
 
 // DiffAgainstTwin compares page to its twin and returns the modified word
 // runs, charging the scan cost. The twin is consumed.
@@ -354,14 +394,18 @@ func (m *Mem) DiffAgainstTwin(p host.Proc, page int) []Run {
 	m.Counters.Diffs++
 	m.Counters.DiffWords += int64(RunsWords(runs))
 	p.Charge(time.Duration(shm.PageWords) * m.costs.DiffScanPerWord)
+	m.RecyclePage(tw)
 	return runs
 }
 
 // WholePageRuns returns the full contents of page as a single run, used
 // when modifications must be shipped but no twin exists (WRITE_ALL pages).
-// It is a memcpy, not a compare, so it costs the twin rate per word.
+// It is a memcpy, not a compare, so it costs the twin rate per word. The
+// run's values are freelist storage: when the snapshot is pruned from
+// its diff chain the protocol hands them back via RecyclePage.
 func (m *Mem) WholePageRuns(p host.Proc, page int) []Run {
-	vals := append([]float64(nil), m.PageData(page)...)
+	vals := m.getPage()
+	copy(vals, m.PageData(page))
 	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
 	return []Run{{Off: 0, Vals: vals}}
 }

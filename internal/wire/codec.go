@@ -54,11 +54,58 @@ func b2u(v bool) byte {
 	return 0
 }
 
-// dec is a bounds-checked decoder over one frame body.
+// decArena is the chunked allocation state behind a decoder. Composite
+// decode results (vector times, covers rows, run lists, diff lists, page
+// refs) are carved out of per-type chunks rather than allocated one make
+// per field: a departure or diff-reply frame carries dozens of tiny
+// slices, and the arena collapses them into a handful of allocations.
+// Every handed-out slice is capacity-capped (three-index), so each
+// decoded frame still fully owns disjoint storage — nothing aliases, and
+// appending to a decoded slice cannot clobber a neighbour. An arena may
+// therefore also persist across frames (FrameReader holds one), which
+// amortizes chunk refills over an entire connection.
+type decArena struct {
+	i32 []int32
+	f64 []float64
+	ref []PageRef
+	run []Run
+	df  []Diff
+	iv  []OwnedInterval
+	row [][]int32
+}
+
+// dec is a bounds-checked decoder over one frame body, drawing slice
+// storage from ar.
 type dec struct {
 	b   []byte
 	err error
+	ar  *decArena
 }
+
+// arenaMin is the chunk size (in elements) of the decode arenas: small
+// enough that a long-retained slice (a learned interval's vector time)
+// pins little dead space, large enough to absorb a whole payload's worth
+// of short slices in one allocation.
+const arenaMin = 128
+
+// arenaAlloc carves an owned n-element slice off the chunk *a, refilling
+// the chunk when it runs dry.
+func arenaAlloc[T any](a *[]T, n int) []T {
+	if n > len(*a) {
+		c := n
+		if c < arenaMin {
+			c = arenaMin
+		}
+		*a = make([]T, c)
+	}
+	out := (*a)[:n:n]
+	*a = (*a)[n:]
+	return out
+}
+
+func (d *dec) allocI32(n int) []int32   { return arenaAlloc(&d.ar.i32, n) }
+func (d *dec) allocF64(n int) []float64 { return arenaAlloc(&d.ar.f64, n) }
+func (d *dec) allocRef(n int) []PageRef { return arenaAlloc(&d.ar.ref, n) }
 
 func (d *dec) fail(err error) {
 	if d.err == nil {
@@ -135,7 +182,7 @@ func (d *dec) i32s() []int32 {
 	if n == 0 {
 		return nil
 	}
-	out := make([]int32, n)
+	out := d.allocI32(n)
 	for i := range out {
 		out[i] = d.i32()
 	}
@@ -147,7 +194,7 @@ func (d *dec) f64s() []float64 {
 	if n == 0 {
 		return nil
 	}
-	out := make([]float64, n)
+	out := d.allocF64(n)
 	for i := range out {
 		out[i] = d.f64()
 	}
@@ -159,7 +206,7 @@ func (d *dec) rows() [][]int32 {
 	if n == 0 {
 		return nil
 	}
-	out := make([][]int32, n)
+	out := arenaAlloc(&d.ar.row, n)
 	for i := range out {
 		out[i] = d.i32s()
 	}
@@ -225,6 +272,7 @@ func (e *enc) payload(p any) error {
 		e.u8(pSyncInfo)
 		e.i32s(v.VC)
 		e.needs(v.Needs)
+		e.needs(v.Floors)
 	case Start:
 		e.u8(pStart)
 		e.str(v.App)
@@ -339,7 +387,7 @@ func (d *dec) payload() any {
 		}
 		return p
 	case pSyncInfo:
-		return SyncInfo{VC: d.i32s(), Needs: d.needs()}
+		return SyncInfo{VC: d.i32s(), Needs: d.needs(), Floors: d.needs()}
 	case pStart:
 		return Start{App: d.str(), Set: d.str(), N: d.i32(), Overhead: d.i64(), Verify: d.bool()}
 	case pDone:
@@ -354,7 +402,10 @@ func (d *dec) payload() any {
 
 func (d *dec) runs() []Run {
 	n := d.count(5)
-	var out []Run
+	if n == 0 {
+		return nil
+	}
+	out := arenaAlloc(&d.ar.run, n)[:0]
 	for i := 0; i < n; i++ {
 		out = append(out, Run{Off: d.i32(), Vals: d.f64s()})
 		if d.err != nil {
@@ -366,7 +417,10 @@ func (d *dec) runs() []Run {
 
 func (d *dec) diffs() []Diff {
 	n := d.count(18)
-	var out []Diff
+	if n == 0 {
+		return nil
+	}
+	out := arenaAlloc(&d.ar.df, n)[:0]
 	for i := 0; i < n; i++ {
 		df := Diff{
 			Page: d.i32(), Creator: d.i32(), From: d.i32(), To: d.i32(),
@@ -406,12 +460,19 @@ func (d *dec) spans() []DiffSpan {
 
 func (d *dec) intervals() []OwnedInterval {
 	n := d.count(10)
-	var out []OwnedInterval
+	if n == 0 {
+		return nil
+	}
+	out := arenaAlloc(&d.ar.iv, n)[:0]
 	for i := 0; i < n; i++ {
 		oi := OwnedInterval{Owner: d.i32(), Idx: d.i32()}
 		pn := d.count(13)
-		for j := 0; j < pn; j++ {
-			oi.IV.Pages = append(oi.IV.Pages, PageRef{Page: d.i32(), Whole: d.bool(), ExtLo: d.i32(), ExtHi: d.i32()})
+		if pn > 0 {
+			refs := d.allocRef(pn)
+			for j := range refs {
+				refs[j] = PageRef{Page: d.i32(), Whole: d.bool(), ExtLo: d.i32(), ExtHi: d.i32()}
+			}
+			oi.IV.Pages = refs
 		}
 		oi.IV.VC = d.i32s()
 		out = append(out, oi)
@@ -476,61 +537,61 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 // ParseFrame decodes one frame from b, returning the frame and the number
 // of bytes consumed.
 func ParseFrame(b []byte) (*Frame, int, error) {
+	f := new(Frame)
+	var ar decArena
+	n, err := parseFrameInto(f, b, &ar)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n, nil
+}
+
+// parseFrameInto decodes one frame from b into *f, drawing slice storage
+// from ar. The decoded frame fully owns its storage (the arena never
+// reuses handed-out chunks), so ar may be shared across frames and f may
+// be reused once its previous contents are dead.
+func parseFrameInto(f *Frame, b []byte, ar *decArena) (int, error) {
 	if len(b) < 4 {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	body := binary.LittleEndian.Uint32(b)
 	if body > MaxFrame {
-		return nil, 0, fmt.Errorf("wire: frame length %d exceeds MaxFrame", body)
+		return 0, fmt.Errorf("wire: frame length %d exceeds MaxFrame", body)
 	}
 	if uint64(len(b)-4) < uint64(body) {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
-	d := &dec{b: b[4 : 4+body]}
+	d := dec{b: b[4 : 4+body], ar: ar}
 	if v := d.u8(); d.err == nil && v != Version {
-		return nil, 0, fmt.Errorf("wire: version %d, want %d", v, Version)
+		return 0, fmt.Errorf("wire: version %d, want %d", v, Version)
 	}
-	f := &Frame{
+	*f = Frame{
 		Kind: d.u8(),
 		From: d.i32(), To: d.i32(),
 		Tag: d.i32(), Bytes: d.i32(), Time: d.i64(),
 	}
 	f.Payload = d.payload()
 	if d.err != nil {
-		return nil, 0, d.err
+		return 0, d.err
 	}
 	if len(d.b) != 0 {
-		return nil, 0, fmt.Errorf("wire: %d trailing bytes in frame", len(d.b))
+		return 0, fmt.Errorf("wire: %d trailing bytes in frame", len(d.b))
 	}
 	switch f.Kind {
 	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone:
 	default:
-		return nil, 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+		return 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}
-	return f, 4 + int(body), nil
+	return 4 + int(body), nil
 }
 
 // ReadRawFrame reads one length-prefixed frame from r without decoding
-// it, returning the full encoded bytes (length prefix included). Switches
-// use it to route frames by destination without re-encoding payloads.
+// it, returning the full encoded bytes (length prefix included) in fresh
+// storage. Switches use it to route frames by destination without
+// re-encoding payloads; hot paths use ReadRawFrameInto with a pooled
+// buffer instead.
 func ReadRawFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	body := binary.LittleEndian.Uint32(hdr[:])
-	if body > MaxFrame {
-		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame", body)
-	}
-	buf := make([]byte, 4+body)
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(r, buf[4:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, fmt.Errorf("wire: reading frame body: %w", err)
-	}
-	return buf, nil
+	return ReadRawFrameInto(r, nil)
 }
 
 // RawFields returns the kind, source, destination, and accounted byte

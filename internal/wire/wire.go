@@ -32,8 +32,12 @@ import "fmt"
 // grants (lock-scope adaptive updates piggybacked on the grant); version 4
 // added write extents on page references and switched the adaptive push
 // payloads (Update, Grant.Pushed) to run-length section encoding
-// (DiffSpan): one header per contiguous page span instead of one per page.
-const Version = 4
+// (DiffSpan): one header per contiguous page span instead of one per
+// page; version 5 added the Floors field on SyncInfo — the acquirer's
+// applied timestamps for the pages its hand-off edge is bound to, which
+// let the releaser trim the piggybacked diff chains to what the acquirer
+// actually lacks.
+const Version = 5
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -249,11 +253,30 @@ type WSyncNeed struct {
 
 // SyncInfo is what an acquirer presents at a lock acquire: its vector time
 // (so the releaser can compute the write notices it lacks) and its pending
-// Validate_w_sync registrations.
+// Validate_w_sync registrations. Floors carries the acquirer's per-page
+// applied timestamps for the pages its predicted hand-off edge is bound
+// to (the lock-scope adaptive piggyback): without them the releaser must
+// ship its full cached chain per bound page — the diff-accumulation cost
+// the paper reports for IS — while a floor lets it trim the chain to the
+// suffix the acquirer lacks. Floors are exact, not advisory: they are
+// snapshotted when the acquire is presented, and the acquirer's applied
+// timestamps cannot advance before the grant is built (it blocks, and the
+// remote serve path never touches another node's applied state). Empty
+// when adaptation is off or the predicted edge is unbound, and accounted
+// (FloorBytes) only when adaptation is on — adapt-off request accounting
+// is unchanged from version 4.
 type SyncInfo struct {
-	VC    []int32
-	Needs []WSyncNeed
+	VC     []int32
+	Needs  []WSyncNeed
+	Floors []WSyncNeed
 }
+
+// FloorBytes is the accounted size of the applied floors an acquire
+// request carries for pages of bound hand-off edges: a 4-byte page id
+// plus a 4-byte timestamp per owner, for each of pages pages on an
+// n-node machine. Charged on the acquire request legs only when
+// adaptation is enabled, like every other adaptive surcharge.
+func FloorBytes(pages, n int) int { return pages * (4 + 4*n) }
 
 // Grant carries what a releaser hands to an acquirer: the write notices
 // the acquirer lacks plus any diffs piggybacked for a Validate_w_sync.

@@ -78,6 +78,11 @@ func sampleFrames() []*Frame {
 			},
 		}},
 		{Kind: FMsg, From: 1, To: 0, Tag: 6, Payload: SyncInfo{VC: []int32{9, 9, 9}}},
+		{Kind: FMsg, From: 2, To: 1, Tag: 6, Payload: SyncInfo{
+			VC:     []int32{3, 7, 2},
+			Needs:  []WSyncNeed{{Pages: []int32{4}, Applied: [][]int32{{1, 0, 2}}}},
+			Floors: []WSyncNeed{{Pages: []int32{8, 9}, Applied: [][]int32{{3, 1, 0}, {0, 1, 2}}}},
+		}},
 		{Kind: FStart, To: 3, Payload: Start{App: "jacobi", Set: "small", N: 8, Overhead: 1500, Verify: true}},
 		{Kind: FDone, From: 3, Time: 42424242, Payload: Done{Checksum: 40399.25, Err: ""}},
 		{Kind: FDone, From: 1, Payload: Done{Err: "rank 1 panicked: boom"}},
