@@ -6,6 +6,8 @@
 //	sdsm-run -app fft -backend real -verify
 //	sdsm-run -app gauss -backend net -procs 5 -verify
 //	sdsm-run -app is -system pvme -backend net -verify
+//	sdsm-run -app jacobi -recover -checkpoint-every 4 -verify
+//	sdsm-run -app gauss -recover -fail-rank 1 -fail-epoch 2 -verify
 //
 // -backend real runs the DSM nodes as goroutines genuinely in parallel
 // (results are identical to the deterministic sim backend; virtual times
@@ -40,6 +42,12 @@ func main() {
 		adaptM  = flag.Int("adapt-m", 0, "lock-binding re-probe period: piggybacked grants between staleness probes (0 = default)")
 		backend = flag.String("backend", "sim", "host backend: sim (deterministic), real (goroutine per node), net (wire transport over loopback sockets; process per rank for pvme/xhpf)")
 		nodeBin = flag.String("node-bin", "", "worker binary for -backend net message-passing runs (default: re-exec this binary)")
+		recov   = flag.Bool("recover", false, "arm checkpoint/restore: DSM nodes checkpoint at every barrier, net message-passing runs log frames for replay")
+		ckEvery = flag.Int("checkpoint-every", 0, "full-checkpoint period in barriers; records in between are incremental (<=1: every record full; with -recover)")
+		ckDir   = flag.String("checkpoint-dir", "", "spill checkpoint records to this directory instead of holding them in memory (with -recover)")
+		failAt  = flag.Int("fail-rank", -1, "inject a failure: kill this rank (-1 = no fault; implies -recover)")
+		failEp  = flag.Int("fail-epoch", 1, "barrier epoch at which -fail-rank dies (DSM systems)")
+		failAfr = flag.Int("fail-after", 0, "routed-frame count after which -fail-rank's process is killed (pvme/xhpf on -backend net)")
 	)
 	flag.Parse()
 	harness.NodeBin = *nodeBin
@@ -55,12 +63,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := harness.Run(harness.Config{
+	cfg := harness.Config{
 		App: a, Set: ds, System: harness.SystemKind(*system),
 		Procs: *procs, Verify: *verify, SyncFetch: *sync,
 		Backend: harness.Backend(*backend),
 		Adapt:   *adaptOn, AdaptK: *adaptK, AdaptM: *adaptM,
-	})
+		Recover: *recov, CheckpointEvery: *ckEvery, CheckpointDir: *ckDir,
+	}
+	if *failAt >= 0 {
+		cfg.Fault = &harness.FaultPlan{Rank: *failAt, Epoch: *failEp, AfterFrames: *failAfr}
+	}
+	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdsm-run:", err)
 		os.Exit(1)
@@ -103,6 +116,12 @@ func main() {
 				res.Protocol.AdaptLockGrants, res.Protocol.AdaptLockPagesPush,
 				res.Protocol.AdaptLockProbes, res.Protocol.AdaptLockStaleDrops)
 		}
+	}
+	if cfg.Recover || cfg.Fault != nil {
+		fmt.Printf("recovery:      %d checkpoints (%d full, %.2f MB), %d failures, %d restores\n",
+			res.Recovery.Checkpoints, res.Recovery.FullCheckpoints,
+			float64(res.Recovery.CheckpointBytes)/1e6,
+			res.Recovery.Failures, res.Recovery.Restores)
 	}
 	if *verify {
 		want := harness.SeqChecksum(a, ds)

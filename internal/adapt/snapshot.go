@@ -1,0 +1,102 @@
+package adapt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// snapshotVersion guards the detector snapshot blob format. The blob
+// rides inside wire.Checkpoint.Adapt, so it carries its own version:
+// the wire codec treats it as opaque bytes.
+const snapshotVersion = 1
+
+// Snapshot serializes the detector's full mutable state — per-page
+// patterns and transition stats — as a deterministic byte blob: pages
+// and sets are emitted in sorted order, so two replicas with equal
+// Fingerprints produce identical blobs. The Config is not serialized;
+// a restored replica is constructed with the same Config by the same
+// harness configuration that built the original.
+func (d *Detector) Snapshot() []byte {
+	b := []byte{snapshotVersion}
+	v := func(x int64) { b = binary.AppendVarint(b, x) }
+	ints := func(xs []int) {
+		v(int64(len(xs)))
+		for _, x := range xs {
+			v(int64(x))
+		}
+	}
+	v(d.Stats.Promotions)
+	v(d.Stats.Splits)
+	v(d.Stats.SectionJoins)
+	v(d.Stats.Decays)
+	pages := sortedKeys(d.pages)
+	v(int64(len(pages)))
+	for _, pg := range pages {
+		p := d.pages[pg]
+		v(int64(pg))
+		v(int64(p.producer))
+		ints(p.consumers)
+		ints(setToSorted(p.cur))
+		v(int64(p.streak))
+		v(int64(p.mode))
+		ints(p.bound)
+		v(int64(p.pairLo))
+		v(int64(p.pairHi))
+		v(int64(p.cut))
+		ints(p.pairCons)
+		v(int64(p.pairStreak))
+	}
+	return b
+}
+
+// RestoreSnapshot replaces the detector's mutable state with the state
+// a Snapshot captured, keeping the Config it was constructed with.
+func (d *Detector) RestoreSnapshot(b []byte) error {
+	if len(b) == 0 || b[0] != snapshotVersion {
+		return fmt.Errorf("adapt: bad snapshot version")
+	}
+	b = b[1:]
+	var err error
+	v := func() int64 {
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			if err == nil {
+				err = fmt.Errorf("adapt: truncated snapshot")
+			}
+			return 0
+		}
+		b = b[n:]
+		return x
+	}
+	ints := func() []int {
+		n := v()
+		if n == 0 || err != nil {
+			return nil
+		}
+		out := make([]int, 0, n)
+		for i := int64(0); i < n && err == nil; i++ {
+			out = append(out, int(v()))
+		}
+		return out
+	}
+	d.Stats = Stats{Promotions: v(), Splits: v(), SectionJoins: v(), Decays: v()}
+	d.pages = map[int]*pattern{}
+	npages := v()
+	for i := int64(0); i < npages && err == nil; i++ {
+		pg := int(v())
+		p := &pattern{producer: int(v()), consumers: ints(), cur: map[int]bool{}}
+		for _, r := range ints() {
+			p.cur[r] = true
+		}
+		p.streak = int(v())
+		p.mode = Mode(v())
+		p.bound = ints()
+		p.pairLo = int(v())
+		p.pairHi = int(v())
+		p.cut = int(v())
+		p.pairCons = ints()
+		p.pairStreak = int(v())
+		d.pages[pg] = p
+	}
+	return err
+}

@@ -68,6 +68,15 @@ func benchConfigs(procs int) []Config {
 			Config{App: a, Set: Small, System: Opt, Procs: procs},
 		)
 	}
+	// Checkpoint-overhead pin (DESIGN.md §10): jacobi/large with recovery
+	// armed and the default full-record cadence. Reported under the
+	// "tmk-ckpt" system label so the gate tracks barrier-checkpoint cost —
+	// virtual time must stay identical to the plain run (checkpointing is
+	// outside the cost model), so the pinned signal is allocations and
+	// wall time.
+	if a, err := apps.ByName("jacobi"); err == nil {
+		cfgs = append(cfgs, Config{App: a, Set: Large, System: Base, Procs: procs, Recover: true})
+	}
 	return cfgs
 }
 
@@ -97,8 +106,14 @@ func Bench(procs, workers int) (*BenchReport, error) {
 			runtime.ReadMemStats(&after)
 			allocs = int64(after.Mallocs - before.Mallocs)
 		}
+		sys := string(cfg.System)
+		if cfg.Recover {
+			// Distinct label: the gate must compare the recovery-armed run
+			// against its own baseline, not the plain one.
+			sys += "-ckpt"
+		}
 		entries[i] = BenchEntry{
-			App: cfg.App.Name, Set: string(cfg.Set), System: string(cfg.System),
+			App: cfg.App.Name, Set: string(cfg.Set), System: sys,
 			Procs: cfg.Procs, Adapt: cfg.Adapt,
 			VirtualMS: float64(res.Time) / 1e6,
 			WallMS:    float64(wall) / 1e6,

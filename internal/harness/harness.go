@@ -94,6 +94,30 @@ type Config struct {
 	// hand-off edge, one grant withholds the piggyback to detect
 	// consumers that stopped reading.
 	AdaptM int
+	// Recover arms checkpoint/restore (DESIGN.md §10): every node writes
+	// a recovery record at each barrier arrival, and — on the net backend
+	// — peer death becomes a recoverable event instead of a run abort.
+	// Off by default: the paper's tables run with no recovery machinery.
+	Recover bool
+	// CheckpointEvery is the full-record period in barriers (≤1: every
+	// record is full). Meaningful with Recover.
+	CheckpointEvery int
+	// CheckpointDir spills records to disk (tmk.FileSink) instead of the
+	// default in-memory sink. Meaningful with Recover.
+	CheckpointDir string
+	// Fault injects one failure; implies Recover for DSM runs. For DSM
+	// systems, rank Rank dies at its Epoch-th barrier arrival and
+	// restores from its records. For message-passing systems on the net
+	// backend, rank Rank's process is killed after AfterFrames frames and
+	// the coordinator respawns and replays it (internal/mpnet).
+	Fault *FaultPlan
+}
+
+// FaultPlan describes one injected failure (see Config.Fault).
+type FaultPlan struct {
+	Rank        int
+	Epoch       int
+	AfterFrames int
 }
 
 // Result is the outcome of one run.
@@ -106,6 +130,9 @@ type Result struct {
 	Protocol tmk.ProtocolStats
 	VM       vm.Counters
 	Report   *compiler.Report
+	// Recovery sums every node's checkpoint/restore counters; zero value
+	// unless the run had Recover set.
+	Recovery tmk.RecoveryStats
 }
 
 // Run executes one configuration.
@@ -176,6 +203,19 @@ func runDSM(cfg Config) (*Result, error) {
 	if cfg.Adapt {
 		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK, ReprobeM: cfg.AdaptM})
 	}
+	if cfg.Recover || cfg.Fault != nil {
+		rc := tmk.RecoveryConfig{Every: cfg.CheckpointEvery}
+		if cfg.CheckpointDir != "" {
+			rc.Sink = &tmk.FileSink{Dir: cfg.CheckpointDir}
+		}
+		if f := cfg.Fault; f != nil {
+			rc.Fault = &tmk.Fault{Rank: f.Rank, Epoch: f.Epoch}
+		}
+		sys.EnableRecovery(rc)
+		if n, ok := nw.(*host.Net); ok {
+			n.EnableRecovery()
+		}
+	}
 
 	var checksum float64
 	var epilogue []func(nd *tmk.Node)
@@ -201,6 +241,14 @@ func runDSM(cfg Config) (*Result, error) {
 
 	st := nw.Stats()
 	vmc, ps := sys.Stats()
+	var rs tmk.RecoveryStats
+	for _, nd := range sys.Nodes {
+		rs.Checkpoints += nd.RecStats.Checkpoints
+		rs.FullCheckpoints += nd.RecStats.FullCheckpoints
+		rs.CheckpointBytes += nd.RecStats.CheckpointBytes
+		rs.Failures += nd.RecStats.Failures
+		rs.Restores += nd.RecStats.Restores
+	}
 	return &Result{
 		Time:     sys.MaxTime(),
 		Checksum: checksum,
@@ -210,6 +258,7 @@ func runDSM(cfg Config) (*Result, error) {
 		Protocol: ps,
 		VM:       vmc,
 		Report:   rep,
+		Recovery: rs,
 	}, nil
 }
 
@@ -224,16 +273,31 @@ func runMP(cfg Config, overhead time.Duration) (*Result, error) {
 		return nil, fmt.Errorf("harness: %s has no message-passing implementation", cfg.App.Name)
 	}
 	if cfg.Backend == BackendNet {
-		res, err := mpnet.Run(cfg.App, cfg.Set, cfg.Procs, overhead, cfg.Verify, NodeBin, cfg.Costs)
+		opts := mpnet.Options{
+			Overhead: overhead, Verify: cfg.Verify,
+			NodeBin: NodeBin, Costs: cfg.Costs,
+			Recover: cfg.Recover || cfg.Fault != nil,
+		}
+		if f := cfg.Fault; f != nil {
+			// The DSM fault plan names a barrier epoch; a process-per-rank
+			// kill is placed by routed-frame count instead.
+			opts.Fault = &mpnet.FaultSpec{Rank: f.Rank, AfterFrames: f.AfterFrames}
+		}
+		res, err := mpnet.RunOpts(cfg.App, cfg.Set, cfg.Procs, opts)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%s/%s: %w", cfg.App.Name, cfg.Set, cfg.System, err)
 		}
-		return &Result{
+		out := &Result{
 			Time:     res.Time,
 			Checksum: res.Checksum,
 			Msgs:     res.Stats.Msgs,
 			Bytes:    res.Stats.Bytes,
-		}, nil
+		}
+		// Map process respawns onto the recovery counters so callers see
+		// one shape for both fault models (DESIGN.md §10).
+		out.Recovery.Failures = int64(res.Restarts)
+		out.Recovery.Restores = int64(res.Restarts)
+		return out, nil
 	}
 	w := mp.NewWorld(cfg.Procs, cfg.Costs)
 	var checksum float64

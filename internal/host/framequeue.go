@@ -2,6 +2,8 @@ package host
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -33,7 +35,12 @@ import (
 //
 // Failure: the first write error is latched; the queue calls onErr once
 // (from the writer goroutine), drops subsequent frames, and every later
-// Enqueue returns the latched error so protocol callers can unwind.
+// Enqueue returns the latched error so protocol callers can unwind. A
+// short vectored write without an error — which would leave a frame
+// split mid-stream and desynchronize the connection — latches
+// io.ErrShortWrite the same way. Frames dropped after a failure are
+// counted, and Close reports the count: a shutdown that lost frames is
+// loud, never silent.
 type FrameQueue struct {
 	w     net.Conn
 	onErr func(error)
@@ -43,6 +50,7 @@ type FrameQueue struct {
 	q        [][]byte
 	inflight int
 	err      error
+	dropped  int // frames recycled unwritten after err latched
 	closed   bool
 	done     chan struct{}
 }
@@ -91,9 +99,12 @@ func (fq *FrameQueue) Flush() error {
 }
 
 // Close drains the queue (pending frames are still written, unless an
-// error is latched), stops the writer goroutine, and waits for it.
-// Idempotent; it does not close the underlying connection.
-func (fq *FrameQueue) Close() {
+// error is latched, in which case they are dropped), stops the writer
+// goroutine, and waits for it. It returns the latched write error,
+// wrapped with the number of frames that were dropped unwritten, so a
+// lossy shutdown cannot pass silently. Idempotent; it does not close
+// the underlying connection.
+func (fq *FrameQueue) Close() error {
 	fq.mu.Lock()
 	if !fq.closed {
 		fq.closed = true
@@ -101,6 +112,12 @@ func (fq *FrameQueue) Close() {
 	}
 	fq.mu.Unlock()
 	<-fq.done
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.err != nil && fq.dropped > 0 {
+		return fmt.Errorf("host: frame queue dropped %d frame(s): %w", fq.dropped, fq.err)
+	}
+	return fq.err
 }
 
 // writerLoop drains the whole queue per wakeup into one vectored write.
@@ -128,14 +145,26 @@ func (fq *FrameQueue) writerLoop() {
 		fq.inflight = len(batch)
 		fq.mu.Unlock()
 
+		lost := len(batch) // frames not (fully) written this round
 		if !failed {
 			// WriteTo consumes its receiver — on partial writes it
 			// advances the slice entries in place — so it runs on a
 			// scratch copy of the headers; batch keeps the originals
 			// for recycling.
 			scratch = append(scratch[:0], batch...)
+			var total int64
+			for _, b := range scratch {
+				total += int64(len(b))
+			}
 			bufs = net.Buffers(scratch)
-			if _, err := bufs.WriteTo(fq.w); err != nil {
+			n, err := bufs.WriteTo(fq.w)
+			if err == nil && n != total {
+				// A writer that stops short without erroring would leave
+				// the last frame split mid-stream; treat it as a failure
+				// so the connection is abandoned, not desynchronized.
+				err = io.ErrShortWrite
+			}
+			if err != nil {
 				failed = true
 				fq.mu.Lock()
 				fq.err = err
@@ -144,6 +173,8 @@ func (fq *FrameQueue) writerLoop() {
 				if fq.onErr != nil {
 					fq.onErr(err)
 				}
+			} else {
+				lost = 0
 			}
 		}
 		for i, b := range batch {
@@ -151,6 +182,7 @@ func (fq *FrameQueue) writerLoop() {
 			batch[i] = nil
 		}
 		fq.mu.Lock()
+		fq.dropped += lost
 		fq.inflight = 0
 		fq.cond.Broadcast()
 	}

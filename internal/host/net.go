@@ -43,7 +43,11 @@ import (
 //
 // Failure contract: if any link drops before Close (a peer vanishing), the
 // host aborts — every blocked processor unwinds and Run returns the link
-// error, mirroring a process-per-node machine losing a member.
+// error, mirroring a process-per-node machine losing a member. With
+// EnableRecovery, one node's links can instead be dropped and re-paired
+// deliberately (Detach/Reattach) while the machine is quiescent — the
+// transport half of the checkpoint/restore path (DESIGN.md §10); links
+// lost any other way still abort.
 //
 // Virtual times are scheduling-dependent exactly as on the Real host;
 // application results are bit-identical to the sim backend for the
@@ -75,9 +79,56 @@ type Net struct {
 	svcQ    [][]*wire.Frame
 	svcHead []int // per-node index of the next unserviced svcQ entry
 
+	// Recovery state (EnableRecovery): detaching marks a node whose
+	// links are being dropped on purpose (linkDown tolerates them), and
+	// reacc carries re-handshaked switch-side connections from the
+	// persistent accept loop to Reattach.
+	recMu     sync.Mutex
+	detaching []bool
+	reacc     chan reConn
+
 	closed  chan struct{}
 	closeMu sync.Mutex
 	wg      sync.WaitGroup
+}
+
+// reConn is one re-handshaked connection: the node that said hello and
+// its switch-side socket.
+type reConn struct {
+	node int
+	c    net.Conn
+}
+
+// handshakeTimeout bounds every hello/start handshake read and write: a
+// peer that connects and then never speaks (or never drains) fails the
+// handshake with a clear error instead of hanging the machine. A
+// variable so tests can shorten it.
+var handshakeTimeout = 10 * time.Second
+
+// readHello reads one hello frame from a fresh connection under the
+// handshake deadline and returns the sender's node id.
+func readHello(c net.Conn, n int) (int, error) {
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	f, err := wire.ReadFrame(c)
+	c.SetReadDeadline(time.Time{})
+	if err != nil {
+		return 0, fmt.Errorf("host: handshake: reading hello: %w", err)
+	}
+	if f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= n {
+		return 0, fmt.Errorf("host: handshake: bad hello (kind %d from %d)", f.Kind, f.From)
+	}
+	return int(f.From), nil
+}
+
+// writeHello sends the hello frame under the handshake deadline.
+func writeHello(c net.Conn, id int) error {
+	c.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	err := wire.WriteFrame(c, &wire.Frame{Kind: wire.FHello, From: int32(id)})
+	c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		return fmt.Errorf("host: handshake: writing hello: %w", err)
+	}
+	return nil
 }
 
 // netWait is what a node's blocked protocol goroutine is waiting for.
@@ -187,6 +238,9 @@ func NewNet(n int, costs model.Costs) (*Net, error) {
 	nw.ln, nw.dir = ln, dir
 
 	// Dial every node and pair the accepted connections by hello frame.
+	// The hello read runs under the handshake deadline: a connection
+	// that never identifies itself fails the construction with a clear
+	// timeout instead of hanging it.
 	accepted := make(chan error, 1)
 	go func() {
 		for range nw.conns {
@@ -195,13 +249,13 @@ func NewNet(n int, costs model.Costs) (*Net, error) {
 				accepted <- err
 				return
 			}
-			f, err := wire.ReadFrame(c)
-			if err != nil || f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= n {
+			id, err := readHello(c, n)
+			if err != nil {
 				c.Close()
-				accepted <- fmt.Errorf("host: bad hello from node connection: %v", err)
+				accepted <- err
 				return
 			}
-			nw.sconns[f.From] = c
+			nw.sconns[id] = c
 		}
 		accepted <- nil
 	}()
@@ -219,8 +273,8 @@ func NewNet(n int, costs model.Costs) (*Net, error) {
 			return abort(fmt.Errorf("host: net backend dial: %w", err))
 		}
 		nw.conns[i] = c
-		if err := wire.WriteFrame(c, &wire.Frame{Kind: wire.FHello, From: int32(i)}); err != nil {
-			return abort(fmt.Errorf("host: net backend hello: %w", err))
+		if err := writeHello(c, i); err != nil {
+			return abort(err)
 		}
 	}
 	if err := <-accepted; err != nil {
@@ -237,16 +291,21 @@ func NewNet(n int, costs model.Costs) (*Net, error) {
 	}
 	for i := range nw.conns {
 		nw.wg.Add(3)
-		go nw.switchLoop(i)
-		go nw.deliveryLoop(i)
+		go nw.switchLoop(i, nw.sconns[i])
+		go nw.deliveryLoop(i, nw.conns[i])
 		go nw.serviceLoop(i)
 	}
 	return nw, nil
 }
 
 // Close shuts the switch down: sockets close, loops exit, the socket file
-// is removed. Safe to call more than once.
-func (nw *Net) Close() {
+// is removed. Safe to call more than once. On a clean shutdown the writer
+// queues are drained before their sockets close (the reader loops are
+// still alive to consume the flush) and Close returns nil; after an abort
+// the sockets close first — a drain could block forever on a dead reader
+// — and Close returns the first queue error, including how many frames
+// each lossy queue dropped.
+func (nw *Net) Close() error {
 	nw.closeMu.Lock()
 	select {
 	case <-nw.closed:
@@ -255,28 +314,37 @@ func (nw *Net) Close() {
 	}
 	nw.closeMu.Unlock()
 	nw.ln.Close()
-	// Drain the writer queues before the sockets close underneath them
-	// (the reader loops are still alive to consume the flush).
-	for _, q := range nw.outq {
-		if q != nil {
-			q.Close()
+	closeConns := func() {
+		for _, c := range nw.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, c := range nw.sconns {
+			if c != nil {
+				c.Close()
+			}
 		}
 	}
-	for _, q := range nw.swq {
-		if q != nil {
-			q.Close()
+	if nw.aborted() {
+		closeConns()
+	}
+	var firstErr error
+	closeQueue := func(q *FrameQueue, side string, i int) {
+		if q == nil {
+			return
+		}
+		if err := q.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("host: node %d %s queue: %w", i, side, err)
 		}
 	}
-	for _, c := range nw.conns {
-		if c != nil {
-			c.Close()
-		}
+	for i, q := range nw.outq {
+		closeQueue(q, "outbound", i)
 	}
-	for _, c := range nw.sconns {
-		if c != nil {
-			c.Close()
-		}
+	for i, q := range nw.swq {
+		closeQueue(q, "switch", i)
 	}
+	closeConns()
 	nw.svcMu.Lock()
 	for _, cond := range nw.svcCond {
 		cond.Broadcast()
@@ -285,6 +353,18 @@ func (nw *Net) Close() {
 	nw.wg.Wait()
 	if nw.dir != "" {
 		os.RemoveAll(nw.dir)
+	}
+	return firstErr
+}
+
+// aborted reports whether the Real host has failed (a panic or link
+// loss began unwinding the machine).
+func (nw *Net) aborted() bool {
+	select {
+	case <-nw.Real.abort:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -299,24 +379,34 @@ func (nw *Net) closing() bool {
 	}
 }
 
-// linkDown handles a link error: expected during Close, a peer failure
-// otherwise — the host aborts so every blocked processor unwinds and Run
-// reports the loss.
+// linkDown handles a link error: expected during Close and while the
+// node is deliberately detached for recovery, a peer failure otherwise —
+// the host aborts so every blocked processor unwinds and Run reports
+// the loss.
 func (nw *Net) linkDown(node int, err error) {
-	if nw.closing() {
+	if nw.closing() || nw.isDetaching(node) {
 		return
 	}
 	nw.fail(fmt.Errorf("host: node %d link lost: %v", node, err))
 }
 
+// isDetaching reports whether node's links are being dropped on purpose.
+func (nw *Net) isDetaching(node int) bool {
+	nw.recMu.Lock()
+	defer nw.recMu.Unlock()
+	return nw.detaching != nil && nw.detaching[node]
+}
+
 // switchLoop routes raw frames arriving from node i to their destination
 // queue without decoding payloads. Each frame is read into pooled
 // storage it owns (the destination queue recycles it after the write),
-// so routing a frame allocates nothing in steady state.
-func (nw *Net) switchLoop(i int) {
+// so routing a frame allocates nothing in steady state. The connection
+// is captured at launch: a loop outliving its node's Detach must keep
+// reading the dead socket, never the replacement one.
+func (nw *Net) switchLoop(i int, c net.Conn) {
 	defer nw.wg.Done()
 	for {
-		raw, err := wire.ReadRawFrameInto(nw.sconns[i], wire.GetBuf())
+		raw, err := wire.ReadRawFrameInto(c, wire.GetBuf())
 		if err != nil {
 			nw.linkDown(i, err)
 			return
@@ -336,9 +426,9 @@ func (nw *Net) switchLoop(i int) {
 // deliveryLoop decodes frames arriving at node i and files them, waking
 // the node's blocked processor when a frame matches its wait. It never
 // enters a protocol section.
-func (nw *Net) deliveryLoop(i int) {
+func (nw *Net) deliveryLoop(i int, c net.Conn) {
 	defer nw.wg.Done()
-	fr := wire.NewFrameReader(nw.conns[i])
+	fr := wire.NewFrameReader(c)
 	// One Frame struct serves every delivery: the decoded payloads own
 	// their storage, so filing them does not retain f. Only the FReq path
 	// queues the whole frame and clones it first.
@@ -703,4 +793,113 @@ func (nw *Net) TakeHand(p Proc, slot Tag) any {
 		nw.nmu.Unlock()
 		p.Block("net hand")
 	}
+}
+
+// ---- Recovery (tmk.Recoverer) ----
+
+// EnableRecovery arms Detach/Reattach: the listener stays open for
+// re-handshakes (a persistent accept loop replaces the construction-time
+// one) and a deliberately detached node's link errors stop counting as
+// peer death. Off by default — without it the abort-on-link-loss
+// contract is exactly as before. Idempotent.
+func (nw *Net) EnableRecovery() {
+	nw.recMu.Lock()
+	defer nw.recMu.Unlock()
+	if nw.reacc != nil {
+		return
+	}
+	nw.detaching = make([]bool, nw.N())
+	nw.reacc = make(chan reConn)
+	nw.wg.Add(1)
+	go nw.acceptLoop()
+}
+
+// acceptLoop accepts and identifies re-handshaking nodes until the
+// listener closes (Net.Close). Connections that fail the handshake are
+// dropped; Reattach collects the good ones.
+func (nw *Net) acceptLoop() {
+	defer nw.wg.Done()
+	for {
+		c, err := nw.ln.Accept()
+		if err != nil {
+			return
+		}
+		id, err := readHello(c, nw.N())
+		if err != nil {
+			c.Close()
+			continue
+		}
+		select {
+		case nw.reacc <- reConn{node: id, c: c}:
+		case <-nw.closed:
+			c.Close()
+			return
+		}
+	}
+}
+
+// Detach drops node i's links. The caller (the recovering node's own
+// protocol goroutine, see tmk's failAndRecover) guarantees the machine
+// is quiescent: nothing is in flight to or from i, so the node's writer
+// queues are empty and its reader loops are idle. The loops exit on the
+// socket close; the service loop stays — it is blocked on its empty
+// queue and picks up the replacement sockets through nw.outq at its
+// next request.
+func (nw *Net) Detach(i int) error {
+	nw.recMu.Lock()
+	if nw.reacc == nil {
+		nw.recMu.Unlock()
+		return fmt.Errorf("host: net recovery not enabled")
+	}
+	nw.detaching[i] = true
+	nw.recMu.Unlock()
+	if err := nw.outq[i].Close(); err != nil {
+		return fmt.Errorf("host: detaching node %d: %w", i, err)
+	}
+	if err := nw.swq[i].Close(); err != nil {
+		return fmt.Errorf("host: detaching node %d: %w", i, err)
+	}
+	nw.conns[i].Close()
+	nw.sconns[i].Close()
+	return nil
+}
+
+// Reattach re-pairs node i: a fresh dial and hello, matched with the
+// switch-side connection from the accept loop, fresh writer queues, and
+// relaunched reader loops.
+func (nw *Net) Reattach(i int) error {
+	c, err := net.Dial(nw.ln.Addr().Network(), nw.ln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("host: reattaching node %d: %w", i, err)
+	}
+	if err := writeHello(c, i); err != nil {
+		c.Close()
+		return fmt.Errorf("host: reattaching node %d: %w", i, err)
+	}
+	var sc net.Conn
+	select {
+	case rc := <-nw.reacc:
+		if rc.node != i {
+			rc.c.Close()
+			c.Close()
+			return fmt.Errorf("host: reattaching node %d: unexpected hello from node %d", i, rc.node)
+		}
+		sc = rc.c
+	case <-time.After(handshakeTimeout):
+		c.Close()
+		return fmt.Errorf("host: reattaching node %d: handshake timeout", i)
+	case <-nw.closed:
+		c.Close()
+		return fmt.Errorf("host: reattaching node %d: transport closed", i)
+	}
+	nw.conns[i], nw.sconns[i] = c, sc
+	nw.outq[i] = NewFrameQueue(c, func(err error) { nw.linkDown(i, err) })
+	nw.swq[i] = NewFrameQueue(sc, func(err error) { nw.linkDown(i, err) })
+	nw.recMu.Lock()
+	nw.detaching[i] = false
+	nw.recMu.Unlock()
+	nw.wg.Add(2)
+	go nw.switchLoop(i, sc)
+	go nw.deliveryLoop(i, c)
+	return nil
 }

@@ -1,6 +1,11 @@
 package host
 
 import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -15,7 +20,13 @@ func newTestNet(t *testing.T, n int) *Net {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(nw.Close)
+	t.Cleanup(func() {
+		// An aborted machine may legitimately report dropped frames or
+		// latched write errors on Close; a clean run must not.
+		if err := nw.Close(); err != nil && !nw.aborted() {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return nw
 }
 
@@ -154,4 +165,168 @@ func TestNetPeerFailure(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "node 1 dies") {
 		t.Fatalf("Run error = %v, want the peer panic", err)
 	}
+}
+
+// countFDs returns the number of open file descriptors of this process.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestHandshakeTimeout pins the handshake deadline: a peer that accepts
+// a connection and then never says hello must produce a clear timeout
+// error within the deadline, not hang the machine forever.
+func TestHandshakeTimeout(t *testing.T) {
+	old := handshakeTimeout
+	handshakeTimeout = 50 * time.Millisecond
+	defer func() { handshakeTimeout = old }()
+
+	// The silent peer: one end of a pipe that never writes.
+	us, them := net.Pipe()
+	defer us.Close()
+	defer them.Close()
+
+	start := time.Now()
+	_, err := readHello(us, 4)
+	if err == nil {
+		t.Fatal("readHello returned without a peer ever speaking")
+	}
+	if !strings.Contains(err.Error(), "handshake") {
+		t.Errorf("error %q does not name the handshake", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("error %v is not a timeout", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("timeout took %v, deadline was 50ms", e)
+	}
+}
+
+// TestAbortReleasesResources is the shutdown-path leak regression: after
+// a forced abort (a node panicking mid-run) Close must unwind every
+// goroutine the machine started — switch, delivery, and service loops,
+// and the frame-queue writers — and close every socket. Goroutine and
+// fd counts are compared against the pre-machine baseline.
+func TestAbortReleasesResources(t *testing.T) {
+	baseGo := runtime.NumGoroutine()
+	baseFD := countFDs(t)
+
+	nw, err := NewNet(3, model.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = nw.Run(func(p Proc) {
+		if p.ID() == 2 {
+			panic("injected abort")
+		}
+		p.Begin()
+		nw.Recv(p, 2, 9) // never arrives: peers die blocked on the wire
+		p.End()
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected abort") {
+		t.Fatalf("Run error = %v, want the injected abort", err)
+	}
+	nw.Close() // abort path: conns first, queues after; may report drops
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // finalize dropped conns so fd counts settle
+		g, f := runtime.NumGoroutine(), countFDs(t)
+		if g <= baseGo && f <= baseFD {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("leak after abort: %d goroutines (base %d), %d fds (base %d)\n%s",
+				g, baseGo, f, baseFD, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// shortConn is a net.Conn whose writes stop short without reporting an
+// error — the io.Writer contract violation the frame queue must turn
+// into a loud failure rather than a silently desynchronized stream.
+type shortConn struct {
+	net.Conn // nil: only Write is expected to be called
+	n        int
+}
+
+func (c *shortConn) Write(b []byte) (int, error) {
+	if len(b) <= c.n {
+		return len(b), nil
+	}
+	return c.n, nil
+}
+
+// TestFrameQueueShortWrite checks the vectored-write guard: a short
+// write with no error latches io.ErrShortWrite, onErr fires once, later
+// enqueues fail loudly, and Close reports how many frames were dropped
+// unwritten instead of letting a lossy shutdown pass silently.
+func TestFrameQueueShortWrite(t *testing.T) {
+	errCh := make(chan error, 4)
+	fq := NewFrameQueue(&shortConn{n: 3}, func(err error) { errCh <- err })
+
+	frame := func() []byte {
+		raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{Kind: wire.FMsg, From: 0, To: 1, Tag: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	fq.Enqueue(frame())
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, io.ErrShortWrite) {
+			t.Errorf("latched %v, want io.ErrShortWrite", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onErr never fired for a short write")
+	}
+	if err := fq.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Errorf("Flush = %v, want io.ErrShortWrite", err)
+	}
+	// Frames enqueued after the failure are dropped — loudly.
+	if err := fq.Enqueue(frame()); !errors.Is(err, io.ErrShortWrite) {
+		t.Errorf("Enqueue after failure = %v, want the latched error", err)
+	}
+	err := fq.Close()
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Errorf("Close = %v, want the latched error", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("Close error %q does not report the dropped frames", err)
+	}
+}
+
+// TestFrameQueueCloseAfterClose checks enqueue-after-close fails loudly
+// on a healthy queue too.
+func TestFrameQueueCloseLoud(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	go func() { // drain whatever arrives
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c2.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	fq := NewFrameQueue(c1, nil)
+	if err := fq.Close(); err != nil {
+		t.Fatalf("clean Close = %v", err)
+	}
+	raw, err := wire.AppendFrame(wire.GetBuf(), &wire.Frame{Kind: wire.FMsg, From: 0, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.Enqueue(raw); err == nil {
+		t.Error("Enqueue after Close succeeded silently")
+	}
+	c1.Close()
 }

@@ -18,6 +18,20 @@
 // application's MP function against a proxy Host/Transport whose
 // communication methods speak frames, and reports its result (done).
 //
+// With Options.Recover set, the coordinator is also a pessimistic
+// message logger: every frame delivered to a worker — the start frame
+// included — is copied into that worker's inbound log before it is
+// enqueued, and the number of frames routed from each worker is
+// counted. When a worker process dies mid-run, the coordinator reaps
+// it, respawns the rank, replays its whole inbound log, and suppresses
+// the first sent-count outbound frames the replayed process re-emits.
+// This works because a worker is deterministic given its inbound frame
+// sequence: its parameters are re-derived from the start frame, its
+// receives are selective by (sender, tag) over per-pair FIFO channels,
+// and its clock advances only by cost charges and received arrival
+// stamps — so re-execution reproduces the lost process exactly,
+// including the frames it had already sent (DESIGN.md §10).
+//
 // Timing note: virtual clocks are maintained per worker with the same
 // cost model as in-process runs, but receive-any matching follows real
 // frame arrival order, so reported times (and floating-point reduction
@@ -34,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdsm/internal/apps"
@@ -46,6 +61,15 @@ import (
 // WorkerEnv is the environment variable carrying a spawned worker's
 // connection target and rank: "network;address;rank".
 const WorkerEnv = "SDSM_MP_WORKER"
+
+// handshakeTimeout bounds both sides of the worker handshake: the
+// coordinator's wait for a spawned worker to dial in and say hello, and
+// the worker's wait for its start frame. A var so tests can shorten it.
+var handshakeTimeout = 30 * time.Second
+
+// maxRestarts caps worker respawns per run: a worker that dies
+// deterministically on replay would otherwise crash-loop forever.
+const maxRestarts = 8
 
 // MaybeWorker turns the current process into a worker when WorkerEnv is
 // set, never returning in that case. Binaries that spawn workers by
@@ -77,21 +101,95 @@ type Result struct {
 	Time     time.Duration
 	Checksum float64
 	Stats    host.Stats
+	// Restarts counts worker processes that died and were respawned and
+	// replayed (zero unless Options.Recover was set and a death occurred).
+	Restarts int
 }
 
-// Run executes one mp application with one OS process per rank. nodeBin
-// names the worker binary; empty means re-exec the current executable
-// (which must call MaybeWorker). overhead is the per-iteration
-// distribution overhead of the XHPF stand-in, zero for PVMe.
+// FaultSpec injects one worker death: rank Rank's process is killed
+// after the coordinator has routed AfterFrames frames from it (zero:
+// before its first frame). Requires Options.Recover.
+type FaultSpec struct {
+	Rank        int
+	AfterFrames int
+}
+
+// Options configures a distributed run beyond the application triple.
+type Options struct {
+	// Overhead is the per-iteration distribution overhead of the XHPF
+	// stand-in, zero for PVMe.
+	Overhead time.Duration
+	Verify   bool
+	// NodeBin names the worker binary; empty means re-exec the current
+	// executable (which must call MaybeWorker).
+	NodeBin string
+	Costs   model.Costs
+	// Recover arms coordinator-side crash recovery: inbound message
+	// logging, and respawn-with-replay when a worker process dies.
+	Recover bool
+	// Fault, if set, kills one worker mid-run (requires Recover).
+	Fault *FaultSpec
+}
+
+// Run executes one mp application with one OS process per rank, with the
+// historical positional configuration. See RunOpts.
+func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, verify bool, nodeBin string, costs model.Costs) (*Result, error) {
+	return RunOpts(app, set, procs, Options{Overhead: overhead, Verify: verify, NodeBin: nodeBin, Costs: costs})
+}
+
+// link is the coordinator's per-worker outbound state. Its mutex makes
+// (log, enqueue) atomic per destination and guards the queue swap during
+// a respawn: a frame routed concurrently with the destination's
+// recovery lands either in the dead queue (and is redelivered from the
+// log) or in the new queue after the replay — never between replayed
+// frames.
+type link struct {
+	mu   sync.Mutex
+	conn net.Conn
+	q    *host.FrameQueue
+	log  [][]byte // inbound replay log (start frame first); Recover only
+}
+
+// coordinator is the state shared by the router goroutines.
+type coordinator struct {
+	procs   int
+	nodeBin string
+	network string
+	addr    string
+	ln      net.Listener
+	opts    Options
+
+	links []*link
+	sent  []int // frames routed from each rank; rank r's router only
+
+	cmdMu sync.Mutex
+	cmds  []*exec.Cmd
+
+	respawnMu sync.Mutex // serializes respawns: accept must pair by rank
+	restarts  int        // under respawnMu
+	closed    atomic.Bool
+
+	res     *Result
+	statsMu sync.Mutex
+}
+
+// RunOpts executes one mp application with one OS process per rank.
 //
 // Workers derive their entire configuration — cost model included — from
 // the start frame; the frame does not carry cost constants, so only the
 // SP/2 model the workers assume is accepted (a non-SP2 model would
 // silently misprice every worker clock otherwise).
-func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, verify bool, nodeBin string, costs model.Costs) (*Result, error) {
-	if costs != model.SP2() {
+func RunOpts(app *apps.App, set apps.DataSet, procs int, opts Options) (*Result, error) {
+	if opts.Costs != model.SP2() {
 		return nil, fmt.Errorf("mpnet: the process-per-rank deployment supports the SP2 cost model only")
 	}
+	if opts.Fault != nil && !opts.Recover {
+		return nil, fmt.Errorf("mpnet: fault injection requires Recover")
+	}
+	if opts.Fault != nil && (opts.Fault.Rank < 0 || opts.Fault.Rank >= procs) {
+		return nil, fmt.Errorf("mpnet: fault rank %d out of range", opts.Fault.Rank)
+	}
+	nodeBin := opts.NodeBin
 	if nodeBin == "" {
 		exe, err := os.Executable()
 		if err != nil {
@@ -109,159 +207,311 @@ func Run(app *apps.App, set apps.DataSet, procs int, overhead time.Duration, ver
 		defer os.RemoveAll(dir)
 	}
 
-	// Spawn the workers.
-	var procsRunning []*exec.Cmd
-	killAll := func() {
-		for _, c := range procsRunning {
-			if c.Process != nil {
-				c.Process.Kill()
-			}
-		}
-		for _, c := range procsRunning {
-			c.Wait()
-		}
+	co := &coordinator{
+		procs: procs, nodeBin: nodeBin,
+		network: ln.Addr().Network(), addr: ln.Addr().String(),
+		ln: ln, opts: opts,
+		links: make([]*link, procs),
+		sent:  make([]int, procs),
+		cmds:  make([]*exec.Cmd, procs),
+		res:   &Result{Stats: host.Stats{Node: make([]host.NodeStats, procs)}},
 	}
 	for r := 0; r < procs; r++ {
-		cmd := exec.Command(nodeBin)
-		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s;%s;%d", WorkerEnv, ln.Addr().Network(), ln.Addr().String(), r))
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			killAll()
-			return nil, fmt.Errorf("mpnet: spawning worker %d: %w", r, err)
+		co.links[r] = &link{}
+	}
+	// Reap every worker on exit — normally-exited children are waited,
+	// stragglers killed first. Registered before the queue-close defer
+	// below runs (defers run in reverse), so sockets and queues are
+	// already torn down and no writer can block the reaping.
+	defer co.killAll()
+
+	// Spawn the workers.
+	for r := 0; r < procs; r++ {
+		if err := co.spawn(r); err != nil {
+			return nil, err
 		}
-		procsRunning = append(procsRunning, cmd)
 	}
 
 	// Accept and pair connections by hello. A worker binary that does not
 	// call MaybeWorker never dials in; the deadline turns that into a
 	// diagnosable error instead of a hang.
-	conns := make([]net.Conn, procs)
-	// Per-destination outbound queues (created after the handshake). The
-	// join defer is registered before the conns-close defer so it runs
-	// after it: closing the sockets first guarantees a wedged writer
+	deadline := time.Now().Add(handshakeTimeout)
+	for i := 0; i < procs; i++ {
+		c, r, err := acceptHello(ln, deadline, procs)
+		if err != nil {
+			return nil, fmt.Errorf("mpnet: worker handshake (does the worker binary call mpnet.MaybeWorker?): %w", err)
+		}
+		if co.links[r].conn != nil {
+			c.Close()
+			return nil, fmt.Errorf("mpnet: duplicate hello from rank %d", r)
+		}
+		co.links[r].conn = c
+	}
+	// The join defer is registered after the killAll defer so it runs
+	// before it: closing the sockets first guarantees a wedged writer
 	// errors out instead of blocking the join — any frames dropped that
-	// way are addressed to workers that already reported done.
-	var outq []*host.FrameQueue
+	// way are addressed to workers that already reported done (or are
+	// being torn down).
 	defer func() {
-		for _, q := range outq {
-			if q != nil {
-				q.Close()
+		for _, lk := range co.links {
+			if lk.conn != nil {
+				lk.conn.Close()
+			}
+			if lk.q != nil {
+				lk.q.Close()
 			}
 		}
 	}()
-	deadline := time.Now().Add(30 * time.Second)
-	for i := 0; i < procs; i++ {
-		type deadliner interface{ SetDeadline(time.Time) error }
-		if d, ok := ln.(deadliner); ok {
-			d.SetDeadline(deadline)
-		}
-		c, err := ln.Accept()
-		if err != nil {
-			killAll()
-			return nil, fmt.Errorf("mpnet: worker handshake (does the worker binary call mpnet.MaybeWorker?): %w", err)
-		}
-		f, err := wire.ReadFrame(c)
-		if err != nil || f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= procs || conns[f.From] != nil {
-			c.Close()
-			killAll()
-			return nil, fmt.Errorf("mpnet: bad hello: %v", err)
-		}
-		conns[f.From] = c
-	}
-	defer func() {
-		for _, c := range conns {
-			c.Close()
-		}
-		killAll()
-	}()
 
-	// Configure every worker.
-	start := wire.Start{App: app.Name, Set: string(set), N: int32(procs), Overhead: int64(overhead), Verify: verify}
+	// Configure every worker. The start frame heads each inbound log: a
+	// replayed worker re-derives its configuration from it like a fresh
+	// one.
+	start := wire.Start{App: app.Name, Set: string(set), N: int32(procs), Overhead: int64(opts.Overhead), Verify: opts.Verify}
 	for r := 0; r < procs; r++ {
-		if err := wire.WriteFrame(conns[r], &wire.Frame{Kind: wire.FStart, To: int32(r), Payload: start}); err != nil {
+		blob, err := wire.AppendFrame(nil, &wire.Frame{Kind: wire.FStart, To: int32(r), Payload: start})
+		if err != nil {
+			return nil, fmt.Errorf("mpnet: encoding start frame: %w", err)
+		}
+		lk := co.links[r]
+		lk.q = host.NewFrameQueue(lk.conn, nil)
+		if opts.Recover {
+			lk.log = append(lk.log, blob)
+		}
+		if err := lk.q.Enqueue(append(wire.GetBuf(), blob...)); err != nil {
 			return nil, fmt.Errorf("mpnet: configuring worker %d: %w", r, err)
 		}
 	}
 
-	// Route frames until every worker reports done. Writes to one
-	// destination are serialized by its FrameQueue, which also coalesces
-	// the frames a flurry of routers deposit into one vectored write and
-	// recycles each frame's pooled read buffer afterwards.
-	res := &Result{Stats: host.Stats{Node: make([]host.NodeStats, procs)}}
-	var statsMu sync.Mutex
-	outq = make([]*host.FrameQueue, procs)
-	for r := 0; r < procs; r++ {
-		outq[r] = host.NewFrameQueue(conns[r], nil)
-	}
-	type doneMsg struct {
-		rank  int
-		clock time.Duration
-		sum   float64
-		err   error
-	}
+	// Once Run returns, the teardown defers close every socket; the
+	// routers' read errors must then unwind them, never respawn workers
+	// for a machine that no longer exists. Registered last so it runs
+	// before the socket-closing defers.
+	defer co.closed.Store(true)
+
+	// Route frames until every worker reports done. The first error
+	// returns immediately: the deferred teardown closes the sockets,
+	// which errors out any router still blocked on a read.
 	doneCh := make(chan doneMsg, procs)
 	for r := 0; r < procs; r++ {
 		r := r
-		go func() {
-			for {
-				raw, err := wire.ReadRawFrameInto(conns[r], wire.GetBuf())
-				if err != nil {
-					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d link lost: %w", r, err)}
-					return
-				}
-				kind, _, to, bytes, err := wire.RawFields(raw)
-				if err != nil {
-					doneCh <- doneMsg{rank: r, err: err}
-					return
-				}
-				if kind == wire.FDone {
-					f, _, err := wire.ParseFrame(raw)
-					wire.PutBuf(raw)
-					if err != nil {
-						doneCh <- doneMsg{rank: r, err: err}
-						return
-					}
-					d := f.Payload.(wire.Done)
-					if d.Err != "" {
-						doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d failed: %s", r, d.Err)}
-						return
-					}
-					doneCh <- doneMsg{rank: r, clock: time.Duration(f.Time), sum: d.Checksum}
-					return
-				}
-				if int(to) < 0 || int(to) >= procs {
-					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d sent unroutable frame", r)}
-					return
-				}
-				if kind == wire.FMsg {
-					// Accounted from the raw header — the payload is
-					// forwarded verbatim, never decoded here. One router
-					// goroutine runs per sending rank, so the shared
-					// counters need the lock.
-					statsMu.Lock()
-					res.Stats.Account(r, int(to), int(bytes))
-					statsMu.Unlock()
-				}
-				if err := outq[to].Enqueue(raw); err != nil {
-					doneCh <- doneMsg{rank: r, err: fmt.Errorf("mpnet: routing to rank %d: %w", to, err)}
-					return
-				}
-			}
-		}()
+		go func() { doneCh <- co.route(r) }()
 	}
 	for i := 0; i < procs; i++ {
 		d := <-doneCh
 		if d.err != nil {
 			return nil, d.err
 		}
-		if d.clock > res.Time {
-			res.Time = d.clock
+		if d.clock > co.res.Time {
+			co.res.Time = d.clock
 		}
 		if d.rank == 0 {
-			res.Checksum = d.sum
+			co.res.Checksum = d.sum
 		}
 	}
-	return res, nil
+	co.respawnMu.Lock()
+	co.res.Restarts = co.restarts
+	co.respawnMu.Unlock()
+	return co.res, nil
+}
+
+type doneMsg struct {
+	rank  int
+	clock time.Duration
+	sum   float64
+	err   error
+}
+
+// spawn starts (or restarts) rank r's worker process.
+func (co *coordinator) spawn(r int) error {
+	cmd := exec.Command(co.nodeBin)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s;%s;%d", WorkerEnv, co.network, co.addr, r))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("mpnet: spawning worker %d: %w", r, err)
+	}
+	co.cmdMu.Lock()
+	co.cmds[r] = cmd
+	co.cmdMu.Unlock()
+	return nil
+}
+
+// killAll kills any worker still running and reaps every child: no
+// coordinator path leaves a zombie behind.
+func (co *coordinator) killAll() {
+	co.cmdMu.Lock()
+	defer co.cmdMu.Unlock()
+	for _, c := range co.cmds {
+		if c != nil && c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+	for _, c := range co.cmds {
+		if c != nil {
+			c.Wait()
+		}
+	}
+}
+
+// acceptHello accepts one worker connection and reads its hello,
+// returning the rank it claims.
+func acceptHello(ln net.Listener, deadline time.Time, procs int) (net.Conn, int, error) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		d.SetDeadline(deadline)
+	}
+	c, err := ln.Accept()
+	if err != nil {
+		return nil, 0, err
+	}
+	c.SetReadDeadline(deadline)
+	f, err := wire.ReadFrame(c)
+	if err != nil || f.Kind != wire.FHello || int(f.From) < 0 || int(f.From) >= procs {
+		c.Close()
+		return nil, 0, fmt.Errorf("bad hello: %v", err)
+	}
+	c.SetReadDeadline(time.Time{})
+	return c, int(f.From), nil
+}
+
+// route is rank r's router: it reads frames off r's connection and
+// forwards them by destination until r reports done. With recovery on,
+// a read failure before done means the worker died: the router respawns
+// it, replays its inbound log, and continues on the new connection,
+// suppressing the re-emitted frames it has already routed.
+func (co *coordinator) route(r int) doneMsg {
+	conn := co.links[r].conn
+	skip := 0
+	faultArmed := co.opts.Fault != nil && co.opts.Fault.Rank == r
+	for {
+		if faultArmed && co.sent[r] >= co.opts.Fault.AfterFrames {
+			faultArmed = false
+			co.cmdMu.Lock()
+			if c := co.cmds[r]; c != nil && c.Process != nil {
+				c.Process.Kill()
+			}
+			co.cmdMu.Unlock()
+		}
+		raw, err := wire.ReadRawFrameInto(conn, wire.GetBuf())
+		if err != nil {
+			if co.opts.Recover && !co.closed.Load() {
+				nc, rerr := co.respawn(r)
+				if rerr != nil {
+					return doneMsg{rank: r, err: rerr}
+				}
+				// Everything routed from r so far will be re-emitted by
+				// the replayed process, byte-identical; swallow it.
+				conn, skip = nc, co.sent[r]
+				continue
+			}
+			return doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d link lost: %w", r, err)}
+		}
+		kind, _, to, bytes, err := wire.RawFields(raw)
+		if err != nil {
+			return doneMsg{rank: r, err: err}
+		}
+		if skip > 0 {
+			skip--
+			wire.PutBuf(raw)
+			continue
+		}
+		if kind == wire.FDone {
+			f, _, err := wire.ParseFrame(raw)
+			wire.PutBuf(raw)
+			if err != nil {
+				return doneMsg{rank: r, err: err}
+			}
+			d := f.Payload.(wire.Done)
+			if d.Err != "" {
+				return doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d failed: %s", r, d.Err)}
+			}
+			return doneMsg{rank: r, clock: time.Duration(f.Time), sum: d.Checksum}
+		}
+		if int(to) < 0 || int(to) >= co.procs {
+			return doneMsg{rank: r, err: fmt.Errorf("mpnet: rank %d sent unroutable frame", r)}
+		}
+		if kind == wire.FMsg {
+			// Accounted from the raw header — the payload is forwarded
+			// verbatim, never decoded here. One router goroutine runs per
+			// sending rank, so the shared counters need the lock.
+			co.statsMu.Lock()
+			co.res.Stats.Account(r, int(to), int(bytes))
+			co.statsMu.Unlock()
+		}
+		if err := co.deliver(int(to), raw); err != nil {
+			return doneMsg{rank: r, err: fmt.Errorf("mpnet: routing to rank %d: %w", to, err)}
+		}
+		co.sent[r]++
+	}
+}
+
+// deliver hands one frame to a destination's outbound queue, logging it
+// first when recovery is on (log before enqueue: the log must cover
+// every frame the worker could ever have observed). In recovery mode an
+// enqueue failure is swallowed — the destination's connection is dying
+// or mid-respawn, and its replay redelivers the frame from the log.
+func (co *coordinator) deliver(to int, raw []byte) error {
+	lk := co.links[to]
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if co.opts.Recover {
+		lk.log = append(lk.log, append([]byte(nil), raw...))
+		lk.q.Enqueue(raw)
+		return nil
+	}
+	return lk.q.Enqueue(raw)
+}
+
+// respawn replaces rank r's dead worker process: reap, spawn, accept the
+// new connection, swap it in, and replay the inbound log. Serialized so
+// concurrent respawns cannot steal each other's accepted connections.
+func (co *coordinator) respawn(r int) (net.Conn, error) {
+	co.respawnMu.Lock()
+	defer co.respawnMu.Unlock()
+	if co.closed.Load() {
+		return nil, fmt.Errorf("mpnet: rank %d died during shutdown", r)
+	}
+	if co.restarts++; co.restarts > maxRestarts {
+		return nil, fmt.Errorf("mpnet: rank %d died after %d restarts; giving up", r, maxRestarts)
+	}
+	// Reap the dead child before its replacement exists: the pid slot
+	// must never hold a zombie.
+	co.cmdMu.Lock()
+	old := co.cmds[r]
+	co.cmdMu.Unlock()
+	if old != nil {
+		old.Wait()
+	}
+	if err := co.spawn(r); err != nil {
+		return nil, err
+	}
+	c, hr, err := acceptHello(co.ln, time.Now().Add(handshakeTimeout), co.procs)
+	if err != nil {
+		return nil, fmt.Errorf("mpnet: respawned rank %d handshake: %w", r, err)
+	}
+	if hr != r {
+		c.Close()
+		return nil, fmt.Errorf("mpnet: respawned rank %d answered hello as rank %d", r, hr)
+	}
+	lk := co.links[r]
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	// Tear down the dead connection's queue (its unwritten frames are all
+	// in the log), swap in the new one, and queue the full replay before
+	// any concurrently routed frame can slip in: the per-link lock makes
+	// replay-then-new-traffic the only observable order.
+	if lk.conn != nil {
+		lk.conn.Close()
+	}
+	if lk.q != nil {
+		lk.q.Close()
+	}
+	lk.conn, lk.q = c, host.NewFrameQueue(c, nil)
+	for _, e := range lk.log {
+		if err := lk.q.Enqueue(append(wire.GetBuf(), e...)); err != nil {
+			return nil, fmt.Errorf("mpnet: replaying to respawned rank %d: %w", r, err)
+		}
+	}
+	return c, nil
 }
 
 // RunWorker dials the coordinator and runs one rank to completion: the
@@ -272,12 +522,21 @@ func RunWorker(network, addr string, rank int) error {
 		return fmt.Errorf("dialing coordinator: %w", err)
 	}
 	defer conn.Close()
-	if err := wire.WriteFrame(conn, &wire.Frame{Kind: wire.FHello, From: int32(rank)}); err != nil {
+	// The handshake — hello out, start frame back — runs under a
+	// deadline: a coordinator that accepted but never configures this
+	// rank must surface as a clear timeout error, not a silent hang.
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
 		return err
+	}
+	if err := wire.WriteFrame(conn, &wire.Frame{Kind: wire.FHello, From: int32(rank)}); err != nil {
+		return fmt.Errorf("sending hello: %w", err)
 	}
 	f, err := wire.ReadFrame(conn)
 	if err != nil {
-		return fmt.Errorf("reading start frame: %w", err)
+		return fmt.Errorf("reading start frame (handshake deadline %v): %w", handshakeTimeout, err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return err
 	}
 	start, ok := f.Payload.(wire.Start)
 	if !ok || f.Kind != wire.FStart {

@@ -273,6 +273,12 @@ func (nd *Node) snapshotWholePage(pg int) {
 // snapshot's page storage goes back to the vm freelist — its cached wire
 // form, if any, owns separate copies, so receivers are unaffected.
 func (nd *Node) storeDiff(d *storedDiff) {
+	if nd.recTouched != nil {
+		// Recovery is on: the page's diff chain (and, on the apply path,
+		// its image) moved, so the next incremental record must frame it
+		// (recovery.go).
+		nd.recTouched[d.page] = true
+	}
 	cache := nd.diffs[d.page]
 	if d.whole {
 		kept := cache[:0]

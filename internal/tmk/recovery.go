@@ -1,0 +1,510 @@
+package tmk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sdsm/internal/vm"
+	"sdsm/internal/wire"
+)
+
+// Checkpoint/restore (DESIGN.md §10).
+//
+// With recovery enabled, every node writes a recovery record at each
+// barrier arrival — after the epoch's interval is closed, before the
+// arrival message is built, so the record is durable before any state
+// derived from it can reach a peer (pessimistic logging: log before
+// send). A record is the node's wire.Checkpoint: vector clock, last
+// departure time, the interval log learned since the previous record
+// (own and foreign, per-owner dense, so a restored log is gap-free),
+// page frames — content, twin, protection, applied row — for every
+// page whose image or bookkeeping moved, the cached diff chains of the
+// framed pages, and the adaptive detector's snapshot. Records are
+// encoded wire frames (kind FCkpt) handed to a pluggable SnapshotSink
+// — in-memory, local disk, or a socket streaming to the mpnet
+// coordinator — so a restore exercises the same codec a remote restore
+// would.
+//
+// A restore rebuilds the node's entire DSM state from the newest full
+// record plus the incremental records after it. Page content, twin,
+// applied timestamps, protections, dirty flag, and diff chain come
+// from the newest frame per page; pending write notices are recomputed
+// from the restored interval log against the restored applied rows.
+// The twin and the diff cache are checkpointed verbatim rather than
+// resynthesized from the restored content because both encode word-
+// granular history the content alone cannot recover: the twin's delta
+// to the content is the undiffed writes the next comparison must still
+// find, and the cache's per-creator diffs carry exactly the words each
+// writer owns — a whole-page stand-in would overwrite words belonging
+// to concurrent writers of a falsely-shared page. Application state
+// (locals, loop counters) is not checkpointed: the simulated fault
+// hits the DSM layer at a barrier, the one point where app and
+// protocol state are already synchronized; full-process crash recovery
+// is the mpnet coordinator's job (message-log replay, see
+// internal/mpnet).
+
+// SnapshotSink stores recovery records. Put receives one encoded record
+// (a complete FCkpt wire frame); a full record makes every older record
+// of that node dead, and sinks may discard them. Records returns a
+// node's live chain — the newest full record first, then every
+// incremental record after it, in write order.
+type SnapshotSink interface {
+	Put(node int, epoch int32, full bool, rec []byte) error
+	Records(node int) ([][]byte, error)
+}
+
+// Fault is an injected failure: rank Rank dies at its Epoch-th barrier
+// arrival (1-based), immediately after its recovery record is written.
+type Fault struct {
+	Rank  int
+	Epoch int
+}
+
+// RecoveryConfig arms checkpointing. Every is the full-record period in
+// barriers (≤1: every record is full; k: one full record every k-th).
+// Fault, if set, injects one failure and the in-place recovery that
+// follows it.
+type RecoveryConfig struct {
+	Sink  SnapshotSink
+	Every int
+	Fault *Fault
+}
+
+// Recoverer is implemented by transports that can drop and re-establish
+// one node's links around a restore (host.Net with recovery enabled).
+// In-process transports need neither.
+type Recoverer interface {
+	Detach(node int) error
+	Reattach(node int) error
+}
+
+// RecoveryStats counts a node's checkpoint/restore activity. They live
+// outside ProtocolStats: recovery is off in every table run, and the
+// reported tables must not change shape when it is on.
+type RecoveryStats struct {
+	Checkpoints     int64
+	FullCheckpoints int64
+	CheckpointBytes int64
+	Failures        int64
+	Restores        int64
+}
+
+// recoveryPoll is the virtual time a failed node burns per check while
+// draining its peers into the barrier before restoring.
+const recoveryPoll = time.Microsecond
+
+// EnableRecovery arms barrier-point checkpointing (and, if cfg.Fault is
+// set, one injected failure). Must be called after New and before Run.
+// With a nil Sink, records go to a fresh in-memory sink.
+func (s *System) EnableRecovery(cfg RecoveryConfig) {
+	if cfg.Sink == nil {
+		cfg.Sink = NewMemSink()
+	}
+	s.rec = &cfg
+	for _, nd := range s.Nodes {
+		nd.recTouched = map[int]bool{}
+	}
+}
+
+// faultsNow reports whether the injected fault fires at this arrival.
+func (nd *Node) faultsNow() bool {
+	f := nd.sys.rec.Fault
+	return f != nil && f.Rank == nd.ID && int64(f.Epoch) == nd.Stats.Barriers
+}
+
+// writeRecord serializes one recovery record and hands it to the sink.
+// Full records carry the whole interval log and a frame for every page
+// with any history; incremental records carry the per-owner interval
+// delta since the previous record and frames only for pages whose
+// image, diff cache, or bookkeeping could have moved since — pages
+// touched by a diff store or push (recTouched), dirty pages, and pages
+// in own intervals closed since. A page absent from every frame set is
+// provably still zero-filled and untouched, so a restore needs no
+// frame for it.
+func (nd *Node) writeRecord() {
+	s := nd.sys
+	r := s.rec
+	n := s.N()
+	nd.recEpoch++
+	full := nd.recLast == nil || r.Every <= 1 || (int(nd.recEpoch)-1)%r.Every == 0
+	ck := wire.Checkpoint{
+		Node:    int32(nd.ID),
+		Epoch:   nd.recEpoch,
+		Full:    full,
+		VC:      append([]int32(nil), nd.vc...),
+		LastBar: append([]int32(nil), nd.lastBar...),
+	}
+	base := nd.recLast
+	if full {
+		base = make([]int32, n)
+	}
+	for o := 0; o < n; o++ {
+		for idx := base[o] + 1; idx <= nd.vc[o]; idx++ {
+			ck.Intervals = append(ck.Intervals, wire.OwnedInterval{
+				Owner: int32(o), Idx: idx, IV: nd.know[o][idx-1].toWire(),
+			})
+		}
+	}
+	for _, pg := range nd.recordPages(full, base) {
+		fr := wire.PageFrame{
+			Page:       int32(pg),
+			Prot:       uint8(nd.Mem.Prot(pg)),
+			Dirty:      nd.dirty[pg],
+			LastDiffed: nd.lastDiffed[pg],
+			Applied:    append([]int32(nil), nd.applied[pg]...),
+			Words:      append([]float64(nil), nd.Mem.PageData(pg)...),
+		}
+		if tw := nd.Mem.TwinData(pg); tw != nil {
+			fr.Twin = append([]float64(nil), tw...)
+		}
+		ck.Frames = append(ck.Frames, fr)
+		// The framed page's cached diff chain rides along, in cache
+		// order: a restore replaces the page's cache with the newest
+		// record's copy, so every record must carry the chains of
+		// exactly the pages it frames (storeDiff marks recTouched).
+		for _, d := range nd.diffs[pg] {
+			ck.Diffs = append(ck.Diffs, d.toWire())
+		}
+	}
+	if nd.ad != nil {
+		ck.Fetched = nd.fetchedSorted()
+		ck.Adapt = nd.ad.det.Snapshot()
+	}
+	blob, err := wire.AppendFrame(nil, &wire.Frame{Kind: wire.FCkpt, From: int32(nd.ID), Payload: ck})
+	if err != nil {
+		panic(fmt.Sprintf("tmk: encoding checkpoint record: %v", err))
+	}
+	if err := r.Sink.Put(nd.ID, ck.Epoch, full, blob); err != nil {
+		panic(fmt.Sprintf("tmk: storing checkpoint record: %v", err))
+	}
+	nd.recLast = ck.VC
+	clear(nd.recTouched)
+	nd.RecStats.Checkpoints++
+	if full {
+		nd.RecStats.FullCheckpoints++
+	}
+	nd.RecStats.CheckpointBytes += int64(len(blob))
+}
+
+// recordPages returns the sorted page set a record must frame.
+func (nd *Node) recordPages(full bool, base []int32) []int {
+	var pages []int
+	if full {
+		for pg := 0; pg < nd.Mem.Pages(); pg++ {
+			if nd.dirty[pg] || nd.lastDiffed[pg] > 0 || len(nd.diffs[pg]) > 0 ||
+				nd.Mem.Prot(pg) != vm.NoAccess || rowNonZero(nd.applied[pg]) {
+				pages = append(pages, pg)
+			}
+		}
+		return pages
+	}
+	set := map[int]bool{}
+	for pg := range nd.recTouched {
+		set[pg] = true
+	}
+	for pg := range nd.dirty {
+		set[pg] = true
+	}
+	for idx := base[nd.ID] + 1; idx <= nd.vc[nd.ID]; idx++ {
+		for _, ref := range nd.know[nd.ID][idx-1].pages {
+			set[int(ref.Page)] = true
+		}
+	}
+	pages = make([]int, 0, len(set))
+	for pg := range set {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	return pages
+}
+
+// rowNonZero reports whether any applied timestamp in the row is set.
+func rowNonZero(row []int32) bool {
+	for _, x := range row {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// failAndRecover simulates this node's death at a barrier arrival and
+// its in-place recovery. The node first drains every peer into the
+// barrier — releasing the protocol token between checks, so peers can
+// run, fetch (the "dead" node still answers; a pessimistic logger logs
+// those serves, which the final incremental record below captures), and
+// arrive — which guarantees machine-wide quiescence: no request is in
+// flight when the links drop. It then detaches its transport links (on
+// backends with real connections), wipes its memory image and protocol
+// state, restores from the sink, and reattaches. Returning, the node
+// proceeds into the barrier as the last arriver and so runs the barrier
+// itself.
+func (nd *Node) failAndRecover(b *barrier) {
+	s := nd.sys
+	if len(nd.held) > 0 {
+		panic("tmk: injected fault while holding a lock")
+	}
+	nd.RecStats.Failures++
+	if b != nil {
+		for len(b.arrivals) < s.N()-1 {
+			nd.p.End()
+			nd.p.Advance(recoveryPoll)
+			nd.p.Begin()
+		}
+		// Quiesced: every peer is blocked in this barrier. Capture the
+		// serves performed while they drained in.
+		nd.writeRecord()
+	}
+	rec, _ := s.NW.(Recoverer)
+	if rec != nil {
+		if err := rec.Detach(nd.ID); err != nil {
+			panic(fmt.Sprintf("tmk: detaching node %d: %v", nd.ID, err))
+		}
+	}
+	nd.wipe()
+	nd.restore()
+	if rec != nil {
+		if err := rec.Reattach(nd.ID); err != nil {
+			panic(fmt.Sprintf("tmk: reattaching node %d: %v", nd.ID, err))
+		}
+	}
+	nd.RecStats.Restores++
+}
+
+// wipe discards everything a restore rebuilds: the memory image (with
+// twins and protections), the interval log, timestamps, the diff cache,
+// and the notice bookkeeping. Application-level run-time state survives
+// — held locks (none at a fault), Validate registrations (wsync, mode)
+// and the adaptNode pointer — as does Stats: the tables report the run,
+// not the surviving replica.
+func (nd *Node) wipe() {
+	for pg, ds := range nd.diffs {
+		for _, d := range ds {
+			if d.pooled {
+				for _, r := range d.runs {
+					nd.Mem.RecyclePage(r.Vals)
+				}
+			}
+		}
+		delete(nd.diffs, pg)
+	}
+	nd.Mem.WipeForRestore()
+	for i := range nd.vc {
+		nd.vc[i] = 0
+		nd.lastBar[i] = 0
+	}
+	for o := range nd.know {
+		nd.know[o] = nil
+	}
+	for pg := range nd.applied {
+		row := nd.applied[pg]
+		for i := range row {
+			row[i] = 0
+		}
+		nd.lastDiffed[pg] = 0
+	}
+	clear(nd.pending)
+	clear(nd.dirty)
+	clear(nd.noTwin)
+	nd.inflight = nd.inflight[:0]
+}
+
+// restore replays the node's record chain from the sink. See the file
+// comment for what each piece is rebuilt from.
+func (nd *Node) restore() {
+	s := nd.sys
+	recs, err := s.rec.Sink.Records(nd.ID)
+	if err != nil {
+		panic(fmt.Sprintf("tmk: reading checkpoint records for node %d: %v", nd.ID, err))
+	}
+	var last wire.Checkpoint
+	for i, blob := range recs {
+		f, _, err := wire.ParseFrame(blob)
+		if err != nil {
+			panic(fmt.Sprintf("tmk: decoding checkpoint record %d of node %d: %v", i, nd.ID, err))
+		}
+		ck, ok := f.Payload.(wire.Checkpoint)
+		if !ok || int(ck.Node) != nd.ID {
+			panic(fmt.Sprintf("tmk: record %d of node %d is not this node's checkpoint", i, nd.ID))
+		}
+		if i == 0 && !ck.Full {
+			panic(fmt.Sprintf("tmk: record chain of node %d does not start at a full checkpoint", nd.ID))
+		}
+		for _, oi := range ck.Intervals {
+			o := int(oi.Owner)
+			if int32(len(nd.know[o]))+1 != oi.Idx {
+				panic(fmt.Sprintf("tmk: node %d record gap: owner %d at %d, next record %d",
+					nd.ID, o, len(nd.know[o]), oi.Idx))
+			}
+			nd.know[o] = append(nd.know[o], intervalFromWire(oi.IV))
+		}
+		for _, fr := range ck.Frames {
+			pg := int(fr.Page)
+			if fr.Dirty && fr.Twin == nil {
+				panic(fmt.Sprintf("tmk: node %d record frames dirty page %d without a twin", nd.ID, pg))
+			}
+			nd.Mem.RestorePage(pg, fr.Words, vm.Prot(fr.Prot), fr.Twin)
+			copy(nd.applied[pg], fr.Applied)
+			nd.lastDiffed[pg] = fr.LastDiffed
+			if fr.Dirty {
+				nd.dirty[pg] = true
+			} else {
+				delete(nd.dirty, pg)
+			}
+			// The record's diff chain (appended below) supersedes whatever
+			// an earlier record in the chain restored for this page.
+			delete(nd.diffs, pg)
+		}
+		for _, wd := range ck.Diffs {
+			pg := int(wd.Page)
+			nd.diffs[pg] = append(nd.diffs[pg], diffFromWire(wd))
+		}
+		last = ck
+	}
+	copy(nd.vc, last.VC)
+	copy(nd.lastBar, last.LastBar)
+	for o := 0; o < s.N(); o++ {
+		if int32(len(nd.know[o])) != nd.vc[o] {
+			panic(fmt.Sprintf("tmk: node %d restored log of owner %d has %d intervals, clock says %d",
+				nd.ID, o, len(nd.know[o]), nd.vc[o]))
+		}
+	}
+	// Pending notices: every restored interval not yet reflected in the
+	// page's restored applied row is outstanding again, and the page
+	// cannot stay mapped (same rule learnInterval enforces live).
+	for o := 0; o < s.N(); o++ {
+		if o == nd.ID {
+			continue
+		}
+		for idx := int32(1); idx <= nd.vc[o]; idx++ {
+			for _, ref := range nd.know[o][idx-1].pages {
+				pg := int(ref.Page)
+				if nd.applied[pg][o] >= idx {
+					continue
+				}
+				nd.pending[pg] = append(nd.pending[pg], notice{owner: o, idx: idx, whole: ref.Whole})
+			}
+		}
+	}
+	for pg := range nd.pending {
+		if nd.dirty[pg] {
+			panic(fmt.Sprintf("tmk: node %d restored page %d dirty with pending notices", nd.ID, pg))
+		}
+		nd.Mem.SetProtInit(pg, vm.NoAccess)
+	}
+	if nd.ad != nil {
+		if err := nd.ad.det.RestoreSnapshot(last.Adapt); err != nil {
+			panic(fmt.Sprintf("tmk: node %d restoring detector: %v", nd.ID, err))
+		}
+		nd.ad.fetched = map[int]bool{}
+		for _, pg := range last.Fetched {
+			nd.ad.fetched[int(pg)] = true
+		}
+	}
+	nd.recLast = append([]int32(nil), last.VC...)
+	nd.recEpoch = last.Epoch
+	clear(nd.recTouched)
+}
+
+// MemSink is the in-memory SnapshotSink: one live record chain per
+// node, a full record dropping the chain before it.
+type MemSink struct {
+	mu     sync.Mutex
+	chains map[int][][]byte
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{chains: map[int][][]byte{}} }
+
+// Put appends a copy of the record, compacting on full records.
+func (m *MemSink) Put(node int, epoch int32, full bool, rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if full {
+		m.chains[node] = m.chains[node][:0]
+	}
+	m.chains[node] = append(m.chains[node], append([]byte(nil), rec...))
+	return nil
+}
+
+// Records returns a copy of the node's live chain.
+func (m *MemSink) Records(node int) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.chains[node]
+	if len(c) == 0 {
+		return nil, fmt.Errorf("tmk: no checkpoint records for node %d", node)
+	}
+	return append([][]byte(nil), c...), nil
+}
+
+// FileSink spills records to Dir, one file per record, named so a
+// lexicographic listing is chain order. A full record removes the
+// node's older files.
+type FileSink struct {
+	Dir string
+}
+
+func (fs *FileSink) name(node int, epoch int32, full bool) string {
+	k := byte('i')
+	if full {
+		k = 'f'
+	}
+	return fmt.Sprintf("ckpt-n%04d-e%08d-%c.bin", node, epoch, k)
+}
+
+// Put writes the record, dropping the node's dead records first.
+func (fs *FileSink) Put(node int, epoch int32, full bool, rec []byte) error {
+	if full {
+		old, err := fs.files(node)
+		if err != nil {
+			return err
+		}
+		for _, f := range old {
+			if err := os.Remove(f); err != nil {
+				return err
+			}
+		}
+	}
+	return os.WriteFile(filepath.Join(fs.Dir, fs.name(node, epoch, full)), rec, 0o644)
+}
+
+// Records reads the node's chain from the newest full record on.
+func (fs *FileSink) Records(node int) ([][]byte, error) {
+	names, err := fs.files(node)
+	if err != nil {
+		return nil, err
+	}
+	start := -1
+	for i, f := range names {
+		if f[len(f)-5] == 'f' {
+			start = i
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("tmk: no full checkpoint record for node %d in %s", node, fs.Dir)
+	}
+	var out [][]byte
+	for _, f := range names[start:] {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// files lists the node's record files in epoch order.
+func (fs *FileSink) files(node int) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(fs.Dir, fmt.Sprintf("ckpt-n%04d-e*.bin", node)))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -510,7 +510,15 @@ func (nd *Node) Barrier(id int) {
 	nd.closeInterval()
 	nd.Stats.Barriers++
 	s := nd.sys
+	if s.rec != nil {
+		// Log before send: the record is durable before the arrival —
+		// the first message derived from this epoch's state — is built.
+		nd.writeRecord()
+	}
 	if s.N() == 1 {
+		if s.rec != nil && nd.faultsNow() {
+			nd.failAndRecover(nil)
+		}
 		nd.consumeWSync()
 		return
 	}
@@ -522,6 +530,9 @@ func (nd *Node) Barrier(id int) {
 		oldBar = append([]int32(nil), nd.lastBar...)
 	}
 	b := s.barrier(id)
+	if s.rec != nil && nd.faultsNow() {
+		nd.failAndRecover(b)
+	}
 	info := nd.syncInfo()
 	arr := wire.Arrival{VC: info.VC, Intervals: nd.intervalsSince(nd.lastBar), Needs: info.Needs}
 	if nd.ad != nil {

@@ -157,7 +157,8 @@ type System struct {
 
 	locks    map[int]*lock
 	barriers map[int]*barrier
-	adaptCfg adapt.Config // detector tuning; meaningful once EnableAdapt ran
+	adaptCfg adapt.Config    // detector tuning; meaningful once EnableAdapt ran
+	rec      *RecoveryConfig // checkpoint/restore; nil unless EnableRecovery ran
 
 	// departScratch backs runBarrier's departure-time table. Barriers are
 	// serialized by the protocol token, so one machine-wide buffer works.
@@ -426,6 +427,15 @@ type Node struct {
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
 	ad       *adaptNode         // adaptive protocol state; nil unless EnableAdapt
 	held     []heldLock         // locks currently held, innermost last
+
+	// Recovery bookkeeping (recovery.go); recTouched is nil unless
+	// EnableRecovery ran. recLast is the vector clock of this node's
+	// previous record (nil before the first), recTouched the pages a
+	// diff was applied to since, recEpoch the record counter.
+	recLast    []int32
+	recTouched map[int]bool
+	recEpoch   int32
+	RecStats   RecoveryStats
 
 	respScratch [1]int        // responderFor's single-responder result slot
 	sortScratch []*storedDiff // applyDiffs' reusable sort buffer

@@ -233,6 +233,49 @@ func (m *Mem) FlushProtBatch(p host.Proc) {
 // SetProtInit changes protection without cost, for pre-run initialization.
 func (m *Mem) SetProtInit(page int, prot Prot) { m.prot[page] = prot }
 
+// WipeForRestore resets the arena to its initial state — all pages
+// zeroed and NoAccess, twins recycled, write extents cleared — without
+// cost or counting, for checkpoint restore. Any protection changes
+// batched but not yet flushed are discarded: the restore supersedes
+// them, and no syscalls were issued for them.
+func (m *Mem) WipeForRestore() {
+	clear(m.data)
+	for pg := range m.prot {
+		m.prot[pg] = NoAccess
+	}
+	for pg, tw := range m.twins {
+		delete(m.twins, pg)
+		m.RecyclePage(tw)
+	}
+	clear(m.extLo)
+	clear(m.extHi)
+	if m.batchDepth > 0 {
+		clear(m.batched)
+	}
+}
+
+// RestorePage installs a checkpointed page image: contents, protection,
+// and — when twin is non-nil — an armed write-detection twin with the
+// given image (the checkpointed twin, not a copy of the contents: the
+// difference between the two is exactly the undiffed writes the next
+// twin comparison must still find). Cost-free and counter-free, like
+// SetProtInit: a restore is recovery work, not protocol work.
+func (m *Mem) RestorePage(page int, vals []float64, prot Prot, twin []float64) {
+	dst := m.PageData(page)
+	copy(dst, vals)
+	m.prot[page] = prot
+	m.DropTwin(page)
+	if twin != nil {
+		tw := m.getPage()
+		copy(tw, twin)
+		m.twins[page] = tw
+	}
+}
+
+// TwinData returns the twin image of page, or nil if the page has none.
+// The slice aliases live twin storage: callers must copy what they keep.
+func (m *Mem) TwinData(page int) []float64 { return m.twins[page] }
+
 // EnsureRead establishes read access to every page overlapping r,
 // delivering faults to the handler as needed. Ensure calls are run-time
 // entry points: they bracket a protocol section for the fault path, so

@@ -47,6 +47,11 @@ func (e *enc) str(s string) {
 	e.b = append(e.b, s...)
 }
 
+func (e *enc) bytes(b []byte) {
+	e.count(len(b))
+	e.b = append(e.b, b...)
+}
+
 func b2u(v bool) byte {
 	if v {
 		return 1
@@ -221,6 +226,14 @@ func (d *dec) str() string {
 	return string(d.take(n))
 }
 
+func (d *dec) bytesv() []byte {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	return append([]byte(nil), d.take(n)...)
+}
+
 // ---- payload codec ----
 
 func (e *enc) payload(p any) error {
@@ -288,6 +301,27 @@ func (e *enc) payload(p any) error {
 		e.u8(pUpdate)
 		e.i32(v.Epoch)
 		e.spans(v.Spans)
+	case Checkpoint:
+		e.u8(pCheckpoint)
+		e.i32(v.Node)
+		e.i32(v.Epoch)
+		e.bool(v.Full)
+		e.i32s(v.VC)
+		e.i32s(v.LastBar)
+		e.intervals(v.Intervals)
+		e.count(len(v.Frames))
+		for _, fr := range v.Frames {
+			e.i32(fr.Page)
+			e.u8(fr.Prot)
+			e.bool(fr.Dirty)
+			e.i32(fr.LastDiffed)
+			e.i32s(fr.Applied)
+			e.f64s(fr.Words)
+			e.f64s(fr.Twin)
+		}
+		e.diffs(v.Diffs)
+		e.i32s(v.Fetched)
+		e.bytes(v.Adapt)
 	default:
 		return fmt.Errorf("wire: unencodable payload type %T", p)
 	}
@@ -394,6 +428,28 @@ func (d *dec) payload() any {
 		return Done{Checksum: d.f64(), Err: d.str()}
 	case pUpdate:
 		return Update{Epoch: d.i32(), Spans: d.spans()}
+	case pCheckpoint:
+		ck := Checkpoint{
+			Node: d.i32(), Epoch: d.i32(), Full: d.bool(),
+			VC: d.i32s(), LastBar: d.i32s(),
+			Intervals: d.intervals(),
+		}
+		n := d.count(12)
+		for i := 0; i < n; i++ {
+			fr := PageFrame{
+				Page: d.i32(), Prot: d.u8(), Dirty: d.bool(),
+				LastDiffed: d.i32(), Applied: d.i32s(), Words: d.f64s(),
+				Twin: d.f64s(),
+			}
+			ck.Frames = append(ck.Frames, fr)
+			if d.err != nil {
+				return ck
+			}
+		}
+		ck.Diffs = d.diffs()
+		ck.Fetched = d.i32s()
+		ck.Adapt = d.bytesv()
+		return ck
 	default:
 		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
 		return nil
@@ -578,7 +634,7 @@ func parseFrameInto(f *Frame, b []byte, ar *decArena) (int, error) {
 		return 0, fmt.Errorf("wire: %d trailing bytes in frame", len(d.b))
 	}
 	switch f.Kind {
-	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone:
+	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone, FCkpt:
 	default:
 		return 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}

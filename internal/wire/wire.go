@@ -36,8 +36,9 @@ import "fmt"
 // page; version 5 added the Floors field on SyncInfo — the acquirer's
 // applied timestamps for the pages its hand-off edge is bound to, which
 // let the releaser trim the piggybacked diff chains to what the acquirer
-// actually lacks.
-const Version = 5
+// actually lacks; version 6 added the FCkpt frame and Checkpoint payload
+// (barrier-epoch recovery records streamed to a SnapshotSink).
+const Version = 6
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -64,6 +65,10 @@ const (
 	// FDone reports a worker's final state (worker → coordinator): Time is
 	// the worker's virtual clock.
 	FDone
+	// FCkpt carries a Checkpoint recovery record (node → SnapshotSink).
+	// Checkpoint frames never travel between peers mid-protocol; they are
+	// streamed to a coordinator or spooled to disk at barrier arrivals.
+	FCkpt
 )
 
 func frameKindName(k byte) string {
@@ -82,6 +87,8 @@ func frameKindName(k byte) string {
 		return "start"
 	case FDone:
 		return "done"
+	case FCkpt:
+		return "ckpt"
 	}
 	return fmt.Sprintf("frame(%d)", k)
 }
@@ -118,6 +125,7 @@ const (
 	pStart
 	pDone
 	pUpdate
+	pCheckpoint
 )
 
 // Run is a contiguous span of modified words within a page, the unit a
@@ -487,4 +495,62 @@ type Start struct {
 type Done struct {
 	Checksum float64
 	Err      string
+}
+
+// PageFrame is one page's recovery image inside a Checkpoint: its
+// contents, protection, dirty flag, the newest own interval its
+// modifications are published through (LastDiffed), and the per-owner
+// applied timestamps the contents reflect. Contents plus applied floor
+// travel together so a restored node can refetch exactly the diff
+// suffix it lacks — the redo argument of DESIGN.md §10.
+type PageFrame struct {
+	Page       int32
+	Prot       uint8 // vm.Prot
+	Dirty      bool
+	LastDiffed int32
+	Applied    []int32
+	Words      []float64
+	// Twin is the write-detection twin image for a dirty page (empty
+	// otherwise). It is checkpointed verbatim: restoring the twin as a
+	// copy of the current contents instead would erase the undiffed
+	// epoch's writes from the next twin comparison.
+	Twin []float64
+}
+
+// Checkpoint is one node's recovery record for one barrier epoch,
+// written at barrier arrival (after the epoch's write interval closed,
+// before the arrival is presented — log-before-send). A Full record
+// carries the node's complete interval log and every resident page
+// frame; an incremental record carries only the intervals learned and
+// the frames touched since the previous record. A node's state at a
+// barrier is reconstructed from its newest full record plus the
+// incremental records after it.
+type Checkpoint struct {
+	Node  int32
+	Epoch int32 // the node's barrier count when the record was written
+	Full  bool
+	// VC and LastBar are the node's vector time and last global barrier
+	// time at the record point.
+	VC      []int32
+	LastBar []int32
+	// Intervals are the write notices learned since the previous record
+	// (all of them for a Full record), per owner in ascending index
+	// order — the restored interval log must be gap-free.
+	Intervals []OwnedInterval
+	// Frames are the page images touched since the previous record
+	// (every resident or ever-owned page for a Full record).
+	Frames []PageFrame
+	// Diffs is the node's cached diff chain for every framed page, in
+	// cache order. The cache must be checkpointed, not resynthesized:
+	// peers direct requests by the node's advertised coverage, and a
+	// whole-page stand-in would overwrite words that concurrent writers
+	// of the same page own (the multiple-writer protocol never ships a
+	// whole page unless the WRITE_ALL exactness contract holds).
+	Diffs []Diff
+	// Fetched is the node's demand-fetch observation set for the ending
+	// epoch and Adapt the serialized pattern detector (adapt.Snapshot),
+	// present only when the adaptive protocol is enabled — the restored
+	// replica must agree with the survivors without negotiation.
+	Fetched []int32
+	Adapt   []byte
 }

@@ -86,6 +86,31 @@ func sampleFrames() []*Frame {
 		{Kind: FStart, To: 3, Payload: Start{App: "jacobi", Set: "small", N: 8, Overhead: 1500, Verify: true}},
 		{Kind: FDone, From: 3, Time: 42424242, Payload: Done{Checksum: 40399.25, Err: ""}},
 		{Kind: FDone, From: 1, Payload: Done{Err: "rank 1 panicked: boom"}},
+		{Kind: FCkpt, From: 2, Tag: 4, Payload: Checkpoint{
+			Node: 2, Epoch: 4, Full: true,
+			VC: []int32{3, 1, 4}, LastBar: []int32{3, 1, 3},
+			Intervals: []OwnedInterval{
+				{Owner: 2, Idx: 4, IV: Interval{Pages: []PageRef{{Page: 5, ExtLo: 0, ExtHi: 512}}, VC: []int32{3, 1, 4}}},
+				{Owner: 0, Idx: 3, IV: Interval{Pages: []PageRef{{Page: 5}, {Page: 6, Whole: true}}, VC: []int32{3, 0, 2}}},
+			},
+			Frames: []PageFrame{
+				{Page: 5, Prot: 2, Dirty: true, LastDiffed: 4, Applied: []int32{3, 0, 4},
+					Words: []float64{1.5, 0, -2}, Twin: []float64{1.5, 0, -3}},
+				{Page: 6, Prot: 0, LastDiffed: 0, Applied: []int32{2, 0, 0}, Words: []float64{7}},
+			},
+			Diffs: []Diff{
+				{Page: 5, Creator: 2, From: 2, To: 4, Covers: []int32{3, 0, 4},
+					Runs: []Run{{Off: 2, Vals: []float64{-2}}}},
+				{Page: 6, Creator: 0, From: 0, To: 2, Whole: true, Covers: []int32{2, 0, 0},
+					Runs: []Run{{Off: 0, Vals: []float64{7}}}},
+			},
+			Fetched: []int32{5, 6},
+			Adapt:   []byte{1, 0, 9, 255},
+		}},
+		{Kind: FCkpt, From: 1, Tag: 5, Payload: Checkpoint{
+			Node: 1, Epoch: 5,
+			VC: []int32{4, 6, 4}, LastBar: []int32{4, 5, 4},
+		}},
 	}
 }
 
