@@ -16,6 +16,7 @@ import (
 	"sdsm/internal/apps"
 	"sdsm/internal/compiler"
 	"sdsm/internal/harness"
+	"sdsm/internal/obs"
 )
 
 func main() {
@@ -47,4 +48,12 @@ func main() {
 	if len(rep.Validates)+len(rep.WSyncs)+len(rep.Pushes) == 0 {
 		fmt.Println("(no run-time calls inserted)")
 	}
+	// Summary footer in the unified metrics vocabulary (zero counters are
+	// omitted, matching the run-time snapshot's convention).
+	s := obs.NewSnapshot()
+	s.Set("compile.validates", int64(len(rep.Validates)))
+	s.Set("compile.wsyncs", int64(len(rep.WSyncs)))
+	s.Set("compile.pushes", int64(len(rep.Pushes)))
+	s.Set("compile.pushes.rejected", int64(len(rep.Skipped)))
+	fmt.Printf("\nsummary:\n%s", obs.FormatSnapshot(s, "  "))
 }

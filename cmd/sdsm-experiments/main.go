@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
+	"sdsm/internal/apps"
 	"sdsm/internal/harness"
 	"sdsm/internal/mpnet"
 )
@@ -39,6 +41,7 @@ func main() {
 		fig7      = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
 		adaptT    = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
 		micro     = flag.Bool("micro", false, "Section 5 primitive costs")
+		trOvh     = flag.Bool("trace-overhead", false, "run jacobi/large traced and untraced; verify virtual times are identical and report the wall cost of tracing")
 		bench     = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
 		benchCmp  = flag.String("bench-compare", "", "compare a baseline BENCH json (this flag) against a new one (next argument): usage `-bench-compare old.json new.json`; exits 1 on a tracked regression beyond the per-metric tolerances")
 		benchTol  = flag.Float64("bench-tolerance", harness.DefaultBenchTolerancePct, "allowed virtual-time regression percentage for -bench-compare")
@@ -64,7 +67,7 @@ func main() {
 		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
 			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
-	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *bench != "" || *benchCmp != "") {
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *trOvh || *bench != "" || *benchCmp != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -117,6 +120,46 @@ func main() {
 		}
 	}
 
+	if *trOvh {
+		// The observability contract made measurable: tracing must not
+		// perturb the simulation. Both runs execute jacobi/large on the sim
+		// backend; their virtual times must match to the nanosecond, and
+		// the wall-clock delta is the entire cost of recording the trace.
+		a, err := apps.ByName("jacobi")
+		if err != nil {
+			fail(err)
+		}
+		cfg := harness.Config{App: a, Set: harness.Large, System: harness.Base, Procs: *procs}
+		w0 := time.Now()
+		plain, err := harness.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
+		plainWall := time.Since(w0)
+		cfg.Trace = true
+		w1 := time.Now()
+		traced, err := harness.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tracedWall := time.Since(w1)
+		events, dropped := 0, int64(0)
+		for _, nt := range traced.Trace.Nodes {
+			events += nt.Len()
+			dropped += nt.Dropped()
+		}
+		fmt.Printf("tracing overhead (%s, %s set, %d processors, sim backend)\n", a.Name, harness.Large, *procs)
+		fmt.Printf("  virtual time untraced:  %v\n", plain.Time)
+		fmt.Printf("  virtual time traced:    %v\n", traced.Time)
+		fmt.Printf("  events recorded:        %d (%d dropped)\n", events, dropped)
+		fmt.Printf("  wall untraced / traced: %v / %v\n", plainWall.Round(time.Millisecond), tracedWall.Round(time.Millisecond))
+		if plain.Time != traced.Time {
+			fmt.Fprintln(os.Stderr, "sdsm-experiments: VIRTUAL TIME PERTURBED — tracing leaked into the cost model")
+			os.Exit(1)
+		}
+		fmt.Println("  virtual times identical: tracing is invisible to the cost model")
+		fmt.Println()
+	}
 	if *all || *micro {
 		m, err := harness.Micro()
 		if err != nil {

@@ -26,11 +26,15 @@ func main() {
 		network = flag.String("network", "unix", "coordinator socket network: unix, tcp")
 		addr    = flag.String("addr", "", "coordinator socket address")
 		rank    = flag.Int("rank", -1, "this worker's rank")
+		metrics = flag.String("metrics", "", "serve metrics snapshots on this address (e.g. 127.0.0.1:0; sets "+mpnet.MetricsEnv+")")
 	)
 	flag.Parse()
 	if *addr == "" || *rank < 0 {
 		fmt.Fprintln(os.Stderr, "sdsm-node: -addr and -rank are required (or spawn via the coordinator)")
 		os.Exit(2)
+	}
+	if *metrics != "" {
+		os.Setenv(mpnet.MetricsEnv, *metrics)
 	}
 	if err := mpnet.RunWorker(*network, *addr, *rank); err != nil {
 		fmt.Fprintf(os.Stderr, "sdsm-node: rank %d: %v\n", *rank, err)

@@ -26,6 +26,7 @@ import (
 	"sdsm/internal/harness"
 	"sdsm/internal/model"
 	"sdsm/internal/mpnet"
+	"sdsm/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func main() {
 		failAt  = flag.Int("fail-rank", -1, "inject a failure: kill this rank (-1 = no fault; implies -recover)")
 		failEp  = flag.Int("fail-epoch", 1, "barrier epoch at which -fail-rank dies (DSM systems)")
 		failAfr = flag.Int("fail-after", 0, "routed-frame count after which -fail-rank's process is killed (pvme/xhpf on -backend net)")
+		trace   = flag.Bool("trace", false, "record a protocol event trace and the full metrics registry (tmk/opt-tmk)")
+		trOut   = flag.String("trace-out", "", "write the trace as Chrome trace-event JSON, loadable in Perfetto (implies -trace)")
+		trCap   = flag.Int("trace-cap", 0, "per-node trace ring capacity in events (0 = default; oldest events drop on overflow)")
 	)
 	flag.Parse()
 	harness.NodeBin = *nodeBin
@@ -69,6 +73,7 @@ func main() {
 		Backend: harness.Backend(*backend),
 		Adapt:   *adaptOn, AdaptK: *adaptK, AdaptM: *adaptM,
 		Recover: *recov, CheckpointEvery: *ckEvery, CheckpointDir: *ckDir,
+		Trace: *trace || *trOut != "", TraceCap: *trCap,
 	}
 	if *failAt >= 0 {
 		cfg.Fault = &harness.FaultPlan{Rank: *failAt, Epoch: *failEp, AfterFrames: *failAfr}
@@ -96,32 +101,28 @@ func main() {
 	}
 	fmt.Printf("system:        %s on %d processors (%s backend)\n", *system, *procs, shownBackend)
 	fmt.Printf("time:          %v (uniprocessor %v, speedup %.2f)\n", res.Time, uni, harness.Speedup(uni, res.Time))
-	fmt.Printf("messages:      %d (%.2f MB)\n", res.Msgs, float64(res.Bytes)/1e6)
-	if harness.SystemKind(*system) == harness.Base || harness.SystemKind(*system) == harness.Opt {
-		fmt.Printf("page faults:   %d\n", res.Segv)
-		fmt.Printf("protection:    %d ops, %d twins, %d diffs created\n", res.VM.ProtOps, res.VM.Twins, res.VM.Diffs)
-		fmt.Printf("protocol:      %d lock acquires, %d barriers, %d validates, %d pushes\n",
-			res.Protocol.LockAcquires, res.Protocol.Barriers, res.Protocol.Validates, res.Protocol.Pushes)
-		fmt.Printf("diff traffic:  %d fetch exchanges, %d diffs applied\n",
-			res.Protocol.DiffFetches, res.Protocol.DiffsApplied)
-		fmt.Printf("lock faults:   %d\n", res.Protocol.LockFetches)
-		if *adaptOn {
-			fmt.Printf("adaptive:      %d promotions (%d section joins), %d sub-page splits, %d decays, %d updates sent, %d spans, %d page pushes\n",
-				res.Protocol.AdaptPromotions, res.Protocol.AdaptJoins,
-				res.Protocol.AdaptSplits, res.Protocol.AdaptDecays,
-				res.Protocol.AdaptUpdates, res.Protocol.AdaptSpans,
-				res.Protocol.AdaptPagesPushed)
-			fmt.Printf("lock adaptive: %d edge promotions, %d decays, %d piggybacked grants, %d pages, %d probes, %d stale drops\n",
-				res.Protocol.AdaptLockPromotions, res.Protocol.AdaptLockDecays,
-				res.Protocol.AdaptLockGrants, res.Protocol.AdaptLockPagesPush,
-				res.Protocol.AdaptLockProbes, res.Protocol.AdaptLockStaleDrops)
+	// One unified metrics dump replaces the former per-subsystem stat
+	// lines: every counter of the run — traffic, vm, protocol, adaptive,
+	// recovery, and (when traced) the registry's histograms and backend
+	// counters — through a single formatter. Zero counters are omitted,
+	// so the adaptive and recovery sections appear only when armed.
+	fmt.Printf("metrics:\n%s", obs.FormatSnapshot(harness.Snapshot(res), "  "))
+	if *trOut != "" {
+		f, err := os.Create(*trOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdsm-run:", err)
+			os.Exit(1)
 		}
-	}
-	if cfg.Recover || cfg.Fault != nil {
-		fmt.Printf("recovery:      %d checkpoints (%d full, %.2f MB), %d failures, %d restores\n",
-			res.Recovery.Checkpoints, res.Recovery.FullCheckpoints,
-			float64(res.Recovery.CheckpointBytes)/1e6,
-			res.Recovery.Failures, res.Recovery.Restores)
+		if err := obs.WriteTrace(f, res.Trace); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsm-run: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:         %s\n", *trOut)
 	}
 	if *verify {
 		want := harness.SeqChecksum(a, ds)

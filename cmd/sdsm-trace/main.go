@@ -1,0 +1,42 @@
+// Command sdsm-trace analyzes a protocol event trace exported by
+// sdsm-run -trace-out (or the harness): Chrome trace-event JSON as
+// loaded by Perfetto. It prints four reports — the per-epoch critical
+// path (which node the barrier waited on, and where that node's time
+// went), the top pages by fault count, false-sharing suspects
+// (multi-writer pages whose write extents are disjoint), and the
+// lock-contention table:
+//
+//	sdsm-run -app jacobi -trace-out trace.json
+//	sdsm-trace trace.json
+//	sdsm-trace -top 20 trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdsm/internal/obs"
+)
+
+func main() {
+	var (
+		topN = flag.Int("top", 10, "rows in the top-pages report")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdsm-trace [-top N] <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsm-trace:", err)
+		os.Exit(1)
+	}
+	out, err := obs.Analyze(data, *topN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsm-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -173,6 +173,26 @@ type Stats struct {
 	Decays       int64 // bound pages switched back to invalidate
 }
 
+// TransKind identifies one detector transition in the per-epoch log.
+type TransKind uint8
+
+const (
+	// TransPromote: invalidate → update after the full K-cycle warm-up.
+	TransPromote TransKind = iota
+	// TransSplit: invalidate → sub-page split binding.
+	TransSplit
+	// TransJoin: invalidate → update by joining an adjacent bound section.
+	TransJoin
+	// TransDecay: any binding → invalidate.
+	TransDecay
+)
+
+// Transition is one entry of the per-epoch transition log.
+type Transition struct {
+	Page int
+	Kind TransKind
+}
+
 // Detector is the replicated pattern detector for one DSM machine. All
 // nodes construct it with the same Config and feed it the same Epochs, so
 // its bindings are identical everywhere.
@@ -180,6 +200,13 @@ type Detector struct {
 	cfg   Config
 	pages map[int]*pattern
 	Stats Stats
+
+	// LogTrans enables the per-epoch transition log (observability only —
+	// off by default so an untraced run performs no extra work). When set,
+	// Trans holds the transitions of the most recent Advance, in the
+	// deterministic page-visit order.
+	LogTrans bool
+	Trans    []Transition
 }
 
 // New creates a detector.
@@ -194,6 +221,7 @@ func New(cfg Config) *Detector {
 // — required for replica determinism, because the section-join rule reads
 // neighbor pages' states mid-transition.
 func (d *Detector) Advance(ep Epoch) {
+	d.Trans = d.Trans[:0]
 	for _, pg := range sortedKeys(ep.Readers) {
 		p := d.page(pg)
 		for _, r := range ep.Readers[pg] {
@@ -211,7 +239,7 @@ func (d *Detector) Advance(ep Epoch) {
 		default:
 			// Three or more writers, or two with overlapping or unknown
 			// extents: a genuine conflict no binding shape can serve.
-			d.reset(p)
+			d.reset(pg, p)
 		}
 	}
 }
@@ -226,7 +254,7 @@ func (d *Detector) single(pg int, p *pattern, w WriteExt) {
 			d.extend(p)
 			return
 		}
-		d.reset(p) // an outside writer took the page
+		d.reset(pg, p) // an outside writer took the page
 		p.producer = w.Node
 		return
 	}
@@ -242,7 +270,7 @@ func (d *Detector) single(pg int, p *pattern, w WriteExt) {
 		// The producer changed hands: the pattern is broken. Restart
 		// tracking from this epoch's writer, discarding the in-flight
 		// cycle's reads.
-		d.reset(p)
+		d.reset(pg, p)
 		p.producer = w.Node
 		return
 	}
@@ -277,6 +305,7 @@ func (d *Detector) single(pg int, p *pattern, w WriteExt) {
 		p.mode = Update
 		p.bound = append([]int(nil), p.consumers...)
 		d.Stats.Promotions++
+		d.logTrans(pg, TransPromote)
 		return
 	}
 	// Section join: the page's pattern matches an adjacent page that is
@@ -292,6 +321,7 @@ func (d *Detector) single(pg int, p *pattern, w WriteExt) {
 			p.bound = append([]int(nil), cycle...)
 			d.Stats.Promotions++
 			d.Stats.SectionJoins++
+			d.logTrans(pg, TransJoin)
 			return
 		}
 	}
@@ -313,6 +343,7 @@ func (d *Detector) pair(pg int, p *pattern, writers []WriteExt) {
 		// A second writer broke a whole-page binding. Decay it, then give
 		// the pair shape its chance below.
 		d.Stats.Decays++
+		d.logTrans(pg, TransDecay)
 		p.mode = Invalidate
 		p.bound = nil
 	}
@@ -322,7 +353,7 @@ func (d *Detector) pair(pg int, p *pattern, writers []WriteExt) {
 			d.extend(p)
 			return
 		}
-		d.reset(p) // different pair, or the watershed moved across a write
+		d.reset(pg, p) // different pair, or the watershed moved across a write
 	}
 	if p.producer >= 0 {
 		// A single-producer pattern was in progress: its in-flight reads
@@ -353,6 +384,7 @@ func (d *Detector) pair(pg int, p *pattern, writers []WriteExt) {
 		p.mode = Split
 		p.bound = append([]int(nil), p.pairCons...)
 		d.Stats.Splits++
+		d.logTrans(pg, TransSplit)
 	}
 }
 
@@ -366,10 +398,18 @@ func (d *Detector) extend(p *pattern) {
 	}
 }
 
+// logTrans appends to the per-epoch transition log when it is enabled.
+func (d *Detector) logTrans(pg int, k TransKind) {
+	if d.LogTrans {
+		d.Trans = append(d.Trans, Transition{Page: pg, Kind: k})
+	}
+}
+
 // reset decays any binding and restarts all hysteresis for a page.
-func (d *Detector) reset(p *pattern) {
+func (d *Detector) reset(pg int, p *pattern) {
 	if p.mode != Invalidate {
 		d.Stats.Decays++
+		d.logTrans(pg, TransDecay)
 	}
 	p.mode = Invalidate
 	p.bound = nil

@@ -77,6 +77,13 @@ func benchConfigs(procs int) []Config {
 	if a, err := apps.ByName("jacobi"); err == nil {
 		cfgs = append(cfgs, Config{App: a, Set: Large, System: Base, Procs: procs, Recover: true})
 	}
+	// Tracing-overhead pin (DESIGN.md §11): jacobi/large with the protocol
+	// event trace armed, under the "tmk-trace" label. Like checkpointing,
+	// tracing is outside the cost model — virtual time must stay identical
+	// to the plain run — so the gate pins its allocation and wall cost.
+	if a, err := apps.ByName("jacobi"); err == nil {
+		cfgs = append(cfgs, Config{App: a, Set: Large, System: Base, Procs: procs, Trace: true})
+	}
 	return cfgs
 }
 
@@ -111,6 +118,9 @@ func Bench(procs, workers int) (*BenchReport, error) {
 			// Distinct label: the gate must compare the recovery-armed run
 			// against its own baseline, not the plain one.
 			sys += "-ckpt"
+		}
+		if cfg.Trace {
+			sys += "-trace"
 		}
 		entries[i] = BenchEntry{
 			App: cfg.App.Name, Set: string(cfg.Set), System: sys,

@@ -19,6 +19,7 @@ import (
 	"sdsm/internal/model"
 	"sdsm/internal/mp"
 	"sdsm/internal/mpnet"
+	"sdsm/internal/obs"
 	"sdsm/internal/rsd"
 	"sdsm/internal/shm"
 	"sdsm/internal/sim"
@@ -111,6 +112,20 @@ type Config struct {
 	// backend, rank Rank's process is killed after AfterFrames frames and
 	// the coordinator respawns and replays it (internal/mpnet).
 	Fault *FaultPlan
+	// Trace arms the observability layer (internal/obs) for DSM runs:
+	// every node records protocol events into a fixed ring, the unified
+	// metrics registry collects counters and histograms, and the backend
+	// hosts register their own counters. The machine is returned in
+	// Result.Trace for export (obs.WriteTrace) and snapshotting. On the
+	// sim backend the trace carries the virtual timeline and is
+	// deterministic; on real/net it carries wall clocks. Off by default:
+	// with Trace unset, no tracer exists and every emit site is a nil
+	// check (the golden tables and the alloc gate pin this).
+	Trace bool
+	// TraceCap overrides the per-node event ring capacity (0 =
+	// obs.DefaultRingCap). Older events beyond the capacity are dropped
+	// oldest-first and counted.
+	TraceCap int
 }
 
 // FaultPlan describes one injected failure (see Config.Fault).
@@ -133,6 +148,9 @@ type Result struct {
 	// Recovery sums every node's checkpoint/restore counters; zero value
 	// unless the run had Recover set.
 	Recovery tmk.RecoveryStats
+	// Trace is the observability machine of a Config.Trace run (nil
+	// otherwise): per-node event rings plus the unified metrics registry.
+	Trace *obs.Machine
 }
 
 // Run executes one configuration.
@@ -182,11 +200,21 @@ func runDSM(cfg Config) (*Result, error) {
 	}
 
 	layout := compiler.BuildLayout(prog, params)
+	var m *obs.Machine
+	if cfg.Trace {
+		// Virtual timeline on sim (deterministic, WT pinned to zero), wall
+		// clocks on the concurrent backends.
+		m = obs.NewMachine(cfg.Procs, cfg.TraceCap, cfg.Backend != BackendSim)
+	}
 	var h host.Host
 	var nw host.Transport
 	switch cfg.Backend {
 	case BackendReal:
-		h = host.NewReal(cfg.Procs)
+		r := host.NewReal(cfg.Procs)
+		if m != nil {
+			r.EnableObs(m.Reg)
+		}
+		h = r
 		nw = cluster.New(h, cfg.Costs)
 	case BackendNet:
 		n, err := host.NewNet(cfg.Procs, cfg.Costs)
@@ -194,9 +222,16 @@ func runDSM(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("harness: net backend: %w", err)
 		}
 		defer n.Close()
+		if m != nil {
+			n.EnableObs(m.Reg)
+		}
 		h, nw = n, n
 	default:
-		h = sim.NewEngine(cfg.Procs)
+		e := sim.NewEngine(cfg.Procs)
+		if m != nil {
+			e.EnableObs(m.Reg)
+		}
+		h = e
 		nw = cluster.New(h, cfg.Costs)
 	}
 	sys := tmk.New(h, nw, layout)
@@ -215,6 +250,9 @@ func runDSM(cfg Config) (*Result, error) {
 		if n, ok := nw.(*host.Net); ok {
 			n.EnableRecovery()
 		}
+	}
+	if m != nil {
+		sys.EnableTrace(m)
 	}
 
 	var checksum float64
@@ -259,6 +297,7 @@ func runDSM(cfg Config) (*Result, error) {
 		VM:       vmc,
 		Report:   rep,
 		Recovery: rs,
+		Trace:    m,
 	}, nil
 }
 
@@ -271,6 +310,10 @@ var NodeBin = ""
 func runMP(cfg Config, overhead time.Duration) (*Result, error) {
 	if cfg.App.MP == nil {
 		return nil, fmt.Errorf("harness: %s has no message-passing implementation", cfg.App.Name)
+	}
+	if cfg.Trace {
+		return nil, fmt.Errorf("harness: tracing instruments the DSM protocol; %s has no event trace (worker processes expose a metrics endpoint via %s instead)",
+			cfg.System, mpnet.MetricsEnv)
 	}
 	if cfg.Backend == BackendNet {
 		opts := mpnet.Options{

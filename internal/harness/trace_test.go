@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/obs"
+)
+
+// traceConfig is the pinned tracing configuration: small jacobi with a
+// deliberately tiny ring so the export exercises the wraparound path
+// (oldest events dropped) and the golden file stays reviewable.
+func traceConfig(t *testing.T) Config {
+	t.Helper()
+	a, err := apps.ByName("jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{App: a, Set: Small, System: Base, Procs: 4, Trace: true, TraceCap: 160}
+}
+
+func traceJSON(t *testing.T, cfg Config) (*Result, []byte) {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestTraceDeterministic runs the same traced sim configuration twice and
+// requires byte-identical Perfetto JSON — the trace inherits the sim
+// backend's determinism (virtual clocks, FIFO serve order, per-pair flow
+// sequence counters), so any divergence means nondeterminism leaked into
+// the event stream or the export. The output is additionally pinned
+// against a checked-in golden; regenerate with
+//
+//	go test ./internal/harness -run TestTraceDeterministic -update
+func TestTraceDeterministic(t *testing.T) {
+	cfg := traceConfig(t)
+	_, first := traceJSON(t, cfg)
+	_, second := traceJSON(t, cfg)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two traced runs produced different JSON (%d vs %d bytes)", len(first), len(second))
+	}
+	path := filepath.Join("testdata", "trace_jacobi_small.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing trace golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("trace JSON differs from %s byte-for-byte (%d vs %d bytes)", path, len(first), len(want))
+	}
+}
+
+// TestTraceInvisible pins the zero-cost-when-on half of the observability
+// contract on the sim backend: arming the tracer must not move a single
+// protocol-visible number. Every deterministic Result field — virtual
+// time, traffic, vm counters, the full protocol stat block — must be
+// identical between a traced and an untraced run of the same
+// configuration.
+func TestTraceInvisible(t *testing.T) {
+	cfg := traceConfig(t)
+	plainCfg := cfg
+	plainCfg.Trace, plainCfg.TraceCap = false, 0
+	plain, err := Run(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != traced.Time {
+		t.Errorf("virtual time perturbed: untraced %v, traced %v", plain.Time, traced.Time)
+	}
+	if plain.Msgs != traced.Msgs || plain.Bytes != traced.Bytes {
+		t.Errorf("traffic perturbed: untraced %d msgs/%d bytes, traced %d/%d",
+			plain.Msgs, plain.Bytes, traced.Msgs, traced.Bytes)
+	}
+	if plain.VM != traced.VM {
+		t.Errorf("vm counters perturbed:\nuntraced %+v\ntraced   %+v", plain.VM, traced.VM)
+	}
+	if plain.Protocol != traced.Protocol {
+		t.Errorf("protocol stats perturbed:\nuntraced %+v\ntraced   %+v", plain.Protocol, traced.Protocol)
+	}
+	if plain.Checksum != traced.Checksum {
+		t.Errorf("checksum perturbed: untraced %v, traced %v", plain.Checksum, traced.Checksum)
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced run returned no trace machine")
+	}
+	events := 0
+	for _, nt := range traced.Trace.Nodes {
+		events += nt.Len()
+	}
+	if events == 0 {
+		t.Error("traced run recorded no events")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"sdsm/internal/obs"
 	"sdsm/internal/wire"
 )
 
@@ -53,6 +54,19 @@ type FrameQueue struct {
 	dropped  int // frames recycled unwritten after err latched
 	closed   bool
 	done     chan struct{}
+
+	// frames/flushes, when non-nil, count written frames and coalesced
+	// flushes for the observability layer (SetObs). Nil when tracing is
+	// off: the writer loop then performs no extra work.
+	frames  *obs.Counter
+	flushes *obs.Counter
+}
+
+// SetObs attaches frame/flush counters (observability only).
+func (fq *FrameQueue) SetObs(frames, flushes *obs.Counter) {
+	fq.mu.Lock()
+	fq.frames, fq.flushes = frames, flushes
+	fq.mu.Unlock()
 }
 
 // errQueueClosed is returned by Enqueue after Close.
@@ -143,6 +157,10 @@ func (fq *FrameQueue) writerLoop() {
 		}
 		batch, fq.q = fq.q, batch[:0]
 		fq.inflight = len(batch)
+		if fq.frames != nil {
+			fq.frames.Add(int64(len(batch)))
+			fq.flushes.Inc()
+		}
 		fq.mu.Unlock()
 
 		lost := len(batch) // frames not (fully) written this round

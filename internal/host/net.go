@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sdsm/internal/model"
+	"sdsm/internal/obs"
 	"sdsm/internal/wire"
 )
 
@@ -86,6 +87,12 @@ type Net struct {
 	recMu     sync.Mutex
 	detaching []bool
 	reacc     chan reConn
+
+	// Observability counters (EnableObs); all nil on untraced runs.
+	obsFrames   *obs.Counter
+	obsFlushes  *obs.Counter
+	obsPeerDown *obs.Counter
+	obsReattach *obs.Counter
 
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -387,7 +394,27 @@ func (nw *Net) linkDown(node int, err error) {
 	if nw.closing() || nw.isDetaching(node) {
 		return
 	}
+	if nw.obsPeerDown != nil {
+		nw.obsPeerDown.Inc()
+	}
 	nw.fail(fmt.Errorf("host: node %d link lost: %v", node, err))
+}
+
+// EnableObs registers the wire path's counters — frames written, coalesced
+// flushes, unexpected link losses, recovery reattaches — plus the embedded
+// Real host's contention counter. Observability only; never called on
+// untraced runs, so the wire path stays allocation- and work-identical
+// with tracing off.
+func (nw *Net) EnableObs(reg *obs.Registry) {
+	nw.Real.EnableObs(reg)
+	nw.obsFrames = reg.Counter("net.frames")
+	nw.obsFlushes = reg.Counter("net.flushes")
+	nw.obsPeerDown = reg.Counter("net.peer.down")
+	nw.obsReattach = reg.Counter("net.peer.reattach")
+	for i := range nw.outq {
+		nw.outq[i].SetObs(nw.obsFrames, nw.obsFlushes)
+		nw.swq[i].SetObs(nw.obsFrames, nw.obsFlushes)
+	}
 }
 
 // isDetaching reports whether node's links are being dropped on purpose.
@@ -895,6 +922,11 @@ func (nw *Net) Reattach(i int) error {
 	nw.conns[i], nw.sconns[i] = c, sc
 	nw.outq[i] = NewFrameQueue(c, func(err error) { nw.linkDown(i, err) })
 	nw.swq[i] = NewFrameQueue(sc, func(err error) { nw.linkDown(i, err) })
+	if nw.obsFrames != nil {
+		nw.outq[i].SetObs(nw.obsFrames, nw.obsFlushes)
+		nw.swq[i].SetObs(nw.obsFrames, nw.obsFlushes)
+		nw.obsReattach.Inc()
+	}
 	nw.recMu.Lock()
 	nw.detaching[i] = false
 	nw.recMu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sdsm/internal/obs"
 )
 
 // Real is the real-concurrency host: each processor is a goroutine, and
@@ -23,10 +25,21 @@ type Real struct {
 	mu    sync.Mutex // the protocol-section token
 	procs []*RealProc
 
+	// sections, when non-nil, counts protocol-section token acquisitions
+	// (Begin plus every Block reacquire) for the observability layer. Nil
+	// means tracing is off and the fast path is a single pointer test.
+	sections *obs.Counter
+
 	abort     chan struct{} // closed on first panic, unwinds blocked procs
 	abortOnce sync.Once
 	errMu     sync.Mutex
 	err       error
+}
+
+// EnableObs registers the host's contention counter with the unified
+// metrics registry. Observability only; never called on untraced runs.
+func (h *Real) EnableObs(reg *obs.Registry) {
+	h.sections = reg.Counter("host.token.acquires")
 }
 
 // errAborted unwinds processors blocked after another processor failed.
@@ -171,6 +184,9 @@ func (p *RealProc) Block(reason string) {
 	}
 	p.h.mu.Lock()
 	p.inSection = true
+	if p.h.sections != nil {
+		p.h.sections.Inc()
+	}
 }
 
 // Wake makes a blocked processor runnable. The protocol only wakes
@@ -189,6 +205,9 @@ func (p *RealProc) Wake(q Proc, at time.Duration) {
 func (p *RealProc) Begin() {
 	p.h.mu.Lock()
 	p.inSection = true
+	if p.h.sections != nil {
+		p.h.sections.Inc()
+	}
 	select {
 	case <-p.h.abort:
 		p.inSection = false

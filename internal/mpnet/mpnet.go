@@ -55,6 +55,7 @@ import (
 	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/mp"
+	"sdsm/internal/obs"
 	"sdsm/internal/wire"
 )
 
@@ -558,6 +559,15 @@ func RunWorker(network, addr string, rank int) error {
 	params := prog.Prepare(app.Sets[set], n)
 
 	w := newWorkerWorld(conn, rank, n, model.SP2())
+	if spec := os.Getenv(MetricsEnv); spec != "" {
+		reg := obs.NewRegistry()
+		w.tr.EnableObs(reg)
+		closer, err := serveMetrics(spec, rank, reg)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		defer closer.Close()
+	}
 	var sum float64
 	var runErr error
 	func() {

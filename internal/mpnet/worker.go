@@ -9,6 +9,7 @@ import (
 	"sdsm/internal/host"
 	"sdsm/internal/model"
 	"sdsm/internal/mp"
+	"sdsm/internal/obs"
 	"sdsm/internal/wire"
 )
 
@@ -118,6 +119,14 @@ type workerTransport struct {
 	wqueue  [][]byte
 	pending int
 	werr    error
+
+	// Observability counters (EnableObs in metrics.go); all nil on
+	// untraced workers.
+	obsSent      *obs.Counter
+	obsSentBytes *obs.Counter
+	obsRecv      *obs.Counter
+	obsRecvBytes *obs.Counter
+	obsFlushes   *obs.Counter
 }
 
 func newWorkerTransport(conn net.Conn, costs model.Costs, rank, n int) *workerTransport {
@@ -143,6 +152,9 @@ func (t *workerTransport) writerLoop() {
 			t.wcond.Wait()
 		}
 		batch, t.wqueue = t.wqueue, batch[:0]
+		if t.obsFlushes != nil {
+			t.obsFlushes.Inc()
+		}
 		t.wmu.Unlock()
 
 		// WriteTo consumes its receiver in place on partial writes, so it
@@ -171,6 +183,10 @@ func (t *workerTransport) writerLoop() {
 
 // enqueue hands an encoded frame to the writer goroutine.
 func (t *workerTransport) enqueue(raw []byte) {
+	if t.obsSent != nil {
+		t.obsSent.Inc()
+		t.obsSentBytes.Add(int64(len(raw)))
+	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	if t.werr != nil {
@@ -282,6 +298,10 @@ func (t *workerTransport) Recv(p host.Proc, from int, tag host.Tag) host.Msg {
 		}
 		if f.Kind != wire.FMsg {
 			panic(fmt.Sprintf("mpnet: rank %d received unexpected frame kind %d", t.rank, f.Kind))
+		}
+		if t.obsRecv != nil {
+			t.obsRecv.Inc()
+			t.obsRecvBytes.Add(int64(f.Bytes))
 		}
 		payload := f.Payload
 		if fs, ok := payload.(wire.Float64s); ok {

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace analyzer: reads a Chrome trace-event JSON produced by WriteTrace
+// and derives the reports the sdsm-trace command prints — per-epoch
+// critical path, top-N pages by faults, false-sharing suspects, and a
+// lock-contention table. It works from the exported JSON (not the in-memory
+// rings) so it can run on artifacts from other machines and CI runs.
+
+type rawEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type rawTrace struct {
+	TraceEvents []rawEvent             `json:"traceEvents"`
+	OtherData   map[string]interface{} `json:"otherData"`
+}
+
+func argInt(e rawEvent, key string) int {
+	if v, ok := e.Args[key].(float64); ok {
+		return int(v)
+	}
+	return 0
+}
+
+// Analyze parses trace JSON and renders the full text report. topN bounds
+// the pages-by-faults table.
+func Analyze(data []byte, topN int) (string, error) {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return "", fmt.Errorf("obs: parse trace: %w", err)
+	}
+	if topN <= 0 {
+		topN = 10
+	}
+	var b strings.Builder
+	if t, ok := tr.OtherData["timeline"].(string); ok {
+		fmt.Fprintf(&b, "timeline: %s\n", t)
+	}
+	criticalPath(&b, tr.TraceEvents)
+	topPages(&b, tr.TraceEvents, topN)
+	falseSharing(&b, tr.TraceEvents)
+	lockContention(&b, tr.TraceEvents)
+	return b.String(), nil
+}
+
+// criticalPath reports, for every barrier epoch, the last-arriving node
+// (the epoch's critical path runs through it), the arrival spread, the
+// maximum wait, and what the critical node spent its pre-arrival window on
+// (fault service and lock waiting), read off its slices.
+func criticalPath(b *strings.Builder, evs []rawEvent) {
+	type arr struct {
+		tid int
+		ts  float64 // arrive
+		dur float64 // wait
+	}
+	byEpoch := map[int][]arr{}
+	prevDepart := map[int]map[int]float64{} // epoch → tid → depart ts
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == "barrier" {
+			ep := argInt(e, "epoch")
+			byEpoch[ep] = append(byEpoch[ep], arr{e.Tid, e.Ts, e.Dur})
+			if prevDepart[ep] == nil {
+				prevDepart[ep] = map[int]float64{}
+			}
+			prevDepart[ep][e.Tid] = e.Ts + e.Dur
+		}
+	}
+	if len(byEpoch) == 0 {
+		fmt.Fprintf(b, "\ncritical path: no barrier epochs in trace\n")
+		return
+	}
+	epochs := make([]int, 0, len(byEpoch))
+	for ep := range byEpoch {
+		epochs = append(epochs, ep)
+	}
+	sort.Ints(epochs)
+	fmt.Fprintf(b, "\ncritical path (per barrier epoch):\n")
+	fmt.Fprintf(b, "  %-6s %-5s %12s %12s %12s %12s %7s\n",
+		"epoch", "crit", "wait-us", "spread-us", "fault-us", "lockwait-us", "serves")
+	for _, ep := range epochs {
+		as := byEpoch[ep]
+		sort.Slice(as, func(i, j int) bool { return as[i].tid < as[j].tid })
+		crit, minTs, maxTs := as[0], as[0].ts, as[0].ts
+		for _, a := range as[1:] {
+			if a.ts > maxTs {
+				maxTs = a.ts
+				crit = a
+			}
+			if a.ts < minTs {
+				minTs = a.ts
+			}
+		}
+		// The critical node's window: from its previous-epoch departure (or
+		// trace start) to this arrival. Sum what it did there.
+		wstart := 0.0
+		if d, ok := prevDepart[ep-1][crit.tid]; ok {
+			wstart = d
+		}
+		var faultUS, lockUS float64
+		serves := 0
+		for _, e := range evs {
+			if e.Tid != crit.tid || e.Ph != "X" || e.Ts < wstart || e.Ts >= crit.ts {
+				continue
+			}
+			switch e.Name {
+			case "fault":
+				faultUS += e.Dur
+			case "lock wait":
+				lockUS += e.Dur
+			case "serve":
+				serves++
+			}
+		}
+		fmt.Fprintf(b, "  %-6d %-5d %12.3f %12.3f %12.3f %12.3f %7d\n",
+			ep, crit.tid, crit.dur, maxTs-minTs, faultUS, lockUS, serves)
+	}
+}
+
+// topPages reports the pages with the most fault slices and their total
+// service time.
+func topPages(b *strings.Builder, evs []rawEvent, topN int) {
+	type pstat struct {
+		page   int
+		faults int
+		us     float64
+	}
+	m := map[int]*pstat{}
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == "fault" {
+			p := argInt(e, "page")
+			s := m[p]
+			if s == nil {
+				s = &pstat{page: p}
+				m[p] = s
+			}
+			s.faults++
+			s.us += e.Dur
+		}
+	}
+	fmt.Fprintf(b, "\ntop pages by faults:\n")
+	if len(m) == 0 {
+		fmt.Fprintf(b, "  (no fault events in trace)\n")
+		return
+	}
+	ps := make([]*pstat, 0, len(m))
+	for _, s := range m {
+		ps = append(ps, s)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].faults != ps[j].faults {
+			return ps[i].faults > ps[j].faults
+		}
+		return ps[i].page < ps[j].page
+	})
+	if len(ps) > topN {
+		ps = ps[:topN]
+	}
+	fmt.Fprintf(b, "  %-8s %8s %14s\n", "page", "faults", "service-us")
+	for _, s := range ps {
+		fmt.Fprintf(b, "  %-8d %8d %14.3f\n", s.page, s.faults, s.us)
+	}
+}
+
+// falseSharing flags pages written by two or more nodes whose write extents
+// (from write-notice events) are pairwise disjoint: the writers never touch
+// the same bytes, so the coherence traffic on the page is pure false
+// sharing — a k-writer stripe or sub-page binding candidate.
+func falseSharing(b *strings.Builder, evs []rawEvent) {
+	type ext struct{ lo, hi, n int }
+	pages := map[int]map[int]*ext{} // page → tid → extent union
+	for _, e := range evs {
+		if e.Ph != "i" || e.Name != "notice" {
+			continue
+		}
+		p, lo, hi := argInt(e, "page"), argInt(e, "lo"), argInt(e, "hi")
+		if pages[p] == nil {
+			pages[p] = map[int]*ext{}
+		}
+		x := pages[p][e.Tid]
+		if x == nil {
+			pages[p][e.Tid] = &ext{lo, hi, 1}
+			continue
+		}
+		if lo < x.lo {
+			x.lo = lo
+		}
+		if hi > x.hi {
+			x.hi = hi
+		}
+		x.n++
+	}
+	fmt.Fprintf(b, "\nfalse-sharing suspects (multi-writer pages, disjoint extents):\n")
+	var suspects []int
+	for p, writers := range pages {
+		if len(writers) < 2 {
+			continue
+		}
+		tids := make([]int, 0, len(writers))
+		for tid := range writers {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		disjoint := true
+		for i := 0; i < len(tids) && disjoint; i++ {
+			for j := i + 1; j < len(tids); j++ {
+				a, c := writers[tids[i]], writers[tids[j]]
+				if a.lo < c.hi && c.lo < a.hi {
+					disjoint = false
+					break
+				}
+			}
+		}
+		if disjoint {
+			suspects = append(suspects, p)
+		}
+	}
+	if len(suspects) == 0 {
+		fmt.Fprintf(b, "  (none)\n")
+		return
+	}
+	sort.Ints(suspects)
+	for _, p := range suspects {
+		writers := pages[p]
+		tids := make([]int, 0, len(writers))
+		for tid := range writers {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		fmt.Fprintf(b, "  page %d:", p)
+		for _, tid := range tids {
+			x := writers[tid]
+			fmt.Fprintf(b, " node%d[%d,%d)x%d", tid, x.lo, x.hi, x.n)
+		}
+		fmt.Fprintf(b, "\n")
+	}
+}
+
+// lockContention tabulates per-lock wait and grant activity.
+func lockContention(b *strings.Builder, evs []rawEvent) {
+	type lstat struct {
+		lock                 int
+		waits                int
+		waitUS, maxUS        float64
+		grants, piggy, bytes int
+	}
+	m := map[int]*lstat{}
+	get := func(l int) *lstat {
+		s := m[l]
+		if s == nil {
+			s = &lstat{lock: l}
+			m[l] = s
+		}
+		return s
+	}
+	for _, e := range evs {
+		switch {
+		case e.Ph == "X" && e.Name == "lock wait":
+			s := get(argInt(e, "lock"))
+			s.waits++
+			s.waitUS += e.Dur
+			if e.Dur > s.maxUS {
+				s.maxUS = e.Dur
+			}
+		case e.Ph == "X" && e.Name == "lock grant":
+			s := get(argInt(e, "lock"))
+			s.grants++
+			s.bytes += argInt(e, "bytes")
+			if argInt(e, "pushed") > 0 {
+				s.piggy++
+			}
+		}
+	}
+	fmt.Fprintf(b, "\nlock contention:\n")
+	if len(m) == 0 {
+		fmt.Fprintf(b, "  (no lock events in trace)\n")
+		return
+	}
+	ls := make([]*lstat, 0, len(m))
+	for _, s := range m {
+		ls = append(ls, s)
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].waitUS != ls[j].waitUS {
+			return ls[i].waitUS > ls[j].waitUS
+		}
+		return ls[i].lock < ls[j].lock
+	})
+	fmt.Fprintf(b, "  %-8s %7s %12s %12s %7s %10s %10s\n",
+		"lock", "waits", "wait-us", "max-us", "grants", "piggyback", "bytes")
+	for _, s := range ls {
+		fmt.Fprintf(b, "  %-8d %7d %12.3f %12.3f %7d %10d %10d\n",
+			s.lock, s.waits, s.waitUS, s.maxUS, s.grants, s.piggy, s.bytes)
+	}
+}

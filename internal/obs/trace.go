@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON export (Perfetto-loadable). One track (tid) per
+// DSM node under a single process; span events (fault service, barrier
+// wait, lock wait, serve) become complete ("X") slices, point events become
+// instants ("i"), and cross-node causality is drawn with flow arrows
+// ("s"/"f") linking fetch request→serve and lock grant→acquire.
+//
+// The writer is hand-rolled with a fixed field order and integer-only
+// timestamp formatting (µs with three fraction digits), so a sim-backend
+// trace — whose wall clocks are pinned to zero and whose virtual clocks are
+// deterministic — exports byte-identically run to run and can be pinned as
+// a golden.
+//
+// Flow-arrow IDs are derived, not transmitted (the wire format is
+// untouched): a fetch flow is "F<requester>.<responder>.<seq>" where seq is
+// a per-direction pair counter — valid because the host contract delivers a
+// pair's requests in order and tmk's diff server is the only Server, so the
+// k-th request from q to r is answered by the k-th serve r performs for q.
+// A lock flow is "L<lock>.<grantSeq>" where grantSeq counts grants of that
+// lock on the machine-shared lock structure; the acquirer reads the
+// sequence after waking, before any later grant of the same lock can exist.
+
+// WriteTrace exports the machine's rings as Chrome trace-event JSON.
+func WriteTrace(w io.Writer, m *Machine) error {
+	bw := bufio.NewWriter(w)
+	timeline := "virtual"
+	if !m.Virtual() {
+		timeline = "wall"
+	}
+	fmt.Fprintf(bw, "{\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"sdsm (%s timeline)\"}}", timeline)
+	for i := range m.Nodes {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"node %d\"}}", i, i)
+	}
+	for i, t := range m.Nodes {
+		for _, e := range t.Events() {
+			writeEvent(bw, i, e, m.Virtual())
+		}
+	}
+	fmt.Fprintf(bw, "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"timeline\":%q,\"dropped\":[", timeline)
+	for i, t := range m.Nodes {
+		if i > 0 {
+			fmt.Fprintf(bw, ",")
+		}
+		fmt.Fprintf(bw, "%d", t.Dropped())
+	}
+	fmt.Fprintf(bw, "]}}\n")
+	return bw.Flush()
+}
+
+// usec renders a nanosecond stamp as microseconds with fixed 3-digit
+// fraction, using integer math only (float formatting would not be
+// byte-stable across inputs).
+func usec(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+func writeEvent(w *bufio.Writer, tid int, e Event, virtual bool) {
+	ts, dur := e.VT, e.Dur
+	if !virtual {
+		ts, dur = e.WT, e.WDur
+	}
+	name := evNames[e.Kind]
+	switch e.Kind {
+	case EvFault:
+		acc := "r"
+		if e.A != 0 {
+			acc = "w"
+		}
+		slice(w, tid, name, "mem", ts, dur, fmt.Sprintf("{\"page\":%d,\"acc\":%q}", e.Page, acc))
+	case EvFetchReq:
+		slice(w, tid, name, "diff", ts, 0, fmt.Sprintf("{\"page\":%d,\"to\":%d,\"pages\":%d}", e.Page, e.Peer, e.A))
+		if e.Seq > 0 {
+			flow(w, tid, "fetch", "s", fmt.Sprintf("F%d.%d.%d", tid, e.Peer, e.Seq), ts)
+		}
+	case EvServe:
+		slice(w, tid, name, "diff", ts, dur, fmt.Sprintf("{\"page\":%d,\"req\":%d,\"diffs\":%d,\"bytes\":%d}", e.Page, e.Peer, e.A, e.B))
+		if e.Seq > 0 {
+			flow(w, tid, "fetch", "f", fmt.Sprintf("F%d.%d.%d", e.Peer, tid, e.Seq), ts)
+		}
+	case EvTwin:
+		instant(w, tid, name, "mem", ts, fmt.Sprintf("{\"page\":%d}", e.Page))
+	case EvDiff:
+		instant(w, tid, name, "mem", ts, fmt.Sprintf("{\"page\":%d,\"words\":%d}", e.Page, e.A))
+	case EvNotice:
+		instant(w, tid, name, "sync", ts, fmt.Sprintf("{\"page\":%d,\"lo\":%d,\"hi\":%d,\"ivl\":%d}", e.Page, e.A, e.B, e.C))
+	case EvBarArrive:
+		instant(w, tid, name, "sync", ts, fmt.Sprintf("{\"bar\":%d,\"epoch\":%d}", e.A, e.B))
+	case EvBarDepart:
+		slice(w, tid, name, "sync", ts, dur, fmt.Sprintf("{\"bar\":%d,\"epoch\":%d}", e.A, e.B))
+	case EvWSync:
+		instant(w, tid, name, "sync", ts, fmt.Sprintf("{\"page\":%d,\"req\":%d,\"diffs\":%d}", e.Page, e.Peer, e.A))
+	case EvLockAcq:
+		slice(w, tid, name, "lock", ts, dur, fmt.Sprintf("{\"lock\":%d}", e.A))
+		if e.Seq > 0 {
+			flow(w, tid, "lock", "f", fmt.Sprintf("L%d.%d", e.A, e.Seq), ts+dur)
+		}
+	case EvLockGrant:
+		slice(w, tid, name, "lock", ts, 0, fmt.Sprintf("{\"lock\":%d,\"to\":%d,\"bytes\":%d,\"pushed\":%d}", e.A, e.Peer, e.B, e.C))
+		if e.Seq > 0 {
+			flow(w, tid, "lock", "s", fmt.Sprintf("L%d.%d", e.A, e.Seq), ts)
+		}
+	case EvLockRel:
+		instant(w, tid, name, "lock", ts, fmt.Sprintf("{\"lock\":%d}", e.A))
+	case EvAdapt:
+		what := [...]string{"promote", "split", "join", "decay"}[e.A]
+		instant(w, tid, name, "adapt", ts, fmt.Sprintf("{\"page\":%d,\"what\":%q}", e.Page, what))
+	case EvCkpt:
+		instant(w, tid, name, "recovery", ts, fmt.Sprintf("{\"bytes\":%d,\"full\":%d,\"epoch\":%d}", e.A, e.B, e.C))
+	case EvRecover:
+		if e.A == 0 {
+			instant(w, tid, name, "recovery", ts, fmt.Sprintf("{\"phase\":\"fail\",\"rank\":%d}", e.Peer))
+		} else {
+			slice(w, tid, name, "recovery", ts, dur, fmt.Sprintf("{\"phase\":\"restore\",\"rank\":%d}", e.Peer))
+		}
+	}
+}
+
+func slice(w *bufio.Writer, tid int, name, cat string, ts, dur int64, args string) {
+	fmt.Fprintf(w, ",\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}",
+		name, cat, tid, usec(ts), usec(dur), args)
+}
+
+func instant(w *bufio.Writer, tid int, name, cat string, ts int64, args string) {
+	fmt.Fprintf(w, ",\n{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"args\":%s}",
+		name, cat, tid, usec(ts), args)
+}
+
+func flow(w *bufio.Writer, tid int, name, ph, id string, ts int64) {
+	extra := ""
+	if ph == "f" {
+		extra = ",\"bp\":\"e\""
+	}
+	fmt.Fprintf(w, ",\n{\"name\":%q,\"cat\":\"flow\",\"ph\":%q,\"id\":%q%s,\"pid\":0,\"tid\":%d,\"ts\":%s}",
+		name, ph, id, extra, tid, usec(ts))
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sdsm/internal/host"
+	"sdsm/internal/obs"
 )
 
 // state of a processor within the scheduler.
@@ -51,6 +52,17 @@ type Engine struct {
 	live  int
 	done  chan struct{}
 	err   error
+
+	// dispatches, when non-nil, counts scheduler hand-offs (one per
+	// processor resume) for the observability layer. Nil on untraced
+	// runs; it never affects the schedule.
+	dispatches *obs.Counter
+}
+
+// EnableObs registers the engine's dispatch counter with the unified
+// metrics registry. Observability only; never called on untraced runs.
+func (e *Engine) EnableObs(reg *obs.Registry) {
+	e.dispatches = reg.Counter("sim.dispatches")
 }
 
 // NewEngine creates an engine with n processors whose clocks start at zero.
@@ -157,6 +169,9 @@ func (e *Engine) scheduleNextLocked() {
 		return
 	}
 	next.state = stateRunning
+	if e.dispatches != nil {
+		e.dispatches.Inc()
+	}
 	next.resume <- struct{}{}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"sdsm/internal/adapt"
+	"sdsm/internal/obs"
 	"sdsm/internal/vm"
 	"sdsm/internal/wire"
 )
@@ -36,6 +37,7 @@ func (s *System) EnableAdapt(cfg adapt.Config) {
 	s.adaptCfg = cfg
 	for _, nd := range s.Nodes {
 		nd.ad = &adaptNode{det: adapt.New(cfg), fetched: map[int]bool{}}
+		nd.ad.det.LogTrans = s.trace != nil
 	}
 }
 
@@ -128,6 +130,15 @@ func (nd *Node) adaptStep(oldBar []int32, fetched []wire.NodePages) {
 		nd.Stats.AdaptSplits = st.Splits
 		nd.Stats.AdaptJoins = st.SectionJoins
 		nd.Stats.AdaptDecays = st.Decays
+		if nd.tr != nil {
+			vt, wt := int64(nd.p.Now()), nd.tr.WallNow()
+			for _, t := range nd.ad.det.Trans {
+				nd.tr.Emit(obs.Event{
+					Kind: obs.EvAdapt, VT: vt, WT: wt,
+					Page: int32(t.Page), A: int32(t.Kind),
+				})
+			}
+		}
 	}
 
 	// The exchange schedule: for every page written this epoch and bound

@@ -153,6 +153,11 @@ func keyOf(d wire.Diff) diffKey {
 // responder, as TreadMarks does per fault), and finally arms write
 // detection for write faults.
 func (nd *Node) Fault(p host.Proc, page int, acc vm.Access) {
+	if nd.tr != nil {
+		// Deferred first, so the span closes after the protection batch
+		// below flushes; the start stamps are evaluated here, at entry.
+		defer nd.traceFault(page, acc, nd.p.Now(), nd.tr.WallNow())
+	}
 	nd.Mem.BeginProtBatch()
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()
@@ -239,6 +244,9 @@ func (nd *Node) closeInterval() {
 		iv.pages[i] = nd.pageRefFor(pg, nd.noTwin[pg], true)
 	}
 	nd.know[nd.ID] = append(nd.know[nd.ID], iv)
+	if nd.tr != nil {
+		nd.traceNotices(iv, idx)
+	}
 	for _, pg := range pages {
 		if nd.noTwin[pg] {
 			nd.snapshotWholePage(pg)
@@ -577,6 +585,9 @@ func (nd *Node) fetchPages(pages []int, async bool) {
 		}
 		nd.noteFetch(pg)
 		for _, r := range rs {
+			if nd.tr != nil {
+				nd.traceFetchReq(pg, r, 1)
+			}
 			pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest1(pg), 16+8)
 			nd.inflight = append(nd.inflight, inflightFetch{pd: pd, pg: pg})
 			nd.Stats.DiffFetches++
@@ -606,6 +617,9 @@ func (nd *Node) fetchPages(pages []int, async bool) {
 	sort.Ints(responders)
 	for _, r := range responders {
 		pgs := reqs[r]
+		if nd.tr != nil {
+			nd.traceFetchReq(pgs[0], r, len(pgs))
+		}
 		pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest(pgs), 16+8*len(pgs))
 		nd.inflight = append(nd.inflight, inflightFetch{pd: pd, pages: pgs})
 		nd.Stats.DiffFetches++
@@ -680,6 +694,9 @@ func (nd *Node) completeInflight() {
 			var round []wire.Diff
 			for _, r := range sortedKeys(reqs) {
 				pgs := dedupInts(reqs[r])
+				if nd.tr != nil {
+					nd.traceFetchReq(pgs[0], r, len(pgs))
+				}
 				pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest(pgs), 16+8*len(pgs))
 				nd.sys.NW.Await(nd.p, pd)
 				nd.Stats.DiffFetches++

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sdsm/internal/obs"
 	"sdsm/internal/vm"
 	"sdsm/internal/wire"
 )
@@ -188,6 +189,16 @@ func (nd *Node) writeRecord() {
 		nd.RecStats.FullCheckpoints++
 	}
 	nd.RecStats.CheckpointBytes += int64(len(blob))
+	if nd.tr != nil {
+		var b int32
+		if full {
+			b = 1
+		}
+		nd.tr.Emit(obs.Event{
+			Kind: obs.EvCkpt, VT: int64(nd.p.Now()), WT: nd.tr.WallNow(),
+			A: int32(len(blob)), B: b, C: ck.Epoch,
+		})
+	}
 }
 
 // recordPages returns the sorted page set a record must frame.
@@ -249,6 +260,12 @@ func (nd *Node) failAndRecover(b *barrier) {
 		panic("tmk: injected fault while holding a lock")
 	}
 	nd.RecStats.Failures++
+	if nd.tr != nil {
+		nd.tr.Emit(obs.Event{
+			Kind: obs.EvRecover, VT: int64(nd.p.Now()), WT: nd.tr.WallNow(),
+			A: 0, Peer: int32(nd.ID),
+		})
+	}
 	if b != nil {
 		for len(b.arrivals) < s.N()-1 {
 			nd.p.End()
@@ -260,6 +277,11 @@ func (nd *Node) failAndRecover(b *barrier) {
 		nd.writeRecord()
 	}
 	rec, _ := s.NW.(Recoverer)
+	var rvt time.Duration
+	var rwt int64
+	if nd.tr != nil {
+		rvt, rwt = nd.p.Now(), nd.tr.WallNow()
+	}
 	if rec != nil {
 		if err := rec.Detach(nd.ID); err != nil {
 			panic(fmt.Sprintf("tmk: detaching node %d: %v", nd.ID, err))
@@ -273,6 +295,13 @@ func (nd *Node) failAndRecover(b *barrier) {
 		}
 	}
 	nd.RecStats.Restores++
+	if nd.tr != nil {
+		nd.tr.Emit(obs.Event{
+			Kind: obs.EvRecover, VT: int64(rvt), WT: rwt,
+			Dur: int64(nd.p.Now() - rvt), WDur: nd.tr.WallNow() - rwt,
+			A: 1, Peer: int32(nd.ID),
+		})
+	}
 }
 
 // wipe discards everything a restore rebuilds: the memory image (with

@@ -7,6 +7,7 @@ import (
 
 	"sdsm/internal/adapt"
 	"sdsm/internal/host"
+	"sdsm/internal/obs"
 	"sdsm/internal/shm"
 	"sdsm/internal/wire"
 )
@@ -34,6 +35,13 @@ type lock struct {
 	lastReleaser int
 	queue        []*lockWaiter
 	det          *adapt.LockDetector
+
+	// grantSeq numbers this lock's grants for trace flow arrows (advanced
+	// only when tracing is on). Like the rest of the control state it is
+	// machine-shared on every backend, and the acquirer can read the
+	// sequence of its own grant after waking: no later grant of this lock
+	// can exist until the new holder releases.
+	grantSeq int32
 }
 
 // adaptDet returns the lock's detector, creating it on first use when the
@@ -271,12 +279,20 @@ func (nd *Node) Acquire(id int) {
 	defer nd.Mem.FlushProtBatch(nd.p)
 	nd.completeInflight()
 	nd.Stats.LockAcquires++
+	var avt time.Duration
+	var awt int64
+	if nd.tr != nil {
+		avt, awt = nd.p.Now(), nd.tr.WallNow()
+	}
 	s := nd.sys
 	c := s.Costs
 	if s.N() == 1 {
 		nd.p.Charge(c.LockMgmt)
 		nd.consumeWSync()
 		nd.pushHeld(id)
+		if nd.tr != nil {
+			nd.traceLockAcq(id, 0, avt, awt)
+		}
 		return
 	}
 	l := s.lock(id)
@@ -309,6 +325,9 @@ func (nd *Node) Acquire(id int) {
 		g := s.NW.TakeHand(nd.p, slotGrant).(wire.Grant)
 		nd.applyGrant(g)
 		nd.pushHeld(id)
+		if nd.tr != nil {
+			nd.traceLockAcq(id, l.grantSeq, avt, awt)
+		}
 		return
 	}
 
@@ -328,6 +347,9 @@ func (nd *Node) Acquire(id int) {
 		nd.p.SetClock(t)
 		nd.consumeWSync()
 		nd.pushHeld(id)
+		if nd.tr != nil {
+			nd.traceLockAcq(id, 0, avt, awt)
+		}
 		return
 	}
 	if r != l.home {
@@ -351,12 +373,19 @@ func (nd *Node) Acquire(id int) {
 		}
 		g = s.Nodes[r].buildGrant(nd.ID, info, pushPages)
 	})
+	if nd.tr != nil {
+		l.grantSeq++
+		s.traceGrant(s.Nodes[r], id, nd.ID, g, l.grantSeq)
+	}
 	s.H.Proc(r).Charge(c.LockMgmt)
 	t += c.LockMgmt
 	t = s.NW.Message(r, nd.ID, t, int(g.Bytes))
 	nd.p.SetClock(t)
 	nd.applyGrant(g)
 	nd.pushHeld(id)
+	if nd.tr != nil {
+		nd.traceLockAcq(id, l.grantSeq, avt, awt)
+	}
 }
 
 // acquireFloors assembles the applied floors an acquire request carries
@@ -409,6 +438,12 @@ func (nd *Node) Release(id int) {
 	nd.completeInflight()
 	nd.closeInterval()
 	s := nd.sys
+	if nd.tr != nil {
+		nd.tr.Emit(obs.Event{
+			Kind: obs.EvLockRel, VT: int64(nd.p.Now()), WT: nd.tr.WallNow(),
+			A: int32(id),
+		})
+	}
 	if s.N() == 1 {
 		nd.popHeld(id)
 		return
@@ -437,6 +472,10 @@ func (nd *Node) Release(id int) {
 		pushPages = det.Grant(nd.ID, w.id)
 	}
 	g := nd.buildGrant(w.id, w.info, pushPages)
+	if nd.tr != nil {
+		l.grantSeq++
+		s.traceGrant(nd, id, w.id, g, l.grantSeq)
+	}
 	t := nd.p.Now()
 	if w.tAtHolder > t {
 		t = w.tAtHolder
@@ -519,6 +558,16 @@ func (nd *Node) Barrier(id int) {
 		if s.rec != nil && nd.faultsNow() {
 			nd.failAndRecover(nil)
 		}
+		if nd.tr != nil {
+			avt, awt := nd.p.Now(), nd.tr.WallNow()
+			nd.tr.Emit(obs.Event{
+				Kind: obs.EvBarArrive, VT: int64(avt), WT: awt,
+				A: int32(id), B: int32(nd.Stats.Barriers),
+			})
+			nd.consumeWSync()
+			nd.traceBarDepart(id, int32(nd.Stats.Barriers), avt, awt)
+			return
+		}
 		nd.consumeWSync()
 		return
 	}
@@ -538,12 +587,24 @@ func (nd *Node) Barrier(id int) {
 	if nd.ad != nil {
 		arr.Fetched = nd.fetchedSorted()
 	}
+	var avt time.Duration
+	var awt int64
+	if nd.tr != nil {
+		avt, awt = nd.p.Now(), nd.tr.WallNow()
+		nd.tr.Emit(obs.Event{
+			Kind: obs.EvBarArrive, VT: int64(avt), WT: awt,
+			A: int32(id), B: int32(nd.Stats.Barriers),
+		})
+	}
 	b.arrivals = append(b.arrivals, barrierArrival{
 		id: nd.ID, p: nd.p, at: nd.p.Now(), arr: arr,
 	})
 	if len(b.arrivals) < s.N() {
 		nd.p.Block("barrier")
 		dep := nd.postBarrier()
+		if nd.tr != nil {
+			nd.traceBarDepart(id, int32(nd.Stats.Barriers), avt, awt)
+		}
 		if nd.ad != nil {
 			nd.adaptStep(oldBar, dep.Fetched)
 		}
@@ -552,6 +613,9 @@ func (nd *Node) Barrier(id int) {
 	s.runBarrier(b, nd)
 	b.arrivals = b.arrivals[:0]
 	dep := nd.postBarrier()
+	if nd.tr != nil {
+		nd.traceBarDepart(id, int32(nd.Stats.Barriers), avt, awt)
+	}
 	if nd.ad != nil {
 		nd.adaptStep(oldBar, dep.Fetched)
 	}
@@ -642,6 +706,7 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 				if resp.dirty[pg] {
 					resp.flushLocalDiff(pg, false)
 				}
+				var nServed int32
 				for _, d := range resp.diffs[pg] {
 					if d.creator == a.id || (d.creator != r && !d.whole) {
 						continue
@@ -650,7 +715,14 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 						rw.served = append(rw.served, d.toWire())
 						rw.bytes += d.wireBytes()
 						resp.Stats.WSyncServes++
+						nServed++
 					}
+				}
+				if nServed > 0 && resp.tr != nil {
+					resp.tr.Emit(obs.Event{
+						Kind: obs.EvWSync, VT: int64(resp.p.Now()), WT: resp.tr.WallNow(),
+						Page: int32(pg), Peer: int32(a.id), A: nServed,
+					})
 				}
 			}
 		}

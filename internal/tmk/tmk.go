@@ -62,6 +62,7 @@ import (
 	"sdsm/internal/adapt"
 	"sdsm/internal/host"
 	"sdsm/internal/model"
+	"sdsm/internal/obs"
 	"sdsm/internal/shm"
 	"sdsm/internal/vm"
 	"sdsm/internal/wire"
@@ -159,6 +160,7 @@ type System struct {
 	barriers map[int]*barrier
 	adaptCfg adapt.Config    // detector tuning; meaningful once EnableAdapt ran
 	rec      *RecoveryConfig // checkpoint/restore; nil unless EnableRecovery ran
+	trace    *obs.Machine    // observability; nil unless EnableTrace ran
 
 	// departScratch backs runBarrier's departure-time table. Barriers are
 	// serialized by the protocol token, so one machine-wide buffer works.
@@ -238,8 +240,16 @@ func (s *System) serve(p host.Proc, at int, req any) (any, int) {
 	// provides the exclusion — and the happens-before edge — against nd's
 	// compute sections.
 	nd.srvReq = r
+	var svt time.Duration
+	var swt int64
+	if nd.tr != nil {
+		svt, swt = nd.p.Now(), nd.tr.WallNow()
+	}
 	p.Hold(nd.p, nd.srvFn)
 	out, bytes := nd.srvOut, nd.srvBytes
+	if nd.tr != nil {
+		nd.traceServe(int(r.Req), r.Pages, out, bytes, svt, swt)
+	}
 	nd.srvReq, nd.srvOut = wire.DiffRequest{}, nil
 	return wire.DiffReply{Diffs: out}, bytes
 }
@@ -427,6 +437,7 @@ type Node struct {
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
 	ad       *adaptNode         // adaptive protocol state; nil unless EnableAdapt
 	held     []heldLock         // locks currently held, innermost last
+	tr       *obs.NodeTracer    // event ring; nil unless EnableTrace (trace.go)
 
 	// Recovery bookkeeping (recovery.go); recTouched is nil unless
 	// EnableRecovery ran. recLast is the vector clock of this node's

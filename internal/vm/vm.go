@@ -17,6 +17,7 @@ import (
 
 	"sdsm/internal/host"
 	"sdsm/internal/model"
+	"sdsm/internal/obs"
 	"sdsm/internal/shm"
 )
 
@@ -128,6 +129,11 @@ type Mem struct {
 
 	// Counters is exported for the statistics harness.
 	Counters Counters
+
+	// Trace, when non-nil, receives twin/diff events (EvTwin, EvDiff). Set
+	// by the protocol layer's EnableTrace; nil means tracing is off and the
+	// MMU's behavior (charges, counters, allocations) is byte-identical.
+	Trace *obs.NodeTracer
 }
 
 // New creates a node memory of the given size with all pages NoAccess.
@@ -401,6 +407,12 @@ func (m *Mem) MakeTwin(p host.Proc, page int) {
 	m.twins[page] = tw
 	m.Counters.Twins++
 	p.Charge(time.Duration(shm.PageWords) * m.costs.TwinPerWord)
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{
+			Kind: obs.EvTwin, VT: int64(p.Now()), WT: m.Trace.WallNow(),
+			Page: int32(page),
+		})
+	}
 }
 
 // DropTwin discards the twin of page, if any, recycling its storage.
@@ -438,6 +450,12 @@ func (m *Mem) DiffAgainstTwin(p host.Proc, page int) []Run {
 	m.Counters.DiffWords += int64(RunsWords(runs))
 	p.Charge(time.Duration(shm.PageWords) * m.costs.DiffScanPerWord)
 	m.RecyclePage(tw)
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{
+			Kind: obs.EvDiff, VT: int64(p.Now()), WT: m.Trace.WallNow(),
+			Page: int32(page), A: int32(RunsWords(runs)),
+		})
+	}
 	return runs
 }
 
