@@ -40,6 +40,7 @@ func main() {
 		fig6      = flag.Bool("fig6", false, "speedups under optimization levels")
 		fig7      = flag.Bool("fig7", false, "synchronous vs asynchronous fetching")
 		adaptT    = flag.Bool("adapt", false, "adaptive update protocol vs invalidate baseline and compiler push")
+		scaleT    = flag.Bool("scale", false, "large-machine scaling matrix: ownership directory + compressed relay at 8..128 nodes")
 		micro     = flag.Bool("micro", false, "Section 5 primitive costs")
 		trOvh     = flag.Bool("trace-overhead", false, "run jacobi/large traced and untraced; verify virtual times are identical and report the wall cost of tracing")
 		bench     = flag.String("bench-json", "", "write machine-readable benchmark output (protocol stats + wall times) to this file")
@@ -67,7 +68,7 @@ func main() {
 		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
 			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
-	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *micro || *trOvh || *bench != "" || *benchCmp != "") {
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *scaleT || *micro || *trOvh || *bench != "" || *benchCmp != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -213,6 +214,16 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatAdaptLockTable(lrows, *procs))
+	}
+	if *all || *scaleT {
+		// The scaling matrix ignores -procs: its node-count axis is the
+		// experiment (8 through 128 on the sim backend, every run verified
+		// against the sequential reference).
+		rows, err := harness.ScaleTable(workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatScaleTable(rows))
 	}
 	if *bench != "" {
 		if err := harness.WriteBenchJSON(*bench, *procs, workers); err != nil {

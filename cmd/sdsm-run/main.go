@@ -32,7 +32,7 @@ import (
 func main() {
 	mpnet.MaybeWorker() // worker re-exec path; does not return if spawned
 	var (
-		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs, spmv, tsp")
+		app     = flag.String("app", "jacobi", "application: jacobi, fft, is, shallow, gauss, mgs, spmv, tsp, tsps")
 		system  = flag.String("system", "opt-tmk", "system: tmk, opt-tmk, xhpf, pvme")
 		set     = flag.String("set", "large", "data set: large, small (jacobi adds bound)")
 		procs   = flag.Int("procs", harness.DefaultProcs, "processor count")
@@ -41,6 +41,7 @@ func main() {
 		adaptOn = flag.Bool("adapt", false, "enable the run-time adaptive update protocol, barrier- and lock-scope (tmk/opt-tmk)")
 		adaptK  = flag.Int("adapt-k", 0, "adaptive promotion hysteresis in production cycles (0 = default)")
 		adaptM  = flag.Int("adapt-m", 0, "lock-binding re-probe period: piggybacked grants between staleness probes (0 = default)")
+		scaleOn = flag.Bool("scale", false, "enable scale mode: per-page ownership directory + span-compressed barrier relay (tmk/opt-tmk)")
 		backend = flag.String("backend", "sim", "host backend: sim (deterministic), real (goroutine per node), net (wire transport over loopback sockets; process per rank for pvme/xhpf)")
 		nodeBin = flag.String("node-bin", "", "worker binary for -backend net message-passing runs (default: re-exec this binary)")
 		recov   = flag.Bool("recover", false, "arm checkpoint/restore: DSM nodes checkpoint at every barrier, net message-passing runs log frames for replay")
@@ -71,7 +72,7 @@ func main() {
 		App: a, Set: ds, System: harness.SystemKind(*system),
 		Procs: *procs, Verify: *verify, SyncFetch: *sync,
 		Backend: harness.Backend(*backend),
-		Adapt:   *adaptOn, AdaptK: *adaptK, AdaptM: *adaptM,
+		Adapt:   *adaptOn, AdaptK: *adaptK, AdaptM: *adaptM, Scale: *scaleOn,
 		Recover: *recov, CheckpointEvery: *ckEvery, CheckpointDir: *ckDir,
 		Trace: *trace || *trOut != "", TraceCap: *trCap,
 	}

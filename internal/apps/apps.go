@@ -102,9 +102,10 @@ func Registry() []*App {
 // analysis, added for the run-time adaptive protocol. SpMV is the
 // barrier-synchronized irregular case (data-dependent neighbor reads);
 // TSP is the lock-dominated migratory case (work queue and incumbent
-// under locks).
+// under locks); TSPS shards tsp's queue into per-node deques with
+// lock-striped stealing, the workload the scaling experiments use.
 func Irregular() []*App {
-	return []*App{SpMV(), TSP()}
+	return []*App{SpMV(), TSP(), TSPS()}
 }
 
 // All returns every application: the paper suite plus the irregular

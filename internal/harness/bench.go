@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"sdsm/internal/apps"
@@ -84,6 +85,15 @@ func benchConfigs(procs int) []Config {
 	if a, err := apps.ByName("jacobi"); err == nil {
 		cfgs = append(cfgs, Config{App: a, Set: Large, System: Base, Procs: procs, Trace: true})
 	}
+	// Scaling pin (DESIGN.md §12): tsps at 32 nodes with the ownership
+	// directory and span-compressed relay on, under the "tmk-scale32"
+	// label. The directory rebuilds from the full notice log at every
+	// barrier departure (resetDirectory), so this entry tracks that
+	// bookkeeping's allocation and wall cost along with the virtual time
+	// of directory-routed fetching at a size the 8-node grid never sees.
+	if a, err := apps.ByName("tsps"); err == nil {
+		cfgs = append(cfgs, Config{App: a, Set: Small, System: Base, Procs: 32, Adapt: true, Scale: true})
+	}
 	return cfgs
 }
 
@@ -121,6 +131,9 @@ func Bench(procs, workers int) (*BenchReport, error) {
 		}
 		if cfg.Trace {
 			sys += "-trace"
+		}
+		if cfg.Scale {
+			sys += "-scale" + strconv.Itoa(cfg.Procs)
 		}
 		entries[i] = BenchEntry{
 			App: cfg.App.Name, Set: string(cfg.Set), System: sys,

@@ -67,6 +67,13 @@ var goldenTables = []struct {
 		}
 		return FormatAdaptTable(rows, DefaultProcs), nil
 	}},
+	{"scale", true, func(workers int) (string, error) {
+		rows, err := ScaleTable(workers)
+		if err != nil {
+			return "", err
+		}
+		return FormatScaleTable(rows), nil
+	}},
 	{"adaptlock", true, func(workers int) (string, error) {
 		rows, err := AdaptLockTable(DefaultProcs, workers)
 		if err != nil {

@@ -95,6 +95,13 @@ type Config struct {
 	// hand-off edge, one grant withholds the piggyback to detect
 	// consumers that stopped reading.
 	AdaptM int
+	// Scale enables the large-machine protocol mode (tmk.EnableScale):
+	// the distributed per-page ownership directory spreads diff serving
+	// across readers instead of queueing on the last writer, and the
+	// barrier fetch-list relay is priced span-compressed and
+	// broadcast-once. Off by default — the paper's 8-node tables pin the
+	// unscaled protocol bit for bit.
+	Scale bool
 	// Recover arms checkpoint/restore (DESIGN.md §10): every node writes
 	// a recovery record at each barrier arrival, and — on the net backend
 	// — peer death becomes a recoverable event instead of a run abort.
@@ -151,6 +158,11 @@ type Result struct {
 	// Trace is the observability machine of a Config.Trace run (nil
 	// otherwise): per-node event rings plus the unified metrics registry.
 	Trace *obs.Machine
+	// ServeMax and ServeMean describe the per-node diff-serve balance
+	// (tmk.System.ServeBalance): the busiest node's payload-serve count
+	// and the machine mean. The scaling table reports their ratio.
+	ServeMax  int64
+	ServeMean float64
 }
 
 // Run executes one configuration.
@@ -238,6 +250,9 @@ func runDSM(cfg Config) (*Result, error) {
 	if cfg.Adapt {
 		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK, ReprobeM: cfg.AdaptM})
 	}
+	if cfg.Scale {
+		sys.EnableScale()
+	}
 	if cfg.Recover || cfg.Fault != nil {
 		rc := tmk.RecoveryConfig{Every: cfg.CheckpointEvery}
 		if cfg.CheckpointDir != "" {
@@ -279,6 +294,7 @@ func runDSM(cfg Config) (*Result, error) {
 
 	st := nw.Stats()
 	vmc, ps := sys.Stats()
+	smax, smean := sys.ServeBalance()
 	var rs tmk.RecoveryStats
 	for _, nd := range sys.Nodes {
 		rs.Checkpoints += nd.RecStats.Checkpoints
@@ -288,16 +304,18 @@ func runDSM(cfg Config) (*Result, error) {
 		rs.Restores += nd.RecStats.Restores
 	}
 	return &Result{
-		Time:     sys.MaxTime(),
-		Checksum: checksum,
-		Msgs:     st.Msgs,
-		Bytes:    st.Bytes,
-		Segv:     vmc.ReadFaults + vmc.WriteFaults,
-		Protocol: ps,
-		VM:       vmc,
-		Report:   rep,
-		Recovery: rs,
-		Trace:    m,
+		Time:      sys.MaxTime(),
+		Checksum:  checksum,
+		Msgs:      st.Msgs,
+		Bytes:     st.Bytes,
+		Segv:      vmc.ReadFaults + vmc.WriteFaults,
+		Protocol:  ps,
+		VM:        vmc,
+		Report:    rep,
+		Recovery:  rs,
+		Trace:     m,
+		ServeMax:  smax,
+		ServeMean: smean,
 	}, nil
 }
 

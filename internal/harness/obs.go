@@ -42,6 +42,12 @@ func Snapshot(res *Result) *obs.Snapshot {
 	s.Set("protocol.invalidations", p.Invalidations)
 	s.Set("protocol.lock.fetches", p.LockFetches)
 
+	s.Set("protocol.diff.serves", p.DiffServes)
+	s.Set("scale.dir.redirects", p.DirRedirects)
+	s.Set("scale.dir.hops", p.DirHops)
+	s.Set("scale.dir.fallbacks", p.DirFallbacks)
+	s.Set("scale.relay.bytes", p.AdaptRelayBytes)
+
 	s.Set("adapt.promotions", p.AdaptPromotions)
 	s.Set("adapt.splits", p.AdaptSplits)
 	s.Set("adapt.joins", p.AdaptJoins)

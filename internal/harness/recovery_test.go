@@ -144,6 +144,39 @@ func TestRecoveryMatrix(t *testing.T) {
 	}
 }
 
+// TestRecoveryScale kills a node on a 16-rank scale-mode machine: the
+// restored replica's ownership directory comes back from the checkpoint
+// record's owner map (wire.Checkpoint.Owners), so its post-restore
+// hints agree with the survivors' and the forwarding chains keep
+// resolving — a replica that rebooted with a cold directory would route
+// every fault through the Direct fallback and, worse, answer other
+// nodes' chases with stale hints. Checksums must match the uninterrupted
+// scale run on both the sim and the wire backend.
+func TestRecoveryScale(t *testing.T) {
+	for _, name := range []string{"tsps", "jacobi"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a, err := apps.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const procs = 16
+			ref, err := Run(Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true, Scale: true})
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			for _, backend := range []Backend{BackendSim, BackendNet} {
+				res := runRecovery(t, Config{App: a, Set: apps.Small, System: Base, Procs: procs, Verify: true,
+					Scale: true, CheckpointEvery: 2, Backend: backend, Fault: &FaultPlan{Rank: 5, Epoch: 3}})
+				if res.Checksum != ref.Checksum {
+					t.Errorf("%s scale recovery checksum %v != reference %v", backend, res.Checksum, ref.Checksum)
+				}
+			}
+		})
+	}
+}
+
 // TestRecoveryFileSink spills records to disk and restores from them:
 // the FileSink path must behave exactly like the in-memory sink.
 func TestRecoveryFileSink(t *testing.T) {

@@ -76,7 +76,7 @@ func BenchmarkServeDiffs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, bytes := nd.serveDiffs(3, []int{1}, applied)
+		out, _, bytes := nd.serveDiffs(3, []int{1}, applied, false)
 		if len(out) == 0 || bytes == 0 {
 			b.Fatal("nothing served")
 		}

@@ -248,6 +248,7 @@ func (nd *Node) closeInterval() {
 		nd.traceNotices(iv, idx)
 	}
 	for _, pg := range pages {
+		nd.noteWritten(pg)
 		if nd.noTwin[pg] {
 			nd.snapshotWholePage(pg)
 		}
@@ -337,6 +338,7 @@ func (nd *Node) learnInterval(owner int, idx int32, iv interval) {
 	nd.vc[owner] = idx
 	for _, ref := range iv.pages {
 		pg := int(ref.Page)
+		nd.noteRemoteWrite(pg, owner)
 		if nd.applied[pg][owner] >= idx {
 			continue
 		}
@@ -464,7 +466,9 @@ func (nd *Node) splitInterval(page int, whole bool) int32 {
 	nd.know[nd.ID] = append(nd.know[nd.ID], interval{
 		pages: []wire.PageRef{nd.pageRefFor(page, whole, false)},
 		vc:    append([]int32(nil), nd.vc...),
+		split: true,
 	})
+	nd.noteWritten(page)
 	return idx
 }
 
@@ -652,11 +656,17 @@ func (nd *Node) completeInflight() {
 		// only a global sort preserves vector-time order. The scratch is
 		// consumed by applyDiffs before this node issues another fetch.
 		all := nd.dfScratch[:0]
+		var redirs []wire.PageOwner // nil off scale: replies never carry redirects
 		for _, f := range fetches {
-			all = append(all, f.pd.Reply.(wire.DiffReply).Diffs...)
+			rep := f.pd.Reply.(wire.DiffReply)
+			all = append(all, rep.Diffs...)
+			redirs = append(redirs, rep.Redirects...)
 		}
 		nd.dfScratch = all
 		nd.applyDiffs(all)
+		if len(redirs) > 0 {
+			nd.chaseRedirects(redirs)
+		}
 		var retry map[int]bool // lazily built: the steady state has no retries
 		for _, f := range fetches {
 			if f.pages == nil {
@@ -684,7 +694,9 @@ func (nd *Node) completeInflight() {
 			}
 			sort.Ints(pages)
 			// Ask each remaining owner directly; owners can always serve
-			// their own diffs.
+			// their own diffs. Direct forbids directory redirects — this is
+			// the forwarding chain's backstop, so the owner must answer with
+			// payload even when its delegation pointer says otherwise.
 			reqs := map[int][]int{}
 			for _, pg := range pages {
 				for _, n := range nd.pending[pg] {
@@ -697,7 +709,9 @@ func (nd *Node) completeInflight() {
 				if nd.tr != nil {
 					nd.traceFetchReq(pgs[0], r, len(pgs))
 				}
-				pd := nd.sys.NW.StartRequest(nd.p, r, nd.diffRequest(pgs), 16+8*len(pgs))
+				dreq := nd.diffRequest(pgs)
+				dreq.Direct = true
+				pd := nd.sys.NW.StartRequest(nd.p, r, dreq, 16+8*len(pgs))
 				nd.sys.NW.Await(nd.p, pd)
 				nd.Stats.DiffFetches++
 				round = append(round, pd.Reply.(wire.DiffReply).Diffs...)
@@ -725,19 +739,50 @@ func (nd *Node) completeInflight() {
 // describes for IS). The requester is described entirely by the request —
 // its id and per-page applied timestamps — and the reply is wire values.
 // The responder's CPU costs are charged by the vm operations.
-func (nd *Node) serveDiffs(reqID int, pages []int, reqApplied [][]int32) ([]wire.Diff, int) {
+//
+// In scale mode a page this responder has already delegated (dirNext set
+// by an earlier payload serve) is answered with a redirect to the
+// delegate instead of a payload, unless the requester set Direct — the
+// chain-exhausted fallback that must reach this responder's own diffs.
+// The delegation then moves to the requester, so forwarding chains stay
+// short (the previous delegate serves at most one redirect-routed
+// requester before the pointer moves past it) and consecutive readers of
+// a hot page serve each other instead of queueing on the writer.
+func (nd *Node) serveDiffs(reqID int, pages []int, reqApplied [][]int32, direct bool) ([]wire.Diff, []wire.PageOwner, int) {
 	var out []wire.Diff
+	var redir []wire.PageOwner
 	bytes := 16
+	served := false
 	for i, pg := range pages {
 		if debugHook != nil {
 			debugHook("serve", nd.ID, reqID, pg, nd.dirty[pg], int(nd.Mem.Prot(pg)), int(nd.lastDiffed[pg]), int(nd.vc[nd.ID]), nd.Mem.Data()[pg*512+88])
 		}
+		if nd.sys.scale && !direct {
+			if nxt := nd.dirNext[pg]; nxt >= 0 && int(nxt) != reqID {
+				redir = append(redir, wire.PageOwner{Page: int32(pg), Owner: nxt})
+				nd.dirNext[pg] = int32(reqID)
+				nd.Stats.DirRedirects++
+				bytes += 8
+				continue
+			}
+		}
+		got := false
 		for _, d := range nd.collectDiffs(reqID, pg, reqApplied[i]) {
 			out = append(out, d.toWire())
 			bytes += d.wireBytes()
+			got = true
+		}
+		if got {
+			served = true
+			if nd.dirNext != nil {
+				nd.dirNext[pg] = int32(reqID)
+			}
 		}
 	}
-	return out, bytes
+	if served {
+		nd.Stats.DiffServes++
+	}
+	return out, redir, bytes
 }
 
 // collectDiffs flushes page pg if locally dirty and returns every cached

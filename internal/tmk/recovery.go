@@ -175,6 +175,16 @@ func (nd *Node) writeRecord() {
 		ck.Fetched = nd.fetchedSorted()
 		ck.Adapt = nd.ad.det.Snapshot()
 	}
+	if nd.dirOwner != nil {
+		// The complete probable-owner map rides every record (it is small:
+		// one pair per hinted page), so a restore takes the newest record's
+		// map alone instead of merging increments.
+		for pg, o := range nd.dirOwner {
+			if o >= 0 {
+				ck.Owners = append(ck.Owners, wire.PageOwner{Page: int32(pg), Owner: o})
+			}
+		}
+	}
 	blob, err := wire.AppendFrame(nil, &wire.Frame{Kind: wire.FCkpt, From: int32(nd.ID), Payload: ck})
 	if err != nil {
 		panic(fmt.Sprintf("tmk: encoding checkpoint record: %v", err))
@@ -340,6 +350,10 @@ func (nd *Node) wipe() {
 	clear(nd.dirty)
 	clear(nd.noTwin)
 	nd.inflight = nd.inflight[:0]
+	for pg := range nd.dirOwner {
+		nd.dirOwner[pg] = -1
+		nd.dirNext[pg] = -1
+	}
 }
 
 // restore replays the node's record chain from the sink. See the file
@@ -432,6 +446,16 @@ func (nd *Node) restore() {
 		nd.ad.fetched = map[int]bool{}
 		for _, pg := range last.Fetched {
 			nd.ad.fetched[int(pg)] = true
+		}
+	}
+	if nd.dirOwner != nil {
+		// wipe reset both directory arrays; the newest record carries the
+		// complete probable-owner map, so no merge across the chain. The
+		// delegation pointers (dirNext) restart empty — they are routing
+		// hints whose loss only costs the first post-restore requester a
+		// payload serve from this node instead of a redirect.
+		for _, po := range last.Owners {
+			nd.dirOwner[po.Page] = po.Owner
 		}
 	}
 	nd.recLast = append([]int32(nil), last.VC...)

@@ -653,7 +653,9 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 			bytes += oi.IV.AccountedBytes(adaptOn, shm.PageWords)
 		}
 		if adaptOn {
-			bytes += adaptFetchedBytes(len(a.arr.Fetched))
+			fb := s.relayFetchedBytes(a.arr.Fetched)
+			bytes += fb
+			master.Stats.AdaptRelayBytes += int64(fb)
 		}
 		h := s.NW.Message(a.id, master.ID, a.at, bytes)
 		if h > tDep {
@@ -754,7 +756,7 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 		for _, a := range b.arrivals {
 			if len(a.arr.Fetched) > 0 {
 				fetched = append(fetched, wire.NodePages{Node: int32(a.id), Pages: a.arr.Fetched})
-				fetchedBytes += adaptFetchedBytes(len(a.arr.Fetched))
+				fetchedBytes += s.relayFetchedBytes(a.arr.Fetched)
 			}
 		}
 		sort.Slice(fetched, func(i, j int) bool { return fetched[i].Node < fetched[j].Node })
@@ -770,12 +772,23 @@ func (s *System) runBarrier(b *barrier, executor *Node) {
 	}
 	departAt := s.departScratch[:n]
 	dep := tDep
+	relayCharged := false
 	for _, a := range b.arrivals {
 		if a.id == master.ID {
 			continue
 		}
 		ivs := s.Nodes[a.id].depScratch[:0]
-		bytes := 16 + fetchedBytes
+		bytes := 16
+		if !s.scale || !relayCharged {
+			// Off scale every departure re-carries the fetch-list relay —
+			// the per-recipient accounting the paper-era goldens pin. Scale
+			// mode prices the relay once per barrier: the departure fan-out
+			// is a broadcast of identical relay content, so per-node relay
+			// cost stays flat as the machine grows.
+			bytes += fetchedBytes
+			relayCharged = true
+			master.Stats.AdaptRelayBytes += int64(fetchedBytes)
+		}
 		for o := range master.vc {
 			for idx := a.arr.VC[o] + 1; idx <= master.vc[o]; idx++ {
 				w := master.know[o][idx-1].toWire()
@@ -819,6 +832,12 @@ func (nd *Node) postBarrier() wire.Depart {
 	}
 	nd.applyDiffs(d.Served)
 	nd.consumeWSync()
+	if nd.dirOwner != nil {
+		// Rebuild the ownership directory from the merged notice set before
+		// the epoch base advances: mid-epoch hints depend on serve order,
+		// which the concurrent backends do not reproduce (directory.go).
+		nd.resetDirectory()
+	}
 	// After a departure every node holds the same merged vector time; the
 	// snapshot bounds the next arrival's interval delta.
 	copy(nd.lastBar, nd.vc)

@@ -143,6 +143,16 @@ type ProtocolStats struct {
 	AdaptLockDecays     int64 // bindings dropped on a broken pattern
 	AdaptLockProbes     int64 // piggybacks withheld for a staleness re-probe
 	AdaptLockStaleDrops int64 // bindings dropped because a re-probe went unread
+
+	// Ownership-directory counters (directory.go). DiffServes is
+	// maintained unconditionally — it is the serve-balance numerator the
+	// scaling table reports; the Dir* counters and the relay accounting
+	// only move in scale mode (EnableScale).
+	DiffServes      int64 // diff requests answered with at least one diff payload
+	DirRedirects    int64 // diff requests answered with a forwarding hint instead
+	DirHops         int64 // forwarding hops followed while chasing redirects
+	DirFallbacks    int64 // chases that exhausted and left pages to the Direct retry
+	AdaptRelayBytes int64 // accounted bytes of the barrier fetch-list relay (master)
 }
 
 // System is one DSM machine: N nodes over a network sharing a page-based
@@ -161,6 +171,7 @@ type System struct {
 	adaptCfg adapt.Config    // detector tuning; meaningful once EnableAdapt ran
 	rec      *RecoveryConfig // checkpoint/restore; nil unless EnableRecovery ran
 	trace    *obs.Machine    // observability; nil unless EnableTrace ran
+	scale    bool            // ownership directory + relay compression; EnableScale
 
 	// departScratch backs runBarrier's departure-time table. Barriers are
 	// serialized by the protocol token, so one machine-wide buffer works.
@@ -215,7 +226,7 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 				pages = append(pages, int(pg))
 			}
 			nd.pgScratch = pages
-			nd.srvOut, nd.srvBytes = nd.serveDiffs(int(nd.srvReq.Req), pages, nd.srvReq.Applied)
+			nd.srvOut, nd.srvRedir, nd.srvBytes = nd.serveDiffs(int(nd.srvReq.Req), pages, nd.srvReq.Applied, nd.srvReq.Direct)
 		}
 		s.Nodes = append(s.Nodes, nd)
 	}
@@ -246,12 +257,12 @@ func (s *System) serve(p host.Proc, at int, req any) (any, int) {
 		svt, swt = nd.p.Now(), nd.tr.WallNow()
 	}
 	p.Hold(nd.p, nd.srvFn)
-	out, bytes := nd.srvOut, nd.srvBytes
+	out, redir, bytes := nd.srvOut, nd.srvRedir, nd.srvBytes
 	if nd.tr != nil {
 		nd.traceServe(int(r.Req), r.Pages, out, bytes, svt, swt)
 	}
-	nd.srvReq, nd.srvOut = wire.DiffRequest{}, nil
-	return wire.DiffReply{Diffs: out}, bytes
+	nd.srvReq, nd.srvOut, nd.srvRedir = wire.DiffRequest{}, nil, nil
+	return wire.DiffReply{Diffs: out, Redirects: redir}, bytes
 }
 
 // N returns the number of nodes.
@@ -298,6 +309,11 @@ func (s *System) Stats() (vm.Counters, ProtocolStats) {
 		ps.AdaptPagesPushed += nd.Stats.AdaptPagesPushed
 		ps.AdaptLockGrants += nd.Stats.AdaptLockGrants
 		ps.AdaptLockPagesPush += nd.Stats.AdaptLockPagesPush
+		ps.DiffServes += nd.Stats.DiffServes
+		ps.DirRedirects += nd.Stats.DirRedirects
+		ps.DirHops += nd.Stats.DirHops
+		ps.DirFallbacks += nd.Stats.DirFallbacks
+		ps.AdaptRelayBytes += nd.Stats.AdaptRelayBytes
 	}
 	// The per-lock detectors are machine state (they live with the lock
 	// control blocks, serialized like the holder and queue fields), so
@@ -354,19 +370,23 @@ type notice struct {
 type interval struct {
 	pages []wire.PageRef
 	vc    []int32
+	// split marks a mid-epoch serve-path split (splitInterval): its
+	// position in the chain is schedule-dependent, so the ownership
+	// directory's replicated reset skips it (resetDirectory).
+	split bool
 }
 
 // toWire converts an interval record to its wire value, aliasing its
 // slices (see the type comment for why that is sound).
 func (iv interval) toWire() wire.Interval {
-	return wire.Interval{Pages: iv.pages, VC: iv.vc}
+	return wire.Interval{Pages: iv.pages, VC: iv.vc, Split: iv.split}
 }
 
 // intervalFromWire converts a received interval record, aliasing the wire
 // value's slices: a decoded frame owns its storage, and on the in-process
 // backends the shared arrays are immutable.
 func intervalFromWire(w wire.Interval) interval {
-	return interval{pages: w.Pages, vc: w.VC}
+	return interval{pages: w.Pages, vc: w.VC, split: w.Split}
 }
 
 // intervalsSince collects, as write notices, every interval this node
@@ -432,6 +452,12 @@ type Node struct {
 	diffs      map[int][]*storedDiff
 	lastDiffed []int32 // per page: own modifications diffed up to this interval
 
+	// Ownership directory (directory.go); nil unless EnableScale ran.
+	// dirOwner[pg] is this node's probable-owner hint, dirNext[pg] the
+	// node it last delegated pg's chain to (-1 for none in both).
+	dirOwner []int32
+	dirNext  []int32
+
 	inflight []inflightFetch    // asynchronous fetches not yet completed
 	mode     map[int]AccessType // deferred consistency action for async Validate
 	wsync    []wsyncRequest     // Validate_w_sync registrations for the next sync
@@ -457,6 +483,7 @@ type Node struct {
 	srvFn     func()
 	srvReq    wire.DiffRequest
 	srvOut    []wire.Diff
+	srvRedir  []wire.PageOwner
 	srvBytes  int
 	ifSpare   []inflightFetch // completeInflight's double buffer
 	pdScratch []*host.Pending // completeInflight's await list

@@ -35,6 +35,34 @@ func (e *enc) f64s(vs []float64) {
 	}
 }
 
+// pageSet encodes a sorted page list in the version-7 raw-or-span form:
+// a one-byte mode — 0 for the raw i32 list, 1 for run-length spans (a
+// count of runs, then (lo, hi) half-open i32 pairs) — chosen per list by
+// the same size heuristic FetchedBytes prices with, so sparse sets stay
+// one word per page and dense sets collapse to two words per run. The
+// run count pass is allocation-free; mode 1 is only chosen for strictly
+// ascending run structure, which sorted deduplicated input (the protocol
+// invariant) always has.
+func (e *enc) pageSet(vs []int32) {
+	runs := countRuns(vs)
+	if 2*runs >= len(vs) {
+		e.u8(0)
+		e.i32s(vs)
+		return
+	}
+	e.u8(1)
+	e.count(runs)
+	for i := 0; i < len(vs); {
+		j := i + 1
+		for j < len(vs) && vs[j] == vs[j-1]+1 {
+			j++
+		}
+		e.i32(vs[i])
+		e.i32(vs[i] + int32(j-i))
+		i = j
+	}
+}
+
 func (e *enc) rows(vs [][]int32) {
 	e.count(len(vs))
 	for _, row := range vs {
@@ -206,6 +234,53 @@ func (d *dec) f64s() []float64 {
 	return out
 }
 
+// pageSet decodes the raw-or-span page-list form of enc.pageSet. Mode-1
+// spans are validated (hi > lo) and their total expansion is bounded
+// before any allocation, so a corrupt span list cannot force a huge
+// decoded slice; expansion lands in the arena like every other i32
+// field.
+func (d *dec) pageSet() []int32 {
+	switch mode := d.u8(); mode {
+	case 0:
+		return d.i32s()
+	case 1:
+		n := d.count(8)
+		if n == 0 {
+			return nil
+		}
+		spans := d.take(8 * n)
+		if spans == nil {
+			return nil
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			lo := int32(binary.LittleEndian.Uint32(spans[8*i:]))
+			hi := int32(binary.LittleEndian.Uint32(spans[8*i+4:]))
+			if hi <= lo {
+				d.fail(fmt.Errorf("wire: page span [%d, %d) is empty or inverted", lo, hi))
+				return nil
+			}
+			total += int(hi - lo)
+			if total > MaxFrame/4 {
+				d.fail(fmt.Errorf("wire: page spans expand to %d pages", total))
+				return nil
+			}
+		}
+		out := d.allocI32(total)[:0]
+		for i := 0; i < n; i++ {
+			lo := int32(binary.LittleEndian.Uint32(spans[8*i:]))
+			hi := int32(binary.LittleEndian.Uint32(spans[8*i+4:]))
+			for p := lo; p < hi; p++ {
+				out = append(out, p)
+			}
+		}
+		return out
+	default:
+		d.fail(fmt.Errorf("wire: unknown page-set mode %d", mode))
+		return nil
+	}
+}
+
 func (d *dec) rows() [][]int32 {
 	n := d.count(1)
 	if n == 0 {
@@ -252,9 +327,11 @@ func (e *enc) payload(p any) error {
 		e.i32(v.Req)
 		e.i32s(v.Pages)
 		e.rows(v.Applied)
+		e.bool(v.Direct)
 	case DiffReply:
 		e.u8(pDiffReply)
 		e.diffs(v.Diffs)
+		e.pageOwners(v.Redirects)
 	case Grant:
 		e.u8(pGrant)
 		e.intervals(v.Intervals)
@@ -266,7 +343,7 @@ func (e *enc) payload(p any) error {
 		e.i32s(v.VC)
 		e.intervals(v.Intervals)
 		e.needs(v.Needs)
-		e.i32s(v.Fetched)
+		e.pageSet(v.Fetched)
 	case Depart:
 		e.u8(pDepart)
 		e.i64(v.Time)
@@ -320,8 +397,9 @@ func (e *enc) payload(p any) error {
 			e.f64s(fr.Twin)
 		}
 		e.diffs(v.Diffs)
-		e.i32s(v.Fetched)
+		e.pageSet(v.Fetched)
 		e.bytes(v.Adapt)
+		e.pageOwners(v.Owners)
 	default:
 		return fmt.Errorf("wire: unencodable payload type %T", p)
 	}
@@ -378,6 +456,7 @@ func (e *enc) intervals(ivs []OwnedInterval) {
 			e.i32(pr.ExtHi)
 		}
 		e.i32s(oi.IV.VC)
+		e.bool(oi.IV.Split)
 	}
 }
 
@@ -385,7 +464,15 @@ func (e *enc) nodePages(ns []NodePages) {
 	e.count(len(ns))
 	for _, n := range ns {
 		e.i32(n.Node)
-		e.i32s(n.Pages)
+		e.pageSet(n.Pages)
+	}
+}
+
+func (e *enc) pageOwners(ps []PageOwner) {
+	e.count(len(ps))
+	for _, p := range ps {
+		e.i32(p.Page)
+		e.i32(p.Owner)
 	}
 }
 
@@ -404,13 +491,13 @@ func (d *dec) payload() any {
 	case pFloat64s:
 		return Float64s(d.f64s())
 	case pDiffRequest:
-		return DiffRequest{Req: d.i32(), Pages: d.i32s(), Applied: d.rows()}
+		return DiffRequest{Req: d.i32(), Pages: d.i32s(), Applied: d.rows(), Direct: d.bool()}
 	case pDiffReply:
-		return DiffReply{Diffs: d.diffs()}
+		return DiffReply{Diffs: d.diffs(), Redirects: d.pageOwners()}
 	case pGrant:
 		return Grant{Intervals: d.intervals(), Served: d.diffs(), Pushed: d.spans(), Bytes: d.i32()}
 	case pArrival:
-		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs(), Fetched: d.i32s()}
+		return Arrival{VC: d.i32s(), Intervals: d.intervals(), Needs: d.needs(), Fetched: d.pageSet()}
 	case pDepart:
 		return Depart{Time: d.i64(), Intervals: d.intervals(), Served: d.diffs(), Fetched: d.nodePages()}
 	case pPush:
@@ -447,8 +534,9 @@ func (d *dec) payload() any {
 			}
 		}
 		ck.Diffs = d.diffs()
-		ck.Fetched = d.i32s()
+		ck.Fetched = d.pageSet()
 		ck.Adapt = d.bytesv()
+		ck.Owners = d.pageOwners()
 		return ck
 	default:
 		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
@@ -531,6 +619,7 @@ func (d *dec) intervals() []OwnedInterval {
 			oi.IV.Pages = refs
 		}
 		oi.IV.VC = d.i32s()
+		oi.IV.Split = d.bool()
 		out = append(out, oi)
 		if d.err != nil {
 			return out
@@ -543,7 +632,19 @@ func (d *dec) nodePages() []NodePages {
 	n := d.count(5)
 	var out []NodePages
 	for i := 0; i < n; i++ {
-		out = append(out, NodePages{Node: d.i32(), Pages: d.i32s()})
+		out = append(out, NodePages{Node: d.i32(), Pages: d.pageSet()})
+		if d.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+func (d *dec) pageOwners() []PageOwner {
+	n := d.count(8)
+	var out []PageOwner
+	for i := 0; i < n; i++ {
+		out = append(out, PageOwner{Page: d.i32(), Owner: d.i32()})
 		if d.err != nil {
 			return out
 		}

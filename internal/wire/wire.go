@@ -37,8 +37,13 @@ import "fmt"
 // applied timestamps for the pages its hand-off edge is bound to, which
 // let the releaser trim the piggybacked diff chains to what the acquirer
 // actually lacks; version 6 added the FCkpt frame and Checkpoint payload
-// (barrier-epoch recovery records streamed to a SnapshotSink).
-const Version = 6
+// (barrier-epoch recovery records streamed to a SnapshotSink); version 7
+// switched the Fetched relay page lists (Arrival, Depart, Checkpoint) to
+// a per-list raw-or-span encoding (dense sets cost two words per
+// contiguous run instead of one per page), added ownership-directory
+// redirects on DiffReply, the Direct flag on DiffRequest (chain-exhausted
+// requesters forcing a payload serve), and the owner map on Checkpoint.
+const Version = 7
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -159,11 +164,33 @@ type DiffRequest struct {
 	Req     int32
 	Pages   []int32
 	Applied [][]int32
+	// Direct forbids directory redirects: the responder must serve from
+	// its own cache even when its ownership hint says another node holds
+	// the chain head. Requesters set it after exhausting a forwarding
+	// chain (hop cap or cycle), making the noticed owner — who can always
+	// serve its own diffs — the unconditional backstop.
+	Direct bool
 }
 
 // DiffReply returns the diffs a responder served for a DiffRequest.
+// Redirects carry the ownership directory's probable-owner forwarding
+// hints for requested pages the responder could not serve (it no longer
+// holds the page's chain head): "ask Owner". The requester — never the
+// responder — follows the chain, so serve handlers stay request-free and
+// deadlock-free; each hop rewrites the requester's hint, shortening the
+// chain for every later fault (IVY path compression). Empty except in
+// scale mode.
 type DiffReply struct {
-	Diffs []Diff
+	Diffs     []Diff
+	Redirects []PageOwner
+}
+
+// PageOwner is one ownership-directory fact: the probable owner (last
+// known writer, the node to ask for the page's diff-chain head) of one
+// page. The unit of DiffReply redirects and of the Checkpoint owner map.
+type PageOwner struct {
+	Page  int32
+	Owner int32
 }
 
 // PageRef names a page within an interval record; Whole marks pages the
@@ -184,16 +211,50 @@ type PageRef struct {
 }
 
 // Interval records the pages one owner modified in one interval, plus the
-// owner's vector time when the interval closed.
+// owner's vector time when the interval closed. Split marks a mid-epoch
+// serve-path split (tmk.splitInterval): such intervals exist at
+// schedule-dependent positions in a creator's chain, so replicated
+// decisions — the ownership directory's post-barrier reset — must skip
+// them and count only closing intervals, which every backend produces at
+// the same synchronization points.
 type Interval struct {
 	Pages []PageRef
 	VC    []int32
+	Split bool
 }
 
 // NoticeBytes is the accounted size of a write notice covering n pages —
 // the single size formula every leg (grants, barrier arrivals and
 // departures) charges with.
 func NoticeBytes(n int) int { return 8 + 4*n }
+
+// FetchedBytes is the accounted size of a Fetched relay page list under
+// the version-7 raw-or-span encoding: an 8-byte header plus the cheaper
+// of one word per page (raw) or two words per contiguous run (spans) —
+// the same heuristic the codec's pageSet encoder applies, so accounting
+// and encoding cannot diverge. Sorted input is the protocol invariant
+// (fetchedSorted); an unsorted list degenerates to raw pricing.
+func FetchedBytes(pages []int32) int {
+	raw := 4 * len(pages)
+	spans := 8 * countRuns(pages)
+	if spans < raw {
+		return 8 + spans
+	}
+	return 8 + raw
+}
+
+// countRuns counts the maximal contiguous ascending runs of a sorted
+// page list (allocation-free; the span encoder and FetchedBytes share
+// it).
+func countRuns(pages []int32) int {
+	runs := 0
+	for i, p := range pages {
+		if i == 0 || p != pages[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
 
 // ExtentBytes is the additional accounted size of the write extents a
 // notice carries for the adaptive protocol, given how many of its page
@@ -553,4 +614,11 @@ type Checkpoint struct {
 	// replica must agree with the survivors without negotiation.
 	Fetched []int32
 	Adapt   []byte
+	// Owners is the node's ownership-directory hint map (page → probable
+	// owner) at the record point, present only in scale mode. Without it
+	// a restored victim would fall back to "ask the creator" while the
+	// survivors' directories still point at migrated owners — correct
+	// (the retry path always recovers) but a recovery-time hot spot the
+	// directory exists to avoid.
+	Owners []PageOwner
 }

@@ -8,7 +8,10 @@ import (
 )
 
 // sampleFrames covers every frame kind and every payload type, including
-// empty and nil slices (which decode as nil — the canonical form).
+// empty and nil slices (which decode as nil — the canonical form). The
+// Fetched relay lists appear both sparse (raw mode of the version-7
+// page-set encoding) and dense (span mode), so the corpus seeds exercise
+// both branches of the codec.
 func sampleFrames() []*Frame {
 	return []*Frame{
 		{Kind: FHello, From: 3},
@@ -23,6 +26,12 @@ func sampleFrames() []*Frame {
 			Pages:   []int32{3, 9},
 			Applied: [][]int32{{1, 0, 2}, {0, 0, 5}},
 		}},
+		{Kind: FReq, From: 2, To: 0, Tag: 45, Bytes: 24, Payload: DiffRequest{
+			Req:     2,
+			Pages:   []int32{14},
+			Applied: [][]int32{{0, 1, 0}},
+			Direct:  true,
+		}},
 		{Kind: FReply, From: 0, To: 1, Tag: 44, Bytes: 4128, Time: 5555, Payload: DiffReply{
 			Diffs: []Diff{
 				{Page: 3, Creator: 0, From: 1, To: 4, Covers: []int32{4, 0, 2},
@@ -30,6 +39,10 @@ func sampleFrames() []*Frame {
 				{Page: 9, Creator: 2, From: 0, To: 5, Whole: true, Covers: []int32{1, 0, 5},
 					Runs: []Run{{Off: 0, Vals: []float64{1, 2}}}},
 			},
+		}},
+		{Kind: FReply, From: 2, To: 1, Tag: 45, Bytes: 24, Time: 500, Payload: DiffReply{
+			Diffs:     []Diff{{Page: 7, Creator: 2, From: 2, To: 3, Covers: []int32{0, 1, 3}}},
+			Redirects: []PageOwner{{Page: 8, Owner: 0}, {Page: 14, Owner: 1}},
 		}},
 		{Kind: FHand, From: 2, To: 1, Tag: 1, Payload: Grant{
 			Intervals: []OwnedInterval{{Owner: 2, Idx: 5, IV: Interval{
@@ -43,6 +56,7 @@ func sampleFrames() []*Frame {
 			Intervals: []OwnedInterval{{Owner: 1, Idx: 6, IV: Interval{
 				Pages: []PageRef{{Page: 9}},
 				VC:    []int32{2, 6, 5},
+				Split: true,
 			}}},
 			Pushed: []DiffSpan{
 				{Page: 9, Creator: 1, From: 5, To: 6, Covers: []int32{2, 6, 5},
@@ -60,11 +74,25 @@ func sampleFrames() []*Frame {
 			Intervals: []OwnedInterval{{Owner: 1, Idx: 2, IV: Interval{VC: []int32{0, 2, 0}}}},
 			Fetched:   []NodePages{{Node: 0, Pages: []int32{7, 8}}, {Node: 2, Pages: []int32{7}}},
 		}},
+		{Kind: FHand, From: 0, To: 1, Tag: 2, Payload: Depart{
+			Time:      123123123,
+			Intervals: []OwnedInterval{{Owner: 2, Idx: 3, IV: Interval{VC: []int32{0, 0, 3}}}},
+			Fetched: []NodePages{
+				// Dense list: span mode (two runs beat seven raw words).
+				{Node: 1, Pages: []int32{4, 5, 6, 7, 20, 21, 22}},
+				{Node: 2, Pages: []int32{3, 30}},
+			},
+		}},
 		{Kind: FMsg, From: 0, To: 1, Tag: 5, Payload: Arrival{
 			VC:        []int32{4, 5, 6},
 			Intervals: []OwnedInterval{{Owner: 0, Idx: 4, IV: Interval{Pages: []PageRef{{Page: 11}}, VC: []int32{4, 0, 0}}}},
 			Needs:     []WSyncNeed{{Pages: []int32{11}, Applied: [][]int32{{1, 2, 3}}}},
 			Fetched:   []int32{11, 12},
+		}},
+		{Kind: FMsg, From: 1, To: 0, Tag: 5, Payload: Arrival{
+			VC: []int32{7, 8, 9},
+			// Dense fetch set: one run, span mode.
+			Fetched: []int32{40, 41, 42, 43, 44, 45, 46, 47},
 		}},
 		{Kind: FMsg, From: 2, To: 1, Tag: 102, Bytes: 4144, Time: 777, Payload: Update{
 			Epoch: 6,
@@ -106,6 +134,7 @@ func sampleFrames() []*Frame {
 			},
 			Fetched: []int32{5, 6},
 			Adapt:   []byte{1, 0, 9, 255},
+			Owners:  []PageOwner{{Page: 5, Owner: 2}, {Page: 6, Owner: 0}},
 		}},
 		{Kind: FCkpt, From: 1, Tag: 5, Payload: Checkpoint{
 			Node: 1, Epoch: 5,
