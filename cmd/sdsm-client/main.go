@@ -1,0 +1,74 @@
+// Command sdsm-client submits jobs to a DSM-as-a-service coordinator
+// (sdsm-experiments -serve, or any program embedding internal/svc) and
+// streams their results. One invocation submits -n copies of one job
+// shape and prints each result as it lands:
+//
+//	sdsm-client -addr /tmp/sdsm123/switch.sock -app jacobi -set small -procs 4 -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sdsm/internal/svc"
+	"sdsm/internal/wire"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "unix", "coordinator socket network: unix, tcp")
+		addr    = flag.String("addr", "", "coordinator socket address")
+		app     = flag.String("app", "jacobi", "application to run")
+		set     = flag.String("set", "small", "data set: small, large, bound")
+		system  = flag.String("system", "tmk", "DSM system: tmk, opt-tmk")
+		backend = flag.String("backend", "", "job backend: sim (default), real, net")
+		procs   = flag.Int("procs", 4, "ranks per job")
+		n       = flag.Int("n", 1, "number of copies to submit")
+		adapt   = flag.Bool("adapt", false, "enable the adaptive update protocol")
+		scale   = flag.Bool("scale", false, "enable the large-machine scale mode")
+		verify  = flag.Bool("verify", true, "verify against the sequential reference checksum")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "sdsm-client: -addr is required")
+		os.Exit(2)
+	}
+	cl, err := svc.Dial(*network, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdsm-client: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	spec := wire.JobSpec{
+		App: *app, Set: *set, System: *system, Backend: *backend,
+		Procs: int32(*procs), Adapt: *adapt, Scale: *scale, Verify: *verify,
+	}
+	jobs := make([]*svc.Job, 0, *n)
+	for i := 0; i < *n; i++ {
+		j, err := cl.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsm-client: submit %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("job %d accepted\n", j.ID)
+		jobs = append(jobs, j)
+	}
+	failed := 0
+	for _, j := range jobs {
+		res := j.Wait()
+		if res.Err != "" {
+			failed++
+			fmt.Printf("job %d FAILED: %s\n", res.ID, res.Err)
+			continue
+		}
+		fmt.Printf("job %d done: checksum %.6f  virtual %v  wall %v  %d msgs  %d bytes  %d segv  %d barriers  %d acquires\n",
+			res.ID, res.Checksum, time.Duration(res.VirtualNS), time.Duration(res.WallNS).Round(time.Microsecond),
+			res.Msgs, res.Bytes, res.Segv, res.Barriers, res.LockAcquires)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -14,20 +14,32 @@
 // scheduling-dependent, so the deterministic tables require the default
 // sim backend.
 //
+// -serve runs the DSM-as-a-service load experiment instead: it starts
+// an in-process coordinator with a warm pool, drives a mixed job load
+// through the client API, and prints Table D (per-mix deterministic
+// columns plus service latency/throughput). -serve-jobs sizes the load,
+// -serve-json writes the machine-readable report, and -serve-p99-max
+// turns the run into a latency gate.
+//
 // The output prints measured values next to the paper's where applicable;
 // EXPERIMENTS.md discusses the comparisons.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"sdsm/internal/apps"
 	"sdsm/internal/harness"
 	"sdsm/internal/mpnet"
+	"sdsm/internal/svc"
+	"sdsm/internal/wire"
 )
 
 func main() {
@@ -48,6 +60,13 @@ func main() {
 		benchTol  = flag.Float64("bench-tolerance", harness.DefaultBenchTolerancePct, "allowed virtual-time regression percentage for -bench-compare")
 		benchWTol = flag.Float64("bench-wall-tolerance", harness.DefaultBenchWallTolerancePct, "allowed wall-time regression percentage for -bench-compare (generous: wall times are hardware-dependent; <= 0 disables)")
 		benchATol = flag.Float64("bench-alloc-tolerance", harness.DefaultBenchAllocTolerancePct, "allowed allocation-count regression percentage for -bench-compare (tight: allocs are near-deterministic; <= 0 disables)")
+		serve     = flag.Bool("serve", false, "run the DSM-as-a-service load experiment and print Table D")
+		srvListen = flag.Bool("serve-listen", false, "with -serve: skip the load run, print the coordinator address, and serve sdsm-client/sdsm-node -pool peers until interrupted")
+		srvJobs   = flag.Int("serve-jobs", 200, "total jobs for the -serve load run")
+		srvConc   = flag.Int("serve-conc", 8, "concurrent in-flight submissions for -serve")
+		srvSlots  = flag.Int("serve-slots", 8, "warm pool slots for the -serve coordinator")
+		srvJSON   = flag.String("serve-json", "", "write the -serve load report as JSON to this file")
+		srvP99    = flag.Duration("serve-p99-max", 0, "fail -serve if p99 job latency exceeds this bound (0 disables)")
 		procs     = flag.Int("procs", harness.DefaultProcs, "processor count")
 		par       = flag.Int("parallel", 1, "worker pool size for independent experiment runs (0 = GOMAXPROCS)")
 		backend   = flag.String("backend", "sim", "host backend for the runs: sim (deterministic paper numbers), real, net (times become scheduling-dependent)")
@@ -68,7 +87,7 @@ func main() {
 		fmt.Printf("note: %s backend — virtual times are scheduling-dependent; the paper's\n"+
 			"deterministic numbers require the sim backend (the default).\n\n", *backend)
 	}
-	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *scaleT || *micro || *trOvh || *bench != "" || *benchCmp != "") {
+	if !(*all || *table1 || *table2 || *fig5 || *fig6 || *fig7 || *adaptT || *scaleT || *micro || *trOvh || *serve || *bench != "" || *benchCmp != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,6 +137,86 @@ func main() {
 		if compared < len(fresh.Entries) {
 			fmt.Printf("note: %d entries have no baseline — regenerate %s to track them\n",
 				len(fresh.Entries)-compared, *benchCmp)
+		}
+	}
+
+	if *serve {
+		// The service experiment: a warm-pool coordinator, a mixed load
+		// (regular and irregular apps, protocol modes on and off, mixed rank
+		// counts), and Table D from the aggregate. The deterministic columns
+		// are golden-pinned in internal/svc; here the wall-clock half — p50,
+		// p99, throughput — is the measurement, and -serve-p99-max makes it
+		// a CI gate.
+		co, err := svc.Start(svc.Config{Slots: *srvSlots})
+		if err != nil {
+			fail(err)
+		}
+		if *srvListen {
+			// Interactive service mode: no load run, just a live coordinator
+			// for sdsm-client submissions and sdsm-node -pool attachments.
+			network, address := co.Addr()
+			fmt.Printf("service listening: -network %s -addr %s  (%d local slots; ctrl-c to stop)\n",
+				network, address, *srvSlots)
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			<-sig
+			snap := co.Snapshot()
+			co.Close()
+			fmt.Printf("service stopped: %d accepted, %d rejected, %d completed, %d failed\n",
+				snap.Accepted, snap.Rejected, snap.Completed, snap.Failed)
+			return
+		}
+		cl, err := svc.Dial(co.Addr())
+		if err != nil {
+			co.Close()
+			fail(err)
+		}
+		rep, err := svc.RunLoad(cl, svc.LoadConfig{
+			Jobs:        *srvJobs,
+			Concurrency: *srvConc,
+			Mix: []wire.JobSpec{
+				{App: "jacobi", Set: "small", Procs: 2, Verify: true},
+				{App: "spmv", Set: "small", Procs: 4, Verify: true, Scale: true},
+				{App: "tsp", Set: "small", Procs: 2, Verify: true},
+				{App: "jacobi", Set: "bound", Procs: 2, Verify: true, Adapt: true},
+			},
+		})
+		snap := co.Snapshot()
+		cl.Close()
+		co.Close()
+		if err != nil {
+			fail(err)
+		}
+		rep.Accepted, rep.Rejected = snap.Accepted, snap.Rejected
+		fmt.Println(svc.FormatTableD(rep))
+		if *srvJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*srvJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote load report to %s\n", *srvJSON)
+		}
+		bad := false
+		for _, r := range rep.Rows {
+			if !r.Consistent {
+				fmt.Fprintf(os.Stderr, "sdsm-experiments: %s/%s jobs disagree on checksum or virtual time\n", r.App, r.Set)
+				bad = true
+			}
+		}
+		if rep.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "sdsm-experiments: %d job(s) failed under load\n", rep.Errors)
+			bad = true
+		}
+		if *srvP99 > 0 && rep.P99NS > int64(*srvP99) {
+			fmt.Fprintf(os.Stderr, "sdsm-experiments: p99 job latency %v exceeds bound %v\n",
+				time.Duration(rep.P99NS), *srvP99)
+			bad = true
+		}
+		if bad {
+			os.Exit(1)
 		}
 	}
 

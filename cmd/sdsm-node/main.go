@@ -9,6 +9,14 @@
 // coordinator explicitly:
 //
 //	sdsm-node -network unix -addr /tmp/sdsm123/mp.sock -rank 2
+//
+// With -pool it instead becomes a long-lived DSM-as-a-service node
+// daemon (internal/svc): it attaches a warm pool of -slots rank slots
+// to a service coordinator and executes dispatched jobs until the
+// coordinator goes away, keeping page frames, arenas, and wire buffers
+// warm across jobs:
+//
+//	sdsm-node -pool -network unix -addr /tmp/sdsm456/switch.sock -slots 8
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os"
 
 	"sdsm/internal/mpnet"
+	"sdsm/internal/svc"
 )
 
 func main() {
@@ -27,8 +36,21 @@ func main() {
 		addr    = flag.String("addr", "", "coordinator socket address")
 		rank    = flag.Int("rank", -1, "this worker's rank")
 		metrics = flag.String("metrics", "", "serve metrics snapshots on this address (e.g. 127.0.0.1:0; sets "+mpnet.MetricsEnv+")")
+		pool    = flag.Bool("pool", false, "run as a long-lived warm-pool daemon attached to a service coordinator")
+		slots   = flag.Int("slots", 8, "warm pool slots to offer in -pool mode")
 	)
 	flag.Parse()
+	if *pool {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "sdsm-node: -pool requires -addr (the service coordinator's socket)")
+			os.Exit(2)
+		}
+		if err := svc.RunPoolDaemon(*network, *addr, *slots, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "sdsm-node: pool daemon: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *addr == "" || *rank < 0 {
 		fmt.Fprintln(os.Stderr, "sdsm-node: -addr and -rank are required (or spawn via the coordinator)")
 		os.Exit(2)

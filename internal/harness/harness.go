@@ -133,6 +133,15 @@ type Config struct {
 	// obs.DefaultRingCap). Older events beyond the capacity are dropped
 	// oldest-first and counted.
 	TraceCap int
+	// Arenas, when non-nil, backs rank i's node memory with warm pool
+	// storage Arenas[i] (the DSM-as-a-service path, internal/svc). The
+	// run borrows the storage, audits the arena guard words after the
+	// program finishes — a violation is a hard error, it means the job
+	// scribbled outside its address space — and releases everything back
+	// for the slot's next job. Arena-backed runs are bit-identical to
+	// fresh ones (vm.NewWarm). DSM systems only; ignored for
+	// message-passing systems, whose ranks are separate processes.
+	Arenas []*vm.Arena
 }
 
 // FaultPlan describes one injected failure (see Config.Fault).
@@ -246,7 +255,7 @@ func runDSM(cfg Config) (*Result, error) {
 		h = e
 		nw = cluster.New(h, cfg.Costs)
 	}
-	sys := tmk.New(h, nw, layout)
+	sys := tmk.NewWarm(h, nw, layout, cfg.Arenas)
 	if cfg.Adapt {
 		sys.EnableAdapt(adapt.Config{K: cfg.AdaptK, ReprobeM: cfg.AdaptM})
 	}
@@ -295,6 +304,21 @@ func runDSM(cfg Config) (*Result, error) {
 	st := nw.Stats()
 	vmc, ps := sys.Stats()
 	smax, smean := sys.ServeBalance()
+	if cfg.Arenas != nil {
+		// Guard audit before release: release ends the loans the audit
+		// inspects. A violation means this job overran its own address
+		// space — in a shared pool that is a cross-job hazard, so it fails
+		// the job loudly instead of poisoning the next tenant.
+		for i, ar := range cfg.Arenas {
+			if ar == nil {
+				continue
+			}
+			if err := ar.CheckGuards(); err != nil {
+				return nil, fmt.Errorf("harness: %s/%s rank %d: %w", cfg.App.Name, cfg.Set, i, err)
+			}
+		}
+		sys.ReleaseWarm()
+	}
 	var rs tmk.RecoveryStats
 	for _, nd := range sys.Nodes {
 		rs.Checkpoints += nd.RecStats.Checkpoints

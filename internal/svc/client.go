@@ -1,0 +1,212 @@
+package svc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sdsm/internal/wire"
+)
+
+// Client is one connection to a coordinator. It multiplexes any number
+// of concurrent submissions: each submit carries a connection-local
+// nonce the coordinator echoes on the accept/reject verdict, and every
+// later frame about the job carries both the nonce and the job ID.
+// Safe for concurrent use.
+type Client struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes submit frames
+
+	mu      sync.Mutex
+	nextTag int32
+	pending map[int32]*Job // submitted, verdict not yet read
+	active  map[int64]*Job // accepted, result not yet read
+	err     error          // sticky: the reader's exit cause
+	done    chan struct{}  // closed when the reader exits
+}
+
+// Job is one accepted submission.
+type Job struct {
+	ID   int64
+	Spec wire.JobSpec
+
+	decided chan struct{} // accept or reject read
+	reason  string        // non-empty: rejected
+	state   chan byte     // progress updates, latest-wins
+	result  chan wire.JobResult
+}
+
+// Dial connects to a coordinator (address from Coordinator.Addr).
+func Dial(network, addr string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("svc: dial coordinator: %w", err)
+	}
+	cl := &Client{
+		c:       c,
+		pending: map[int32]*Job{},
+		active:  map[int64]*Job{},
+		done:    make(chan struct{}),
+	}
+	go cl.reader()
+	return cl, nil
+}
+
+// Close severs the connection. In-flight jobs fail with the close.
+func (cl *Client) Close() error {
+	err := cl.c.Close()
+	<-cl.done
+	return err
+}
+
+// reader demultiplexes coordinator frames: verdicts route by nonce,
+// progress and results by job ID. It owns the pending/active maps'
+// mutations past submission, so verdict routing can atomically promote
+// a pending job to active before any later frame about it is read —
+// frames for one job are ordered on the wire.
+func (cl *Client) reader() {
+	defer close(cl.done)
+	for {
+		f, err := wire.ReadFrame(cl.c)
+		if err != nil {
+			cl.mu.Lock()
+			cl.err = fmt.Errorf("svc: coordinator connection lost: %w", err)
+			for tag, j := range cl.pending {
+				delete(cl.pending, tag)
+				j.reason = cl.err.Error()
+				close(j.decided)
+			}
+			for id, j := range cl.active {
+				delete(cl.active, id)
+				j.result <- wire.JobResult{ID: j.ID, Err: cl.err.Error()}
+			}
+			cl.mu.Unlock()
+			return
+		}
+		switch f.Kind {
+		case wire.FJobAccept:
+			d, ok := f.Payload.(wire.JobDecision)
+			if !ok {
+				continue
+			}
+			cl.mu.Lock()
+			if j := cl.pending[f.Tag]; j != nil {
+				delete(cl.pending, f.Tag)
+				j.ID = d.ID
+				cl.active[d.ID] = j
+				close(j.decided)
+			}
+			cl.mu.Unlock()
+		case wire.FJobReject:
+			d, ok := f.Payload.(wire.JobDecision)
+			if !ok {
+				continue
+			}
+			cl.mu.Lock()
+			if j := cl.pending[f.Tag]; j != nil {
+				delete(cl.pending, f.Tag)
+				j.reason = d.Reason
+				close(j.decided)
+			}
+			cl.mu.Unlock()
+		case wire.FJobState:
+			p, ok := f.Payload.(wire.JobProgress)
+			if !ok {
+				continue
+			}
+			cl.mu.Lock()
+			j := cl.active[p.ID]
+			cl.mu.Unlock()
+			if j != nil {
+				// Latest-wins: drop the stale update if the consumer lags.
+				select {
+				case j.state <- p.State:
+				default:
+					select {
+					case <-j.state:
+					default:
+					}
+					select {
+					case j.state <- p.State:
+					default:
+					}
+				}
+			}
+		case wire.FJobResult:
+			r, ok := f.Payload.(wire.JobResult)
+			if !ok {
+				continue
+			}
+			cl.mu.Lock()
+			j := cl.active[r.ID]
+			delete(cl.active, r.ID)
+			cl.mu.Unlock()
+			if j != nil {
+				j.result <- r
+			}
+		}
+	}
+}
+
+// Submit sends one job and waits for the coordinator's admission
+// verdict: an accepted *Job to wait on, or the rejection reason as an
+// error. Rejection is a per-job verdict — the client stays usable.
+func (cl *Client) Submit(spec wire.JobSpec) (*Job, error) {
+	j := &Job{
+		Spec:    spec,
+		decided: make(chan struct{}),
+		state:   make(chan byte, 1),
+		result:  make(chan wire.JobResult, 1),
+	}
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.nextTag++
+	tag := cl.nextTag
+	cl.pending[tag] = j
+	cl.mu.Unlock()
+
+	cl.wmu.Lock()
+	err := wire.WriteFrame(cl.c, &wire.Frame{Kind: wire.FJob, Tag: tag, Payload: spec})
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.pending, tag)
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("svc: submit: %w", err)
+	}
+	<-j.decided
+	if j.reason != "" {
+		return nil, fmt.Errorf("svc: job rejected: %s", j.reason)
+	}
+	return j, nil
+}
+
+// State drains the latest progress update, if any (wire.JobQueued,
+// wire.JobRunning), without blocking.
+func (j *Job) State() (byte, bool) {
+	select {
+	case s := <-j.state:
+		return s, true
+	default:
+		return 0, false
+	}
+}
+
+// Wait blocks until the job's result frame arrives. A job that failed
+// (or whose coordinator vanished) reports through the result's Err.
+func (j *Job) Wait() wire.JobResult {
+	return <-j.result
+}
+
+// Do submits a job and waits for its result.
+func (cl *Client) Do(spec wire.JobSpec) (wire.JobResult, error) {
+	j, err := cl.Submit(spec)
+	if err != nil {
+		return wire.JobResult{}, err
+	}
+	return j.Wait(), nil
+}

@@ -60,8 +60,20 @@ func (s *System) EnableScale() {
 	s.scale = true
 	for _, nd := range s.Nodes {
 		pages := nd.Mem.Pages()
-		nd.dirOwner = make([]int32, pages)
-		nd.dirNext = make([]int32, pages)
+		if ar := nd.Mem.Arena(); ar != nil {
+			// Warm pool slot: the arrays are recycled from whatever job ran
+			// here last, contents unspecified (vm.Arena.TakeInt32). The -1
+			// sweep below is therefore load-bearing, not belt-and-braces:
+			// a previous job may have run with MORE ranks than this one,
+			// and a stale hint naming rank >= N would route a fetch off
+			// the machine. The rank-subset regression test poisons these
+			// arrays to pin the sweep.
+			nd.dirOwner = ar.TakeInt32(pages)
+			nd.dirNext = ar.TakeInt32(pages)
+		} else {
+			nd.dirOwner = make([]int32, pages)
+			nd.dirNext = make([]int32, pages)
+		}
 		for pg := 0; pg < pages; pg++ {
 			nd.dirOwner[pg] = -1
 			nd.dirNext[pg] = -1
@@ -124,6 +136,15 @@ func (nd *Node) chaseRedirects(redirs []wire.PageOwner) {
 		for _, po := range redirs {
 			pg, owner := int(po.Page), int(po.Owner)
 			if len(nd.pending[pg]) == 0 || owner == nd.ID {
+				continue
+			}
+			if owner < 0 || owner >= nd.sys.N() {
+				// A hint naming a rank outside this job's set — possible
+				// only from stale directory state (a warm slot's previous
+				// job ran wider) — must not become a request to a rank
+				// that does not exist. Leave the page to the Direct
+				// fallback, which asks the noticed owner.
+				nd.Stats.DirFallbacks++
 				continue
 			}
 			if visited[pg][owner] {

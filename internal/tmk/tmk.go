@@ -183,6 +183,16 @@ type System struct {
 // unwritten page faults once and validates it zero-filled locally,
 // without communication.
 func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
+	return NewWarm(h, nw, layout, nil)
+}
+
+// NewWarm builds a machine whose node memories borrow storage from warm
+// pool arenas — arenas[i] backs rank i; nil entries (or a nil slice, the
+// New path) fall back to heap allocation. Arena-backed storage is zeroed
+// on loan, so a warm machine's protocol behavior and results are
+// bit-identical to a fresh one's; ReleaseWarm hands the storage back
+// after the run.
+func NewWarm(h host.Host, nw host.Transport, layout *shm.Layout, arenas []*vm.Arena) *System {
 	s := &System{
 		H:        h,
 		NW:       nw,
@@ -209,7 +219,11 @@ func New(h host.Host, nw host.Transport, layout *shm.Layout) *System {
 		// Wake a peer whose body has not started yet (a first acquire of a
 		// remotely homed lock on the concurrent backends).
 		nd.p = h.Proc(i)
-		nd.Mem = vm.New(i, layout.Words(), s.Costs, nd)
+		var ar *vm.Arena
+		if i < len(arenas) {
+			ar = arenas[i]
+		}
+		nd.Mem = vm.NewWarm(i, layout.Words(), s.Costs, nd, ar)
 		pages := nd.Mem.Pages()
 		nd.applied = make([][]int32, pages)
 		for pg := range nd.applied {
@@ -275,6 +289,28 @@ func (s *System) Run(body func(nd *Node)) error {
 	return s.H.Run(func(p host.Proc) {
 		body(s.Nodes[p.ID()])
 	})
+}
+
+// ReleaseWarm hands every node's warm-arena storage back to its pool
+// slot: directory arrays first (they are arena loans too), then the
+// Mem's data store, twins, and page freelist. Run CheckGuards on the
+// arenas BEFORE calling this — release ends the loans the audit needs.
+// A machine built without arenas ignores the call. The System must not
+// be used afterwards.
+func (s *System) ReleaseWarm() {
+	for _, nd := range s.Nodes {
+		ar := nd.Mem.Arena()
+		if ar == nil {
+			continue
+		}
+		if nd.dirOwner != nil {
+			ar.RecycleInt32(nd.dirOwner)
+			ar.RecycleInt32(nd.dirNext)
+			nd.dirOwner, nd.dirNext = nil, nil
+		}
+		nd.Mem.Release()
+		ar.ReleaseData()
+	}
 }
 
 // Stats aggregates protocol statistics across nodes.

@@ -1,0 +1,162 @@
+package vm
+
+import "fmt"
+
+// GuardWords is the number of canary words an Arena keeps beyond each
+// loaned data store. The guards are invisible to the borrower (the loan
+// is capacity-capped before them) and are audited by CheckGuards after
+// the job releases its memory: a job that scribbles past its address
+// space — the cross-job bleed a warm pool must fear — lands in the
+// guards before it lands in a neighbor's storage.
+const GuardWords = 16
+
+// loan records one data store currently lent to a running job: the full
+// backing array, the borrowed prefix length, and the canary value the
+// guard words held when the loan was made.
+type loan struct {
+	store  []float64
+	words  int
+	canary float64
+}
+
+// Arena is warm storage for one pool rank slot. A long-lived node daemon
+// keeps one Arena per slot and threads it through every job that runs on
+// the slot, so steady-state jobs reuse page frames, address-space
+// backing stores, and directory arrays instead of growing the heap per
+// job. An Arena is owned by exactly one job at a time (the pool's slot
+// discipline); it needs no locking.
+//
+// Reuse rules, chosen so warm results stay bit-identical to fresh runs:
+//
+//   - Data stores (TakeData) are zeroed on every take, exactly like
+//     make: application memory starts blank.
+//   - Page buffers (TakePage) are NOT zeroed: every consumer in package
+//     vm fully overwrites the buffer before reading it (twin snapshots,
+//     whole-page runs), so stale content is unobservable. This mirrors
+//     the intra-run freelist Mem.free already trusts.
+//   - Int32 arrays (TakeInt32) are NOT zeroed: the directory layer must
+//     reinitialize every entry itself. Handing back stale owner hints
+//     uninitialized is deliberate — it is exactly the surface the
+//     per-job rank-subset regression test poisons.
+type Arena struct {
+	canary float64
+	data   [][]float64 // idle data stores, guard capacity included
+	pages  [][]float64 // idle page-sized buffers
+	ints   [][]int32   // idle int32 arrays
+	loans  []loan
+}
+
+// NewArena returns an empty warm arena.
+func NewArena() *Arena { return &Arena{} }
+
+// SetCanary installs the canary value for subsequent loans. The pool
+// gives each job a distinct canary so a guard violation names which
+// job's storage was overrun.
+func (a *Arena) SetCanary(c float64) { a.canary = c }
+
+// TakeData lends a zeroed data store of the given word count, backed by
+// recycled storage when a large-enough idle store exists. The returned
+// slice is capacity-capped at words: an append cannot silently grow into
+// the guard region.
+func (a *Arena) TakeData(words int) []float64 {
+	var store []float64
+	for i, s := range a.data {
+		if cap(s) >= words+GuardWords {
+			store = s[:cap(s)]
+			a.data[i] = a.data[len(a.data)-1]
+			a.data[len(a.data)-1] = nil
+			a.data = a.data[:len(a.data)-1]
+			break
+		}
+	}
+	if store == nil {
+		store = make([]float64, words+GuardWords)
+	}
+	clear(store[:words])
+	for i := words; i < words+GuardWords; i++ {
+		store[i] = a.canary
+	}
+	a.loans = append(a.loans, loan{store: store, words: words, canary: a.canary})
+	return store[:words:words]
+}
+
+// TakePage lends a page-sized buffer without zeroing it; the caller must
+// fully overwrite it before reading (see the Arena reuse rules).
+func (a *Arena) TakePage(n int) []float64 {
+	if l := len(a.pages); l > 0 {
+		pg := a.pages[l-1]
+		a.pages[l-1] = nil
+		a.pages = a.pages[:l-1]
+		if cap(pg) >= n {
+			return pg[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// RecyclePages accepts a batch of idle page buffers back into the arena.
+func (a *Arena) RecyclePages(bufs [][]float64) {
+	for _, b := range bufs {
+		if b != nil {
+			a.pages = append(a.pages, b)
+		}
+	}
+}
+
+// TakeInt32 lends an int32 array of length n with UNSPECIFIED contents —
+// possibly a previous job's values. Callers own initialization.
+func (a *Arena) TakeInt32(n int) []int32 {
+	for i, s := range a.ints {
+		if cap(s) >= n {
+			a.ints[i] = a.ints[len(a.ints)-1]
+			a.ints[len(a.ints)-1] = nil
+			a.ints = a.ints[:len(a.ints)-1]
+			return s[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+// RecycleInt32 accepts an int32 array back into the arena.
+func (a *Arena) RecycleInt32(s []int32) {
+	if s != nil {
+		a.ints = append(a.ints, s)
+	}
+}
+
+// CheckGuards audits every outstanding loan's guard words against the
+// canary recorded at take time. It must run before ReleaseData returns
+// the stores to the idle list. A mismatch is cross-job bleed (or an
+// in-job overrun) and the pool treats it as fatal for the offending job.
+func (a *Arena) CheckGuards() error {
+	for _, l := range a.loans {
+		g := l.store[l.words : l.words+GuardWords]
+		for i, v := range g {
+			if v != l.canary {
+				return fmt.Errorf("vm: arena guard word %d of %d-word store corrupted: got %v, want canary %v",
+					i, l.words, v, l.canary)
+			}
+		}
+	}
+	return nil
+}
+
+// ReleaseData ends every outstanding data loan, returning the stores to
+// the idle list for the next job. Call CheckGuards first; release does
+// not audit.
+func (a *Arena) ReleaseData() {
+	for i := range a.loans {
+		a.data = append(a.data, a.loans[i].store)
+		a.loans[i] = loan{}
+	}
+	a.loans = a.loans[:0]
+}
+
+// Idle reports the arena's idle inventory (data stores, page buffers,
+// int32 arrays), for tests that pin warm reuse actually happening.
+func (a *Arena) Idle() (data, pages, ints int) {
+	return len(a.data), len(a.pages), len(a.ints)
+}
+
+// Loans reports the number of outstanding data loans.
+func (a *Arena) Loans() int { return len(a.loans) }

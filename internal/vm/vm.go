@@ -127,6 +127,11 @@ type Mem struct {
 	// needs no synchronization.
 	free [][]float64
 
+	// arena, when non-nil, is the warm pool slot this Mem borrowed its
+	// storage from (NewWarm). Page buffers the freelist misses come from
+	// the arena, and Release hands everything back for the next job.
+	arena *Arena
+
 	// Counters is exported for the statistics harness.
 	Counters Counters
 
@@ -138,17 +143,52 @@ type Mem struct {
 
 // New creates a node memory of the given size with all pages NoAccess.
 func New(node int, words int, costs model.Costs, handler FaultHandler) *Mem {
+	return NewWarm(node, words, costs, handler, nil)
+}
+
+// NewWarm creates a node memory backed by a warm arena's recycled
+// storage. The data store comes zeroed from the arena (observably
+// identical to make), so a warm run's memory contents are bit-identical
+// to a fresh run's. A nil arena gives a plain heap-backed Mem — New is
+// exactly NewWarm with nil.
+func NewWarm(node int, words int, costs model.Costs, handler FaultHandler, arena *Arena) *Mem {
 	pages := (words + shm.PageWords - 1) / shm.PageWords
+	data := make([]float64, pages*shm.PageWords)
+	if arena != nil {
+		data = arena.TakeData(pages * shm.PageWords)
+	}
 	return &Mem{
 		Node:    node,
 		costs:   costs,
-		data:    make([]float64, pages*shm.PageWords),
+		data:    data,
 		prot:    make([]Prot, pages),
 		twins:   map[int][]float64{},
 		extLo:   make([]int16, pages),
 		extHi:   make([]int16, pages),
 		handler: handler,
+		arena:   arena,
 	}
+}
+
+// Arena returns the warm arena backing this Mem, or nil for a
+// heap-backed one.
+func (m *Mem) Arena() *Arena { return m.arena }
+
+// Release hands the Mem's reusable storage — live twins and the page
+// freelist — back to its arena and drops the references, ending the
+// job's loan of the data store. A heap-backed Mem ignores Release. The
+// Mem must not be used afterwards.
+func (m *Mem) Release() {
+	if m.arena == nil {
+		return
+	}
+	for pg, tw := range m.twins {
+		delete(m.twins, pg)
+		m.free = append(m.free, tw)
+	}
+	m.arena.RecyclePages(m.free)
+	m.free = nil
+	m.data = nil
 }
 
 // Pages returns the number of pages in the address space.
@@ -375,13 +415,19 @@ func (m *Mem) HasTwin(page int) bool {
 	return ok
 }
 
-// getPage returns a page-sized buffer from the freelist, or a fresh one.
+// getPage returns a page-sized buffer from the freelist, the warm arena,
+// or a fresh allocation. Arena buffers are not zeroed; every consumer
+// fully overwrites the buffer before reading it, same as the intra-run
+// freelist.
 func (m *Mem) getPage() []float64 {
 	if n := len(m.free); n > 0 {
 		pg := m.free[n-1]
 		m.free[n-1] = nil
 		m.free = m.free[:n-1]
 		return pg
+	}
+	if m.arena != nil {
+		return m.arena.TakePage(shm.PageWords)
 	}
 	return make([]float64, shm.PageWords)
 }

@@ -400,6 +400,40 @@ func (e *enc) payload(p any) error {
 		e.pageSet(v.Fetched)
 		e.bytes(v.Adapt)
 		e.pageOwners(v.Owners)
+	case JobSpec:
+		e.u8(pJobSpec)
+		e.i64(v.ID)
+		e.str(v.App)
+		e.str(v.Set)
+		e.str(v.System)
+		e.str(v.Backend)
+		e.i32(v.Procs)
+		e.bool(v.Adapt)
+		e.i32(v.AdaptK)
+		e.i32(v.AdaptM)
+		e.bool(v.Scale)
+		e.bool(v.Verify)
+	case JobDecision:
+		e.u8(pJobDecision)
+		e.i64(v.ID)
+		e.str(v.Reason)
+	case JobProgress:
+		e.u8(pJobProgress)
+		e.i64(v.ID)
+		e.u8(v.State)
+	case JobResult:
+		e.u8(pJobResult)
+		e.i64(v.ID)
+		e.f64(v.Checksum)
+		e.i64(v.VirtualNS)
+		e.i64(v.WallNS)
+		e.i64(v.Msgs)
+		e.i64(v.Bytes)
+		e.i64(v.Segv)
+		e.i64(v.DiffFetches)
+		e.i64(v.Barriers)
+		e.i64(v.LockAcquires)
+		e.str(v.Err)
 	default:
 		return fmt.Errorf("wire: unencodable payload type %T", p)
 	}
@@ -538,6 +572,24 @@ func (d *dec) payload() any {
 		ck.Adapt = d.bytesv()
 		ck.Owners = d.pageOwners()
 		return ck
+	case pJobSpec:
+		return JobSpec{
+			ID: d.i64(), App: d.str(), Set: d.str(), System: d.str(),
+			Backend: d.str(), Procs: d.i32(),
+			Adapt: d.bool(), AdaptK: d.i32(), AdaptM: d.i32(),
+			Scale: d.bool(), Verify: d.bool(),
+		}
+	case pJobDecision:
+		return JobDecision{ID: d.i64(), Reason: d.str()}
+	case pJobProgress:
+		return JobProgress{ID: d.i64(), State: d.u8()}
+	case pJobResult:
+		return JobResult{
+			ID: d.i64(), Checksum: d.f64(), VirtualNS: d.i64(),
+			WallNS: d.i64(), Msgs: d.i64(), Bytes: d.i64(), Segv: d.i64(),
+			DiffFetches: d.i64(), Barriers: d.i64(), LockAcquires: d.i64(),
+			Err: d.str(),
+		}
 	default:
 		d.fail(fmt.Errorf("wire: unknown payload kind %d", k))
 		return nil
@@ -735,7 +787,8 @@ func parseFrameInto(f *Frame, b []byte, ar *decArena) (int, error) {
 		return 0, fmt.Errorf("wire: %d trailing bytes in frame", len(d.b))
 	}
 	switch f.Kind {
-	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone, FCkpt:
+	case FHello, FMsg, FHand, FReq, FReply, FStart, FDone, FCkpt,
+		FJob, FJobAccept, FJobReject, FJobState, FJobResult, FPoolHello:
 	default:
 		return 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}

@@ -42,8 +42,13 @@ import "fmt"
 // a per-list raw-or-span encoding (dense sets cost two words per
 // contiguous run instead of one per page), added ownership-directory
 // redirects on DiffReply, the Direct flag on DiffRequest (chain-exhausted
-// requesters forcing a payload serve), and the owner map on Checkpoint.
-const Version = 7
+// requesters forcing a payload serve), and the owner map on Checkpoint;
+// version 8 added the service control plane — the job frames (FJob,
+// FJobAccept, FJobReject, FJobState, FJobResult, FPoolHello) and their
+// payloads (JobSpec, JobDecision, JobProgress, JobResult) that carry
+// multi-job traffic between clients, the coordinator, and warm pool
+// daemons (internal/svc, DESIGN.md §13).
+const Version = 8
 
 // MaxFrame bounds the encoded size of one frame (64 MiB), a sanity limit
 // protecting the decoder from corrupt length prefixes.
@@ -74,6 +79,29 @@ const (
 	// Checkpoint frames never travel between peers mid-protocol; they are
 	// streamed to a coordinator or spooled to disk at barrier arrivals.
 	FCkpt
+	// FJob submits one job (payload JobSpec). Client → coordinator, where
+	// Tag is the client's correlation nonce echoed on the admission
+	// decision; coordinator → pool daemon, where the spec carries the
+	// assigned job id and no decision is sent back.
+	FJob
+	// FJobAccept admits a submitted job (coordinator → client): Tag echoes
+	// the submit nonce, the JobDecision payload carries the assigned id.
+	FJobAccept
+	// FJobReject refuses a submitted job (coordinator → client): Tag
+	// echoes the submit nonce, the JobDecision payload carries the reason.
+	// Rejection is a per-job verdict, never a connection error — the
+	// coordinator keeps serving the connection and the pool.
+	FJobReject
+	// FJobState reports a job's lifecycle transition (payload JobProgress),
+	// coordinator → client.
+	FJobState
+	// FJobResult reports a finished job (payload JobResult): pool daemon →
+	// coordinator → client.
+	FJobResult
+	// FPoolHello attaches a warm pool daemon to the coordinator
+	// (daemon → coordinator): From is unused, Tag carries the daemon's
+	// rank-slot capacity, and there is no payload.
+	FPoolHello
 )
 
 func frameKindName(k byte) string {
@@ -94,6 +122,18 @@ func frameKindName(k byte) string {
 		return "done"
 	case FCkpt:
 		return "ckpt"
+	case FJob:
+		return "job"
+	case FJobAccept:
+		return "job-accept"
+	case FJobReject:
+		return "job-reject"
+	case FJobState:
+		return "job-state"
+	case FJobResult:
+		return "job-result"
+	case FPoolHello:
+		return "pool-hello"
 	}
 	return fmt.Sprintf("frame(%d)", k)
 }
@@ -131,6 +171,10 @@ const (
 	pDone
 	pUpdate
 	pCheckpoint
+	pJobSpec
+	pJobDecision
+	pJobProgress
+	pJobResult
 )
 
 // Run is a contiguous span of modified words within a page, the unit a
@@ -621,4 +665,71 @@ type Checkpoint struct {
 	// (the retry path always recovers) but a recovery-time hot spot the
 	// directory exists to avoid.
 	Owners []PageOwner
+}
+
+// JobSpec describes one job submitted to the DSM service (internal/svc):
+// which application/data-set/system to run on how many pool ranks, with
+// the protocol switches of harness.Config that are meaningful per job.
+// Everything a job needs is derivable from the spec — like Start, the
+// frame is the worker's whole configuration, which is what lets a dead
+// coordinator or daemon be replaced without shared state.
+type JobSpec struct {
+	// ID is the coordinator-assigned job id: zero on the client's submit
+	// frame, set on the frame the coordinator dispatches to a pool daemon.
+	ID int64
+	// App, Set and System name the run (apps.ByName, harness.SystemKind
+	// "tmk"/"opt-tmk"). Backend names the host backend per job ("" = sim —
+	// the deterministic choice the service's latency tables rely on).
+	App, Set, System, Backend string
+	// Procs is the rank-subset size the job claims from the pool.
+	Procs int32
+	// Adapt/AdaptK/AdaptM and Scale arm the adaptive protocol and scale
+	// mode for the job, exactly as the same-named harness.Config fields.
+	Adapt          bool
+	AdaptK, AdaptM int32
+	Scale          bool
+	// Verify computes the job's checksum against its layout (the field
+	// every service equivalence test pins).
+	Verify bool
+}
+
+// JobDecision is the coordinator's admission verdict for one submitted
+// job: the assigned id on acceptance, the refusal reason on rejection
+// (queue full, malformed spec, oversized rank request).
+type JobDecision struct {
+	ID     int64
+	Reason string
+}
+
+// Job lifecycle states carried by JobProgress.
+const (
+	// JobQueued: admitted and waiting in the bounded job queue.
+	JobQueued byte = 1 + iota
+	// JobRunning: claimed its rank subset and executing.
+	JobRunning
+)
+
+// JobProgress reports a job lifecycle transition to the submitting
+// client.
+type JobProgress struct {
+	ID    int64
+	State byte
+}
+
+// JobResult is a finished job's report: the checksum and deterministic
+// virtual time (the golden-pinned columns of the service table), the
+// headline traffic and protocol counters, the run's wall-clock duration
+// as measured by the executing pool, and an error description, empty on
+// success.
+type JobResult struct {
+	ID           int64
+	Checksum     float64
+	VirtualNS    int64
+	WallNS       int64
+	Msgs, Bytes  int64
+	Segv         int64
+	DiffFetches  int64
+	Barriers     int64
+	LockAcquires int64
+	Err          string
 }

@@ -140,6 +140,25 @@ func sampleFrames() []*Frame {
 			Node: 1, Epoch: 5,
 			VC: []int32{4, 6, 4}, LastBar: []int32{4, 5, 4},
 		}},
+		{Kind: FJob, Tag: 17, Payload: JobSpec{
+			App: "jacobi", Set: "small", System: "tmk", Procs: 4,
+			Adapt: true, AdaptK: 3, AdaptM: 2, Verify: true,
+		}},
+		{Kind: FJob, To: 1, Tag: 9, Payload: JobSpec{
+			ID: 42, App: "spmv", Set: "bound", Backend: "net", Procs: 8, Scale: true,
+		}},
+		{Kind: FJobAccept, Tag: 17, Payload: JobDecision{ID: 42}},
+		{Kind: FJobReject, Tag: 18, Payload: JobDecision{Reason: "queue full"}},
+		{Kind: FJobState, Tag: 17, Payload: JobProgress{ID: 42, State: JobRunning}},
+		{Kind: FJobResult, From: 1, Tag: 17, Payload: JobResult{
+			ID: 42, Checksum: 40399.25, VirtualNS: 123456789, WallNS: 987654,
+			Msgs: 320, Bytes: 81920, Segv: 12, DiffFetches: 7,
+			Barriers: 33, LockAcquires: 5,
+		}},
+		{Kind: FJobResult, From: 2, Tag: 3, Payload: JobResult{
+			ID: 43, Err: "unknown app \"nope\"",
+		}},
+		{Kind: FPoolHello, From: 1, Tag: 8},
 	}
 }
 
